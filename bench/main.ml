@@ -1,0 +1,147 @@
+(* The benchmark harness.
+
+   Running `dune exec bench/main.exe` does two things:
+
+   1. Regenerates every table and figure of the paper's evaluation at
+      benchmark scale (Fig. 3, Fig. 7, Fig. 8, Sec. 7.2 in both the
+      emulator and wedgeable-hardware variants, Fig. 9) plus the
+      ablations — printed as tables with the paper's anchor numbers.
+
+   2. Runs Bechamel micro/macro benchmarks: one Test.make per paper
+      table (measuring the wall-clock cost of regenerating it at small
+      scale) and one per hot primitive of the simulator.
+
+   Absolute throughput numbers are in *virtual* time and calibrated to
+   the paper's hardware; the Bechamel numbers are host wall-clock. *)
+
+module E = Resilix_experiments
+module Md5 = Resilix_checksum.Md5
+module Sha1 = Resilix_checksum.Sha1
+module Crc32 = Resilix_checksum.Crc32
+module Fnv = Resilix_checksum.Fnv
+module Engine = Resilix_sim.Engine
+module Wire = Resilix_net.Wire
+
+let mb = 1024 * 1024
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: regenerate the paper's tables                               *)
+(* ------------------------------------------------------------------ *)
+
+let regenerate_tables () =
+  E.Fig3.print (E.Fig3.run ());
+  E.Fig7.print (E.Fig7.run ~size:(64 * mb) ~intervals:[ 1; 2; 4; 8; 15 ] ());
+  E.Fig8.print (E.Fig8.run ~size:(256 * mb) ~intervals:[ 1; 2; 4; 8; 15 ] ());
+  E.Sec72.print "emulator variant" (E.Sec72.run ~faults:2000 ());
+  E.Sec72.print "real-hardware variant: wedgeable NIC"
+    (E.Sec72.run ~faults:2000 ~wedge_prob:1.0 ~has_master_reset:false ());
+  E.Fig9.print (E.Fig9.run ());
+  E.Ablations.print_heartbeat (E.Ablations.heartbeat_sweep ());
+  E.Ablations.print_policy (E.Ablations.policy_comparison ());
+  E.Ablations.print_ipc (E.Ablations.ipc_microbench ())
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel benchmarks                                         *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+let payload_64k = String.init 65536 (fun i -> Char.chr (i land 0xFF))
+
+let checksum_tests =
+  [
+    Test.make ~name:"md5 64KB" (Staged.stage (fun () -> ignore (Md5.digest_string payload_64k)));
+    Test.make ~name:"sha1 64KB" (Staged.stage (fun () -> ignore (Sha1.digest_string payload_64k)));
+    Test.make ~name:"crc32 64KB" (Staged.stage (fun () -> ignore (Crc32.string payload_64k)));
+    Test.make ~name:"fnv 64KB" (Staged.stage (fun () -> ignore (Fnv.string payload_64k)));
+  ]
+
+let engine_test =
+  Test.make ~name:"engine: 1000 events"
+    (Staged.stage (fun () ->
+         let engine = Engine.create () in
+         for i = 1 to 1000 do
+           ignore (Engine.schedule engine ~after:i (fun () -> ()))
+         done;
+         Engine.run engine))
+
+let wire_frame =
+  {
+    Wire.dst_mac = 2;
+    src_mac = 1;
+    packet =
+      {
+        Wire.src_ip = Wire.ip 10 0 0 1;
+        dst_ip = Wire.ip 10 0 0 2;
+        body =
+          Wire.Tcp
+            {
+              Wire.src_port = 40000;
+              dst_port = 80;
+              seq = 17;
+              ack_no = 21;
+              syn = false;
+              ack = true;
+              fin = false;
+              rst = false;
+              window = 65535;
+              payload = Bytes.make 1460 'x';
+            };
+      };
+  }
+
+let wire_test =
+  Test.make ~name:"wire: encode+decode 1460B segment"
+    (Staged.stage (fun () ->
+         match Wire.decode (Wire.encode wire_frame) with Ok _ -> () | Error _ -> assert false))
+
+(* One Test.make per paper table, at reduced scale. *)
+let table_tests =
+  [
+    Test.make ~name:"table fig3 (3 scenarios)" (Staged.stage (fun () -> ignore (E.Fig3.run ())));
+    Test.make ~name:"table fig7 (8MB, 1 interval)"
+      (Staged.stage (fun () -> ignore (E.Fig7.run ~size:(8 * mb) ~intervals:[ 1 ] ())));
+    Test.make ~name:"table fig8 (32MB, 1 interval)"
+      (Staged.stage (fun () -> ignore (E.Fig8.run ~size:(32 * mb) ~intervals:[ 1 ] ())));
+    Test.make ~name:"table sec7.2 (200 faults)"
+      (Staged.stage (fun () -> ignore (E.Sec72.run ~faults:200 ())));
+    Test.make ~name:"table fig9 (sclc over the repo)"
+      (Staged.stage (fun () -> ignore (E.Fig9.run ())));
+  ]
+
+let all_benchmarks =
+  Test.make_grouped ~name:"resilix"
+    (checksum_tests @ [ engine_test; wire_test ] @ table_tests)
+
+let run_bechamel () =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~stabilize:false () in
+  let raw = Benchmark.all cfg instances all_benchmarks in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  print_newline ();
+  print_endline "=== Bechamel micro/macro benchmarks (host wall clock) ===";
+  Printf.printf "%-45s %16s\n" "benchmark" "time per run";
+  Printf.printf "%s\n" (String.make 62 '-');
+  let rows = ref [] in
+  Hashtbl.iter (fun name result -> rows := (name, result) :: !rows) results;
+  List.iter
+    (fun (name, result) ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] ->
+          let pretty =
+            if est > 1e9 then Printf.sprintf "%.2f s" (est /. 1e9)
+            else if est > 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
+            else if est > 1e3 then Printf.sprintf "%.2f us" (est /. 1e3)
+            else Printf.sprintf "%.0f ns" est
+          in
+          Printf.printf "%-45s %16s\n" name pretty
+      | _ -> Printf.printf "%-45s %16s\n" name "n/a")
+    (List.sort compare !rows)
+
+let () =
+  regenerate_tables ();
+  run_bechamel ()

@@ -1,0 +1,90 @@
+(* The resilix command-line harness: regenerate every table and figure
+   of the paper's evaluation, plus the ablations. *)
+
+module E = Resilix_experiments
+
+let mb = 1024 * 1024
+
+let run_fig3 seed = E.Fig3.print (E.Fig3.run ~seed ())
+
+let run_fig7 seed size_mb intervals =
+  E.Fig7.print (E.Fig7.run ~size:(size_mb * mb) ~intervals ~seed ())
+
+let run_fig8 seed size_mb intervals =
+  E.Fig8.print (E.Fig8.run ~size:(size_mb * mb) ~intervals ~seed ())
+
+let run_sec72 seed faults hw =
+  if hw then
+    E.Sec72.print "real-hardware variant: wedgeable NIC"
+      (E.Sec72.run ~faults ~seed ~wedge_prob:1.0 ~has_master_reset:false ())
+  else E.Sec72.print "emulator variant" (E.Sec72.run ~faults ~seed ())
+
+let run_fig9 () = E.Fig9.print (E.Fig9.run ())
+
+let run_ablations seed =
+  E.Ablations.print_heartbeat (E.Ablations.heartbeat_sweep ~seed ());
+  E.Ablations.print_policy (E.Ablations.policy_comparison ~seed ());
+  E.Ablations.print_ipc (E.Ablations.ipc_microbench ())
+
+open Cmdliner
+
+let seed_t =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Master RNG seed (runs are deterministic).")
+
+let size_t default =
+  Arg.(value & opt int default & info [ "size-mb" ] ~doc:"Transfer size in MB.")
+
+let intervals_t =
+  Arg.(
+    value
+    & opt (list int) [ 1; 2; 4; 8; 15 ]
+    & info [ "intervals" ] ~doc:"Kill intervals in seconds (comma separated).")
+
+let faults_t =
+  Arg.(value & opt int 2000 & info [ "faults" ] ~doc:"Number of faults to inject.")
+
+let hw_t =
+  Arg.(value & flag & info [ "hw" ] ~doc:"Real-hardware variant: the NIC can wedge.")
+
+let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
+
+let fig3_cmd = cmd "fig3" "Recovery-scheme matrix (Fig. 3)" Term.(const run_fig3 $ seed_t)
+
+let fig7_cmd =
+  cmd "fig7" "wget throughput vs Ethernet-driver kill interval (Fig. 7)"
+    Term.(const run_fig7 $ seed_t $ size_t 128 $ intervals_t)
+
+let fig8_cmd =
+  cmd "fig8" "dd throughput vs disk-driver kill interval (Fig. 8)"
+    Term.(const run_fig8 $ seed_t $ size_t 1024 $ intervals_t)
+
+let sec72_cmd =
+  cmd "sec72" "Fault-injection campaign on the DP8390 driver (Sec. 7.2)"
+    Term.(const run_sec72 $ seed_t $ faults_t $ hw_t)
+
+let fig9_cmd = cmd "fig9" "Source-code statistics (Fig. 9)" Term.(const run_fig9 $ const ())
+
+let ablations_cmd = cmd "ablations" "Design-choice ablations" Term.(const run_ablations $ seed_t)
+
+let all_cmd =
+  cmd "all" "Run every experiment with default parameters"
+    Term.(
+      const (fun seed size7 size8 intervals faults ->
+          run_fig3 seed;
+          run_fig7 seed size7 intervals;
+          run_fig8 seed size8 intervals;
+          run_sec72 seed faults false;
+          run_sec72 seed faults true;
+          run_fig9 ();
+          run_ablations seed)
+      $ seed_t $ size_t 128 $ size_t 512 $ intervals_t $ faults_t)
+
+let () =
+  let info =
+    Cmd.info "resilix" ~version:"1.0.0"
+      ~doc:"Failure resilience for device drivers — experiment harness"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ fig3_cmd; fig7_cmd; fig8_cmd; sec72_cmd; fig9_cmd; ablations_cmd; all_cmd ]))

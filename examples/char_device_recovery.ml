@@ -1,0 +1,74 @@
+(* Character-device recovery (the paper's Sec. 6.3 / Fig. 6): errors
+   are pushed to the application layer.  Three applications, three
+   outcomes:
+
+   - the mp3 player survives an audio-driver crash with a hiccup;
+   - the printer spooler reissues the job (duplicates possible);
+   - the CD burner must report failure — the disc is ruined.
+
+   Run with:  dune exec examples/char_device_recovery.exe *)
+
+module System = Resilix_system.System
+module Engine = Resilix_sim.Engine
+module Audio_dev = Resilix_hw.Audio_dev
+module Printer_dev = Resilix_hw.Printer_dev
+module Cd_dev = Resilix_hw.Cd_dev
+module Api = Resilix_kernel.Sysif.Api
+module Mp3 = Resilix_apps.Mp3_player
+module Lpd = Resilix_apps.Lpd
+module Cdburn = Resilix_apps.Cdburn
+
+let () =
+  let t = System.boot ~opts:{ System.default_opts with System.disk_mb = 8 } () in
+  System.start_services t [ System.spec_audio (); System.spec_printer (); System.spec_cd () ];
+
+  let song = Mp3.fresh_result () in
+  ignore (System.spawn_app t ~name:"mp3" (Mp3.make ~song_bytes:300_000 song));
+
+  let job =
+    String.concat "\n" (List.init 2400 (fun i -> Printf.sprintf "line %04d of the report" i))
+  in
+  let print_job = Lpd.fresh_result () in
+  (* The spooler starts after the burn finishes: the simple VFS serves
+     one request at a time, and a print job holds it for a while. *)
+  ignore
+    (System.spawn_app t ~name:"lpd" (fun () ->
+         Api.sleep 1_200_000;
+         Lpd.make ~jobs:[ job ] print_job ()));
+
+  let disc_image = String.init 300_000 (fun i -> Char.chr (i land 0xFF)) in
+  let burn = Cdburn.fresh_result () in
+  ignore (System.spawn_app t ~name:"cdburn" (Cdburn.make ~data:disc_image burn));
+
+  (* Crash all three drivers mid-operation. *)
+  List.iter
+    (fun (delay, target) ->
+      ignore
+        (Engine.schedule t.System.engine ~after:delay (fun () ->
+             Printf.printf "[%.2fs] SIGKILL %s\n%!" (float_of_int delay /. 1e6) target;
+             ignore (System.kill_service_once t ~target))))
+    [ (400_000, "chr.audio"); (1_700_000, "chr.printer"); (50_000, "chr.cd") ];
+
+  ignore
+    (System.run_until t ~timeout:300_000_000 (fun () ->
+         song.Mp3.finished && print_job.Lpd.finished && burn.Cdburn.finished));
+  (* Let the printer finish feeding paper and the burn-gap watchdog fire. *)
+  System.run t ~until:(Engine.now t.System.engine + 3_000_000);
+  Printf.printf "\n--- outcomes ---\n";
+  Printf.printf "mp3 player : completed=%b reopened %d time(s), hiccups heard: %d\n"
+    song.Mp3.completed song.Mp3.recoveries
+    (Audio_dev.underruns t.System.audio);
+  Printf.printf "lpd        : jobs done=%d, resubmissions=%d, printed %d bytes for a %d-byte job%s\n"
+    print_job.Lpd.jobs_done print_job.Lpd.resubmissions
+    (String.length (Printer_dev.printed t.System.printer))
+    (String.length job)
+    (if String.length (Printer_dev.printed t.System.printer) > String.length job then
+       " (duplicates, as the paper warns)"
+     else "");
+  Printf.printf "cd burner  : success=%b, error reported to user=%b, disc is %s\n"
+    burn.Cdburn.success burn.Cdburn.error_reported
+    (match Cd_dev.disc t.System.cd with
+    | Cd_dev.Blank -> "blank"
+    | Cd_dev.In_session -> "mid-session"
+    | Cd_dev.Complete -> "complete"
+    | Cd_dev.Ruined -> "RUINED (no recovery possible)")

@@ -1,0 +1,45 @@
+(* Disk-driver resilience (the paper's Sec. 6.2 / Fig. 8 scenario):
+   read a large file (dd | sha1sum) while the SATA driver is killed
+   mid-transfer; the file server reissues pending block I/O and the
+   checksum is identical to an undisturbed run.
+
+   Run with:  dune exec examples/disk_resilience.exe *)
+
+module System = Resilix_system.System
+module Engine = Resilix_sim.Engine
+module Reincarnation = Resilix_core.Reincarnation
+module Mfs = Resilix_fs.Mfs
+module Dd = Resilix_apps.Dd
+
+let run_once ~kill =
+  let size = 32 * 1024 * 1024 in
+  let opts =
+    { System.default_opts with System.fs_files = [ ("big.bin", size) ]; disk_mb = 40 }
+  in
+  let t = System.boot ~opts () in
+  System.start_services t [ System.spec_sata ~policy:"direct" () ];
+  let result = Dd.fresh_result () in
+  ignore (System.spawn_app t ~name:"dd" (Dd.make ~path:"/big.bin" ~with_sha1:true result));
+  if kill then begin
+    ignore
+      (Engine.schedule t.System.engine ~after:300_000 (fun () ->
+           ignore (System.kill_service_once t ~target:"blk.sata")));
+    ignore
+      (Engine.schedule t.System.engine ~after:1_200_000 (fun () ->
+           ignore (System.kill_service_once t ~target:"blk.sata")))
+  end;
+  ignore (System.run_until t ~timeout:600_000_000 (fun () -> result.Dd.finished));
+  (result, Reincarnation.restarts_of t.System.rs "blk.sata", Mfs.reissued_ios t.System.mfs)
+
+let () =
+  Printf.printf "pass 1: undisturbed read...\n%!";
+  let clean, _, _ = run_once ~kill:false in
+  Printf.printf "  sha1 = %s (%d bytes)\n%!" clean.Dd.sha1 clean.Dd.bytes;
+  Printf.printf "pass 2: same read with two SIGKILLs of blk.sata...\n%!";
+  let crashed, recoveries, redone = run_once ~kill:true in
+  Printf.printf "  sha1 = %s (%d bytes)\n" crashed.Dd.sha1 crashed.Dd.bytes;
+  Printf.printf "  driver recoveries: %d, block I/Os redone: %d\n" recoveries redone;
+  Printf.printf "checksums %s\n"
+    (if String.equal clean.Dd.sha1 crashed.Dd.sha1 && clean.Dd.sha1 <> "" then
+       "IDENTICAL — recovery was transparent and lossless"
+     else "DIFFER — data corruption!")

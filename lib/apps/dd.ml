@@ -1,0 +1,46 @@
+module Api = Resilix_kernel.Sysif.Api
+module Fnv = Resilix_checksum.Fnv
+module Sha1 = Resilix_checksum.Sha1
+
+type result = {
+  mutable finished : bool;
+  mutable ok : bool;
+  mutable bytes : int;
+  mutable started_at : int;
+  mutable finished_at : int;
+  mutable fnv : string;
+  mutable sha1 : string;
+}
+
+let fresh_result () =
+  { finished = false; ok = false; bytes = 0; started_at = 0; finished_at = 0; fnv = ""; sha1 = "" }
+
+let make ~path ?(chunk = 61440) ?(with_sha1 = false) result () =
+  result.started_at <- Api.now ();
+  let finish ok =
+    result.ok <- ok;
+    result.finished_at <- Api.now ();
+    result.finished <- true
+  in
+  match Fslib.open_file path with
+  | Error _ -> finish false
+  | Ok fd ->
+      let fnv = ref Fnv.start in
+      let sha1 = if with_sha1 then Some (Sha1.init ()) else None in
+      let rec pump () =
+        match Fslib.read fd ~len:chunk with
+        | Error _ -> finish false
+        | Ok data when Bytes.length data = 0 ->
+            result.fnv <- Fnv.to_hex !fnv;
+            (match sha1 with Some ctx -> result.sha1 <- Sha1.hex (Sha1.finalize ctx) | None -> ());
+            ignore (Fslib.close fd);
+            finish true
+        | Ok data ->
+            result.bytes <- result.bytes + Bytes.length data;
+            fnv := Fnv.update !fnv data ~off:0 ~len:(Bytes.length data);
+            (match sha1 with
+            | Some ctx -> Sha1.update ctx data ~off:0 ~len:(Bytes.length data)
+            | None -> ());
+            pump ()
+      in
+      pump ()

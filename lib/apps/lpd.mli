@@ -1,0 +1,22 @@
+(** A recovery-aware printer spooler (Sec. 6.3).
+
+    Submits print jobs to [/dev/printer].  If the printer driver dies
+    mid-job, the job is automatically reissued ("without bothering the
+    user") — transparent recovery is impossible for character streams,
+    so the price is possibly duplicated output, which the test
+    observes on the printer device's paper trail. *)
+
+type result = {
+  mutable finished : bool;
+  mutable jobs_done : int;
+  mutable resubmissions : int;
+  mutable gave_up : bool;
+}
+
+val fresh_result : unit -> result
+(** All zeros. *)
+
+val make : jobs:string list -> ?recovery_aware:bool -> ?max_retries:int -> result -> unit -> unit
+(** Print each job in order.  With [recovery_aware:false] the first
+    failure abandons the queue (the "historical application"
+    behaviour). *)

@@ -1,0 +1,31 @@
+(** Application-side socket API over the INET server. *)
+
+module Errno := Resilix_proto.Errno
+
+val socket : Resilix_proto.Message.sock_proto -> (int, Errno.t) result
+(** Create a TCP or UDP socket. *)
+
+val connect : int -> addr:int -> port:int -> (unit, Errno.t) result
+(** Actively open a TCP connection (blocks until established). *)
+
+val listen : int -> port:int -> (unit, Errno.t) result
+(** Bind (UDP) or bind + listen (TCP). *)
+
+val accept : int -> (int, Errno.t) result
+(** Block until an inbound connection is established; returns its
+    socket. *)
+
+val send_all : int -> bytes -> (unit, Errno.t) result
+(** Send the whole buffer (blocking). *)
+
+val recv : int -> len:int -> (bytes, Errno.t) result
+(** Receive up to [len] (max 60 KB) bytes; empty means the peer closed. *)
+
+val sendto : int -> addr:int -> port:int -> bytes -> (int, Errno.t) result
+(** Send one datagram. *)
+
+val recvfrom : int -> len:int -> (bytes * int * int, Errno.t) result
+(** Receive one datagram: (payload, source address, source port). *)
+
+val close : int -> (unit, Errno.t) result
+(** Close the socket. *)

@@ -1,0 +1,29 @@
+(** The wget workload (Sec. 7.1, Fig. 7): download a file over TCP
+    from the remote peer while the Ethernet driver may be crashing
+    underneath, then verify the digest of what arrived. *)
+
+type result = {
+  mutable finished : bool;
+  mutable ok : bool;  (** transfer completed without socket errors *)
+  mutable bytes : int;  (** payload bytes received *)
+  mutable started_at : int;
+  mutable finished_at : int;
+  mutable fnv : string;  (** streaming FNV digest of the received data *)
+  mutable md5 : string;  (** streaming MD5 (only when requested) *)
+}
+
+val fresh_result : unit -> result
+(** All zeros. *)
+
+val make :
+  server:int ->
+  port:int ->
+  file:string ->
+  ?chunk:int ->
+  ?with_md5:bool ->
+  result ->
+  unit ->
+  unit
+(** Build the application body.  [chunk] is the per-recv size
+    (default 32 KB); MD5 costs real wall-clock on big files, so it is
+    opt-in and the cheap FNV is always computed. *)

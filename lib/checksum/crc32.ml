@@ -1,0 +1,25 @@
+type t = int
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 <> 0 then c := 0xEDB88320 lxor (!c lsr 1) else c := !c lsr 1
+         done;
+         !c))
+
+let start = 0xFFFFFFFF
+
+let update crc b ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length b then invalid_arg "Crc32.update";
+  let table = Lazy.force table in
+  let c = ref crc in
+  for i = off to off + len - 1 do
+    c := table.((!c lxor Char.code (Bytes.get b i)) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c
+
+let update_string crc s = update crc (Bytes.unsafe_of_string s) ~off:0 ~len:(String.length s)
+let finish crc = crc lxor 0xFFFFFFFF
+let string s = finish (update_string start s)

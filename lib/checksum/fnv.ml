@@ -1,0 +1,16 @@
+type t = int64
+
+let start = 0xcbf29ce484222325L
+let prime = 0x100000001b3L
+
+let update h b ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length b then invalid_arg "Fnv.update";
+  let h = ref h in
+  for i = off to off + len - 1 do
+    h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code (Bytes.get b i)))) prime
+  done;
+  !h
+
+let update_string h s = update h (Bytes.unsafe_of_string s) ~off:0 ~len:(String.length s)
+let string s = update_string start s
+let to_hex h = Printf.sprintf "%016Lx" h

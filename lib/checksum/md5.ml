@@ -1,0 +1,138 @@
+(* Reference: RFC 1321.  All arithmetic is on 32-bit words carried in
+   OCaml ints and masked with [land 0xFFFFFFFF]. *)
+
+let mask = 0xFFFFFFFF
+
+type ctx = {
+  mutable a : int;
+  mutable b : int;
+  mutable c : int;
+  mutable d : int;
+  mutable total : int;  (* bytes absorbed *)
+  block : Bytes.t;  (* 64-byte staging buffer *)
+  mutable fill : int;  (* valid bytes in [block] *)
+}
+
+let init () =
+  {
+    a = 0x67452301;
+    b = 0xefcdab89;
+    c = 0x98badcfe;
+    d = 0x10325476;
+    total = 0;
+    block = Bytes.create 64;
+    fill = 0;
+  }
+
+let s =
+  [|
+    7; 12; 17; 22; 7; 12; 17; 22; 7; 12; 17; 22; 7; 12; 17; 22; 5; 9; 14; 20; 5; 9; 14; 20; 5; 9;
+    14; 20; 5; 9; 14; 20; 4; 11; 16; 23; 4; 11; 16; 23; 4; 11; 16; 23; 4; 11; 16; 23; 6; 10; 15;
+    21; 6; 10; 15; 21; 6; 10; 15; 21; 6; 10; 15; 21;
+  |]
+
+let k =
+  [|
+    0xd76aa478; 0xe8c7b756; 0x242070db; 0xc1bdceee; 0xf57c0faf; 0x4787c62a; 0xa8304613; 0xfd469501;
+    0x698098d8; 0x8b44f7af; 0xffff5bb1; 0x895cd7be; 0x6b901122; 0xfd987193; 0xa679438e; 0x49b40821;
+    0xf61e2562; 0xc040b340; 0x265e5a51; 0xe9b6c7aa; 0xd62f105d; 0x02441453; 0xd8a1e681; 0xe7d3fbc8;
+    0x21e1cde6; 0xc33707d6; 0xf4d50d87; 0x455a14ed; 0xa9e3e905; 0xfcefa3f8; 0x676f02d9; 0x8d2a4c8a;
+    0xfffa3942; 0x8771f681; 0x6d9d6122; 0xfde5380c; 0xa4beea44; 0x4bdecfa9; 0xf6bb4b60; 0xbebfbc70;
+    0x289b7ec6; 0xeaa127fa; 0xd4ef3085; 0x04881d05; 0xd9d4d039; 0xe6db99e5; 0x1fa27cf8; 0xc4ac5665;
+    0xf4292244; 0x432aff97; 0xab9423a7; 0xfc93a039; 0x655b59c3; 0x8f0ccc92; 0xffeff47d; 0x85845dd1;
+    0x6fa87e4f; 0xfe2ce6e0; 0xa3014314; 0x4e0811a1; 0xf7537e82; 0xbd3af235; 0x2ad7d2bb; 0xeb86d391;
+  |]
+
+let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land mask
+
+let word bytes off i =
+  let base = off + (4 * i) in
+  Char.code (Bytes.get bytes base)
+  lor (Char.code (Bytes.get bytes (base + 1)) lsl 8)
+  lor (Char.code (Bytes.get bytes (base + 2)) lsl 16)
+  lor (Char.code (Bytes.get bytes (base + 3)) lsl 24)
+
+let compress ctx buf off =
+  let a = ref ctx.a and b = ref ctx.b and c = ref ctx.c and d = ref ctx.d in
+  for i = 0 to 63 do
+    let f, g =
+      if i < 16 then (!b land !c) lor (lnot !b land !d land mask), i
+      else if i < 32 then (!d land !b) lor (lnot !d land !c land mask), ((5 * i) + 1) mod 16
+      else if i < 48 then !b lxor !c lxor !d, ((3 * i) + 5) mod 16
+      else !c lxor (!b lor (lnot !d land mask)), (7 * i) mod 16
+    in
+    let f = (f + !a + k.(i) + word buf off g) land mask in
+    a := !d;
+    d := !c;
+    c := !b;
+    b := (!b + rotl f s.(i)) land mask
+  done;
+  ctx.a <- (ctx.a + !a) land mask;
+  ctx.b <- (ctx.b + !b) land mask;
+  ctx.c <- (ctx.c + !c) land mask;
+  ctx.d <- (ctx.d + !d) land mask
+
+let update ctx b ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length b then invalid_arg "Md5.update";
+  ctx.total <- ctx.total + len;
+  let pos = ref off and remaining = ref len in
+  (* Fill any partially staged block first. *)
+  if ctx.fill > 0 then begin
+    let take = min !remaining (64 - ctx.fill) in
+    Bytes.blit b !pos ctx.block ctx.fill take;
+    ctx.fill <- ctx.fill + take;
+    pos := !pos + take;
+    remaining := !remaining - take;
+    if ctx.fill = 64 then begin
+      compress ctx ctx.block 0;
+      ctx.fill <- 0
+    end
+  end;
+  while !remaining >= 64 do
+    compress ctx b !pos;
+    pos := !pos + 64;
+    remaining := !remaining - 64
+  done;
+  if !remaining > 0 then begin
+    Bytes.blit b !pos ctx.block ctx.fill !remaining;
+    ctx.fill <- ctx.fill + !remaining
+  end
+
+let update_string ctx s =
+  update ctx (Bytes.unsafe_of_string s) ~off:0 ~len:(String.length s)
+
+let finalize ctx =
+  let bitlen = ctx.total * 8 in
+  (* Padding: 0x80 then zeros then 8-byte little-endian bit length. *)
+  let pad_len =
+    let rem = ctx.total mod 64 in
+    if rem < 56 then 56 - rem else 120 - rem
+  in
+  let tail = Bytes.make (pad_len + 8) '\000' in
+  Bytes.set tail 0 '\x80';
+  for i = 0 to 7 do
+    Bytes.set tail (pad_len + i) (Char.chr ((bitlen lsr (8 * i)) land 0xFF))
+  done;
+  ctx.total <- ctx.total - (pad_len + 8);  (* update below must not recount padding *)
+  update ctx tail ~off:0 ~len:(Bytes.length tail);
+  let out = Bytes.create 16 in
+  let put i v =
+    for j = 0 to 3 do
+      Bytes.set out ((4 * i) + j) (Char.chr ((v lsr (8 * j)) land 0xFF))
+    done
+  in
+  put 0 ctx.a;
+  put 1 ctx.b;
+  put 2 ctx.c;
+  put 3 ctx.d;
+  Bytes.to_string out
+
+let hex raw =
+  let buf = Buffer.create (2 * String.length raw) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) raw;
+  Buffer.contents buf
+
+let digest_string s =
+  let ctx = init () in
+  update_string ctx s;
+  hex (finalize ctx)

@@ -1,0 +1,27 @@
+(** MD5 message digest (RFC 1321), implemented from scratch.
+
+    Used by the wget example to verify end-to-end data integrity after
+    repeated network-driver crashes, mirroring the paper's Sec. 7.1
+    methodology ("we compared the MD5 checksums of the received data
+    [with] the original file"). *)
+
+type ctx
+(** Streaming digest context. *)
+
+val init : unit -> ctx
+(** Fresh context. *)
+
+val update : ctx -> bytes -> off:int -> len:int -> unit
+(** Absorb [len] bytes of [b] starting at [off]. *)
+
+val update_string : ctx -> string -> unit
+(** Absorb a whole string. *)
+
+val finalize : ctx -> string
+(** Produce the 16-byte raw digest.  The context must not be reused. *)
+
+val hex : string -> string
+(** Lowercase hexadecimal rendering of a raw digest. *)
+
+val digest_string : string -> string
+(** One-shot: hex digest of a string. *)

@@ -1,0 +1,133 @@
+(* Reference: FIPS 180-1.  32-bit words carried in OCaml ints. *)
+
+let mask = 0xFFFFFFFF
+
+type ctx = {
+  mutable h0 : int;
+  mutable h1 : int;
+  mutable h2 : int;
+  mutable h3 : int;
+  mutable h4 : int;
+  mutable total : int;
+  block : Bytes.t;
+  mutable fill : int;
+  w : int array;  (* 80-entry message schedule, reused across blocks *)
+}
+
+let init () =
+  {
+    h0 = 0x67452301;
+    h1 = 0xEFCDAB89;
+    h2 = 0x98BADCFE;
+    h3 = 0x10325476;
+    h4 = 0xC3D2E1F0;
+    total = 0;
+    block = Bytes.create 64;
+    fill = 0;
+    w = Array.make 80 0;
+  }
+
+let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land mask
+
+let compress ctx buf off =
+  let w = ctx.w in
+  for i = 0 to 15 do
+    let base = off + (4 * i) in
+    w.(i) <-
+      (Char.code (Bytes.get buf base) lsl 24)
+      lor (Char.code (Bytes.get buf (base + 1)) lsl 16)
+      lor (Char.code (Bytes.get buf (base + 2)) lsl 8)
+      lor Char.code (Bytes.get buf (base + 3))
+  done;
+  for i = 16 to 79 do
+    w.(i) <- rotl (w.(i - 3) lxor w.(i - 8) lxor w.(i - 14) lxor w.(i - 16)) 1
+  done;
+  let a = ref ctx.h0
+  and b = ref ctx.h1
+  and c = ref ctx.h2
+  and d = ref ctx.h3
+  and e = ref ctx.h4 in
+  for i = 0 to 79 do
+    let f, k =
+      if i < 20 then (!b land !c) lor (lnot !b land !d land mask), 0x5A827999
+      else if i < 40 then !b lxor !c lxor !d, 0x6ED9EBA1
+      else if i < 60 then (!b land !c) lor (!b land !d) lor (!c land !d), 0x8F1BBCDC
+      else !b lxor !c lxor !d, 0xCA62C1D6
+    in
+    let tmp = (rotl !a 5 + f + !e + k + w.(i)) land mask in
+    e := !d;
+    d := !c;
+    c := rotl !b 30;
+    b := !a;
+    a := tmp
+  done;
+  ctx.h0 <- (ctx.h0 + !a) land mask;
+  ctx.h1 <- (ctx.h1 + !b) land mask;
+  ctx.h2 <- (ctx.h2 + !c) land mask;
+  ctx.h3 <- (ctx.h3 + !d) land mask;
+  ctx.h4 <- (ctx.h4 + !e) land mask
+
+let update ctx b ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length b then invalid_arg "Sha1.update";
+  ctx.total <- ctx.total + len;
+  let pos = ref off and remaining = ref len in
+  if ctx.fill > 0 then begin
+    let take = min !remaining (64 - ctx.fill) in
+    Bytes.blit b !pos ctx.block ctx.fill take;
+    ctx.fill <- ctx.fill + take;
+    pos := !pos + take;
+    remaining := !remaining - take;
+    if ctx.fill = 64 then begin
+      compress ctx ctx.block 0;
+      ctx.fill <- 0
+    end
+  end;
+  while !remaining >= 64 do
+    compress ctx b !pos;
+    pos := !pos + 64;
+    remaining := !remaining - 64
+  done;
+  if !remaining > 0 then begin
+    Bytes.blit b !pos ctx.block ctx.fill !remaining;
+    ctx.fill <- ctx.fill + !remaining
+  end
+
+let update_string ctx s =
+  update ctx (Bytes.unsafe_of_string s) ~off:0 ~len:(String.length s)
+
+let finalize ctx =
+  let bitlen = ctx.total * 8 in
+  let pad_len =
+    let rem = ctx.total mod 64 in
+    if rem < 56 then 56 - rem else 120 - rem
+  in
+  let tail = Bytes.make (pad_len + 8) '\000' in
+  Bytes.set tail 0 '\x80';
+  (* Big-endian 64-bit bit count. *)
+  for i = 0 to 7 do
+    Bytes.set tail (pad_len + i) (Char.chr ((bitlen lsr (8 * (7 - i))) land 0xFF))
+  done;
+  ctx.total <- ctx.total - (pad_len + 8);
+  update ctx tail ~off:0 ~len:(Bytes.length tail);
+  let out = Bytes.create 20 in
+  let put i v =
+    for j = 0 to 3 do
+      Bytes.set out ((4 * i) + j) (Char.chr ((v lsr (8 * (3 - j))) land 0xFF))
+    done
+  in
+  put 0 ctx.h0;
+  put 1 ctx.h1;
+  put 2 ctx.h2;
+  put 3 ctx.h3;
+  put 4 ctx.h4;
+  Bytes.to_string out
+
+let hex raw =
+  let buf = Buffer.create (2 * String.length raw) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) raw;
+  Buffer.contents buf
+
+let digest_string s =
+  let ctx = init () in
+  update_string ctx s;
+  hex (finalize ctx)

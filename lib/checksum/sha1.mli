@@ -1,0 +1,26 @@
+(** SHA-1 message digest (FIPS 180-1), implemented from scratch.
+
+    Used by the dd example: the paper pipes a 1-GB read into sha1sum
+    and verifies the digest is identical across runs with and without
+    disk-driver crashes (Sec. 7.1, Fig. 8). *)
+
+type ctx
+(** Streaming digest context. *)
+
+val init : unit -> ctx
+(** Fresh context. *)
+
+val update : ctx -> bytes -> off:int -> len:int -> unit
+(** Absorb [len] bytes of [b] starting at [off]. *)
+
+val update_string : ctx -> string -> unit
+(** Absorb a whole string. *)
+
+val finalize : ctx -> string
+(** Produce the 20-byte raw digest.  The context must not be reused. *)
+
+val hex : string -> string
+(** Lowercase hexadecimal rendering of a raw digest. *)
+
+val digest_string : string -> string
+(** One-shot: hex digest of a string. *)

@@ -1,0 +1,101 @@
+(*@recovery-begin*)
+module Api = Resilix_kernel.Sysif.Api
+module Sysif = Resilix_kernel.Sysif
+module Message = Resilix_proto.Message
+module Status = Resilix_proto.Status
+module Wellknown = Resilix_proto.Wellknown
+
+type action =
+  | Backoff of { cap_sec : int }
+  | Restart
+  | Alert of string
+  | Log of string
+  | Give_up_after of { max_failures : int }
+  | Restart_dependents of string list
+  | Reboot_after of { max_failures : int }
+
+type t = { actions : action list }
+
+type ctx = {
+  component : string;
+  reason : Status.defect;
+  repetition : int;
+  params : string list;
+}
+
+let direct = { actions = [ Restart ] }
+
+let generic ?alert ?(cap_sec = 32) () =
+  let base = [ Backoff { cap_sec }; Restart ] in
+  match alert with None -> { actions = base } | Some a -> { actions = base @ [ Alert a ] }
+
+let guarded ~max_failures ?alert () =
+  let g = generic ?alert () in
+  { actions = (Give_up_after { max_failures } :: g.actions) }
+
+let request_restart ctx =
+  match Api.sendrec Wellknown.rs (Message.Rs_service_restart { name = ctx.component }) with
+  | Ok (Sysif.Rx_msg { body = Message.Rs_reply { result = Ok () }; _ }) -> true
+  | Ok _ | Error _ ->
+      Api.trace "policy" "restart of %s failed" ctx.component;
+      false
+
+let publish_alert ctx addr status =
+  let text =
+    Printf.sprintf "failure: %s, %d, %d; restart status: %s" ctx.component
+      (Status.defect_number ctx.reason) ctx.repetition status
+  in
+  ignore
+    (Api.sendrec Wellknown.ds
+       (Message.Ds_publish
+          {
+            key = Printf.sprintf "alert.%s.%d" ctx.component ctx.repetition;
+            value = Message.V_str (Printf.sprintf "to:%s %s" addr text);
+          }))
+
+let run ctx t =
+  (* [restart_status] mirrors the $status variable of Fig. 2. *)
+  let restart_status = ref "not-attempted" in
+  let rec go = function
+    | [] -> ()
+    | action :: rest -> (
+        match action with
+        | Backoff { cap_sec } ->
+            (* "Binary exponential backoff is used before restarting,
+               except for dynamic updates." *)
+            if ctx.reason <> Status.D_update then begin
+              let seconds = min cap_sec (1 lsl max 0 (ctx.repetition - 1)) in
+              Api.sleep (seconds * 1_000_000)
+            end;
+            go rest
+        | Restart ->
+            restart_status := (if request_restart ctx then "0" else "1");
+            go rest
+        | Alert addr ->
+            publish_alert ctx addr !restart_status;
+            go rest
+        | Log note ->
+            Api.trace "policy" "%s failed (reason %d, repetition %d): %s" ctx.component
+              (Status.defect_number ctx.reason) ctx.repetition note;
+            go rest
+        | Give_up_after { max_failures } ->
+            if ctx.repetition > max_failures then begin
+              Api.trace "policy" "%s failed %d times; giving up" ctx.component ctx.repetition;
+              ignore (Api.sendrec Wellknown.rs (Message.Rs_down { name = ctx.component }));
+              publish_alert ctx "root" "gave-up"
+            end
+            else go rest
+        | Restart_dependents names ->
+            List.iter
+              (fun name -> ignore (Api.sendrec Wellknown.rs (Message.Rs_restart { name })))
+              names;
+            go rest
+        | Reboot_after { max_failures } ->
+            if ctx.repetition > max_failures then begin
+              Api.trace "policy" "%s failed %d times; rebooting the system" ctx.component
+                ctx.repetition;
+              ignore (Api.sendrec Wellknown.rs Message.Rs_reboot)
+            end
+            else go rest)
+  in
+  go t.actions

@@ -1,0 +1,60 @@
+(** Parametrized recovery policy scripts (Sec. 5.2, Fig. 2).
+
+    In the paper, policies are shell scripts the reincarnation server
+    executes in a child process when a component fails; the script
+    receives the component name, the failure reason and the current
+    failure count, decides when (and whether) to restart, and may take
+    side actions such as mailing an alert.  Here a policy is a small
+    interpreted action list with exactly those semantics, and it still
+    runs in its own spawned process: restarts are requested back from
+    the reincarnation server, because "that is the only process with
+    the privileges to create new servers and drivers". *)
+
+type action =
+  | Backoff of { cap_sec : int }
+      (** sleep [2^(repetition-1)] seconds (capped), {e except} for
+          dynamic updates — Fig. 2 lines 6–8 *)
+  | Restart  (** [service restart $component] — Fig. 2 line 9 *)
+  | Alert of string
+      (** send a failure alert to the given address — Fig. 2 lines 12–21
+          (modelled as a data-store record under ["alert.*"]) *)
+  | Log of string  (** record the failure and environment for inspection *)
+  | Give_up_after of { max_failures : int }
+      (** if the failure count exceeds the bound, stop recovering and
+          take the component down ("when a required component ... fails
+          too often") *)
+  | Restart_dependents of string list
+      (** user-requested restart of dependent services (the paper's
+          dedicated network-server script restarting DHCP and X) *)
+  | Reboot_after of { max_failures : int }
+      (** if the failure count exceeds the bound, reboot the entire
+          system — "clearly better than leaving the system in an
+          unusable state" *)
+
+type t = { actions : action list }
+(** A policy: actions run in order; [Give_up_after] short-circuits. *)
+
+(** The arguments the reincarnation server passes to a script
+    (Fig. 2 lines 1–4). *)
+type ctx = {
+  component : string;  (** $1: which component failed *)
+  reason : Resilix_proto.Status.defect;  (** $2: defect class *)
+  repetition : int;  (** $3: current failure count *)
+  params : string list;  (** remaining script parameters *)
+}
+
+val direct : t
+(** Immediately restart, no backoff — the policy used for the
+    performance experiments of Sec. 7.1. *)
+
+val generic : ?alert:string -> ?cap_sec:int -> unit -> t
+(** The generic script of Fig. 2: binary exponential backoff (except
+    updates), restart, optional alert. *)
+
+val guarded : max_failures:int -> ?alert:string -> unit -> t
+(** Like {!generic} but gives up (component stays down, alert raised)
+    after [max_failures] failures. *)
+
+val run : ctx -> t -> unit
+(** Interpret the policy.  Must execute inside a process fiber (it
+    sleeps, and talks to RS and DS by IPC). *)

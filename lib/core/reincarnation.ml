@@ -1,0 +1,483 @@
+module Api = Resilix_kernel.Sysif.Api
+module Sysif = Resilix_kernel.Sysif
+module Endpoint = Resilix_proto.Endpoint
+module Errno = Resilix_proto.Errno
+module Message = Resilix_proto.Message
+module Privilege = Resilix_proto.Privilege
+module Signal = Resilix_proto.Signal
+module Spec = Resilix_proto.Spec
+module Status = Resilix_proto.Status
+module Wellknown = Resilix_proto.Wellknown
+
+(*@recovery-begin*)
+type recovery_event = {
+  component : string;
+  defect : Status.defect;
+  repetition : int;
+  detected_at : int;
+  mutable recovered_at : int option;
+}
+
+(*@recovery-end*)
+type service_status = Up | Restarting | Down
+
+(*@recovery-begin*)
+(* After this much stable uptime the failure count resets, so an old
+   crash does not inflate the backoff of an unrelated one much later. *)
+let failure_count_decay = 60_000_000
+
+(*@recovery-end*)
+type service = {
+  spec : Spec.t;
+  mutable endpoint : Endpoint.t option;
+  mutable pid : int;
+  mutable status : service_status;
+  mutable failures : int;
+  mutable last_failure_at : int;
+(*@recovery-begin*)
+  (* heartbeat machinery *)
+  mutable hb_outstanding : bool;
+  mutable hb_misses : int;
+  mutable hb_last_request : int;
+  (* defect-class override for kills RS initiated itself *)
+  mutable pending_defect : Status.defect option;
+(*@recovery-end*)
+  (* dynamic update: binary to use on next restart *)
+  mutable pending_program : string option;
+  mutable term_deadline : int option;
+}
+
+type t = {
+  register_program : string -> (unit -> unit) -> unit;
+  policies : (string, Policy.t) Hashtbl.t;
+  complainers : Endpoint.t list;
+  heartbeat_tick : int;
+  term_grace : int;
+  services : (string, service) Hashtbl.t;
+  mutable event_log : recovery_event list; (* newest first *)
+  mutable script_counter : int;
+  mutable reboots : int;
+}
+
+let create ~register_program ?(policies = []) ?(complainers = []) ?(heartbeat_tick = 100_000)
+    ?(term_grace = 2_000_000) () =
+  let table = Hashtbl.create 8 in
+  List.iter (fun (name, p) -> Hashtbl.replace table name p) policies;
+  {
+    register_program;
+    policies = table;
+    complainers;
+    heartbeat_tick;
+    term_grace;
+    services = Hashtbl.create 16;
+    event_log = [];
+    script_counter = 0;
+    reboots = 0;
+  }
+
+let events t = List.rev t.event_log
+let reboots t = t.reboots
+
+let service_up t name =
+  match Hashtbl.find_opt t.services name with Some s -> s.status = Up | None -> false
+
+let service_state t name =
+  match Hashtbl.find_opt t.services name with
+  | Some { status = Up; _ } -> `Up
+  | Some { status = Restarting; _ } -> `Restarting
+  | Some { status = Down; _ } -> `Down
+  | None -> `Unknown
+
+let restarts_of t name =
+  List.length
+    (List.filter (fun e -> String.equal e.component name && e.recovered_at <> None) t.event_log)
+
+let log fmt = Api.trace "rs" fmt
+
+(* ------------------------------------------------------------------ *)
+(* Talking to the process manager                                      *)
+(* ------------------------------------------------------------------ *)
+
+let pm_spawn ~name ~program ~args ~priv ~mem_kb =
+  match Api.sendrec Wellknown.pm (Message.Pm_spawn { name; program; args; priv; mem_kb }) with
+  | Ok (Sysif.Rx_msg { body = Message.Pm_spawn_reply { result }; _ }) -> result
+  | Ok _ -> Error Errno.E_io
+  | Error e -> Error e
+
+let pm_kill ~pid ~signal =
+  match Api.sendrec Wellknown.pm (Message.Pm_kill { pid; signal }) with
+  | Ok (Sysif.Rx_msg { body = Message.Pm_reply { result }; _ }) -> result
+  | Ok _ -> Error Errno.E_io
+  | Error e -> Error e
+
+let pm_wait_any () =
+  match Api.sendrec Wellknown.pm (Message.Pm_waitpid { pid = -1 }) with
+  | Ok (Sysif.Rx_msg { body = Message.Pm_wait_reply { result }; _ }) -> result
+  | Ok _ -> Error Errno.E_io
+  | Error e -> Error e
+
+let ds_publish key value =
+  ignore (Api.sendrec Wellknown.ds (Message.Ds_publish { key; value }))
+
+let ds_delete key = ignore (Api.sendrec Wellknown.ds (Message.Ds_delete { key }))
+
+(* ------------------------------------------------------------------ *)
+(* Starting and restarting services                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Start (or restart) the service's process and publish the new
+   endpoint so dependents can reintegrate it (Sec. 5.3). *)
+let start_process t service ~program =
+  let spec = service.spec in
+  match
+    pm_spawn ~name:spec.Spec.name ~program ~args:spec.Spec.args ~priv:spec.Spec.privileges
+      ~mem_kb:spec.Spec.mem_kb
+  with
+  | Error e ->
+      log "failed to start %s: %s" spec.Spec.name (Errno.to_string e);
+      service.status <- Down;
+      service.endpoint <- None;
+      Error e
+  | Ok (ep, pid) ->
+      service.endpoint <- Some ep;
+      service.pid <- pid;
+      service.status <- Up;
+      service.hb_outstanding <- false;
+      service.hb_misses <- 0;
+      service.hb_last_request <- Api.now ();
+      service.term_deadline <- None;
+      (* Publication is what triggers dependent recovery. *)
+      ds_publish spec.Spec.name (Message.V_endpoint ep);
+      log "service %s up as %s (pid %d)" spec.Spec.name (Endpoint.to_string ep) pid;
+      Ok (ep, pid)
+
+(*@recovery-begin*)
+let complete_recovery t service =
+  (match List.find_opt (fun e -> String.equal e.component service.spec.Spec.name) t.event_log with
+  | Some event when event.recovered_at = None -> event.recovered_at <- Some (Api.now ())
+  | Some _ | None -> ())
+
+let restart_now t service =
+  let program =
+    match service.pending_program with Some p -> p | None -> service.spec.Spec.program
+  in
+  service.pending_program <- None;
+  match start_process t service ~program with
+  | Ok _ ->
+      complete_recovery t service;
+      Ok ()
+  | Error e -> Error e
+
+(* Launch the policy script in its own child process, mirroring the
+   shell scripts of Sec. 5.2. *)
+let run_policy_script t service policy ~reason =
+  let spec = service.spec in
+  t.script_counter <- t.script_counter + 1;
+  let key = Printf.sprintf "policy#%s#%d" spec.Spec.name t.script_counter in
+  let ctx =
+    {
+      Policy.component = spec.Spec.name;
+      reason;
+      repetition = service.failures;
+      params = spec.Spec.policy_params;
+    }
+  in
+  t.register_program key (fun () -> Policy.run ctx policy);
+  let script_priv =
+    {
+      Privilege.none with
+      Privilege.uid = 30;
+      ipc_to = Privilege.Only [ Wellknown.name_rs; Wellknown.name_ds ];
+      kcalls = Privilege.Only [ "alarm" ];
+    }
+  in
+  match pm_spawn ~name:key ~program:key ~args:[] ~priv:script_priv ~mem_kb:16 with
+  | Ok _ -> ()
+  | Error e ->
+      (* Cannot run the script (out of slots?): recover directly rather
+         than leaving the system headless. *)
+      log "policy script for %s failed to start (%s); restarting directly" spec.Spec.name
+        (Errno.to_string e);
+      ignore (restart_now t service)
+
+(* A defect was detected: record it and initiate policy-driven
+   recovery (Sec. 5.2). *)
+let initiate_recovery t service ~defect =
+  let spec = service.spec in
+  if service.failures > 0 && Api.now () - service.last_failure_at > failure_count_decay then
+    service.failures <- 0;
+  service.failures <- service.failures + 1;
+  service.last_failure_at <- Api.now ();
+  service.status <- Restarting;
+  service.endpoint <- None;
+  service.hb_outstanding <- false;
+  service.hb_misses <- 0;
+  t.event_log <-
+    {
+      component = spec.Spec.name;
+      defect;
+      repetition = service.failures;
+      detected_at = Api.now ();
+      recovered_at = None;
+    }
+    :: t.event_log;
+  log "defect in %s: %s (failure #%d)" spec.Spec.name (Status.defect_name defect) service.failures;
+  if String.equal spec.Spec.policy "" then ignore (restart_now t service)
+  else
+    match Hashtbl.find_opt t.policies spec.Spec.policy with
+    | Some policy -> run_policy_script t service policy ~reason:defect
+    | None ->
+        log "unknown policy %s for %s; restarting directly" spec.Spec.policy spec.Spec.name;
+        ignore (restart_now t service)
+
+(*@recovery-end*)
+(* ------------------------------------------------------------------ *)
+(* Defect detection                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(*@recovery-begin*)
+let find_service_by_pid t pid =
+  Hashtbl.fold
+    (fun _name s acc -> if s.pid = pid && s.status <> Down then Some s else acc)
+    t.services None
+
+(* SIGCHLD: drain every zombie the process manager has for us. *)
+let handle_sigchld t =
+  let rec drain () =
+    match pm_wait_any () with
+    | Error _ -> ()
+    | Ok (pid, name, status) ->
+        (match find_service_by_pid t pid with
+        | None ->
+            (* A policy script or an unmanaged process ended; nothing
+               to recover. *)
+            if not (String.length name >= 7 && String.sub name 0 7 = "policy#") then
+              log "untracked process %s (pid %d) exited" name pid
+        | Some service ->
+            if service.status = Down then () (* deliberate stop *)
+            else begin
+              let defect =
+                match service.pending_defect with
+                | Some d -> d
+                | None -> Status.defect_of_exit status
+              in
+              service.pending_defect <- None;
+              initiate_recovery t service ~defect
+            end);
+        drain ()
+  in
+  drain ()
+
+(* Heartbeat + SIGTERM-grace bookkeeping, run every tick. *)
+let handle_tick t =
+  let now = Api.now () in
+  Hashtbl.iter
+    (fun _name service ->
+      (* Escalate dynamic updates that ignored SIGTERM. *)
+      (match service.term_deadline with
+      | Some deadline when now >= deadline && service.status = Up ->
+          log "%s ignored SIGTERM; escalating to SIGKILL" service.spec.Spec.name;
+          service.term_deadline <- None;
+          ignore (pm_kill ~pid:service.pid ~signal:Signal.Sig_kill)
+      | Some _ | None -> ());
+      (* Heartbeats (defect class 4). *)
+      let period = service.spec.Spec.heartbeat_period in
+      if service.status = Up && period > 0 && now - service.hb_last_request >= period then begin
+        if service.hb_outstanding then begin
+          service.hb_misses <- service.hb_misses + 1;
+          if service.hb_misses >= service.spec.Spec.max_heartbeat_misses then begin
+            log "%s missed %d heartbeats; killing for recovery" service.spec.Spec.name
+              service.hb_misses;
+            service.pending_defect <- Some Status.D_heartbeat;
+            ignore (pm_kill ~pid:service.pid ~signal:Signal.Sig_kill)
+          end
+        end;
+        match service.endpoint with
+        | Some ep when service.status = Up ->
+            service.hb_outstanding <- true;
+            service.hb_last_request <- now;
+            (match Api.notify ep Message.N_heartbeat_request with
+            | Ok () -> ()
+            | Error _ ->
+                (* Endpoint already dead; SIGCHLD is on its way. *)
+                ())
+        | Some _ | None -> ()
+      end)
+    t.services;
+  ignore (Api.alarm t.heartbeat_tick)
+
+let handle_heartbeat_reply t src =
+  Hashtbl.iter
+    (fun _name service ->
+      match service.endpoint with
+      | Some ep when Endpoint.equal ep src ->
+          service.hb_outstanding <- false;
+          service.hb_misses <- 0
+      | Some _ | None -> ())
+    t.services
+
+(*@recovery-end*)
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rs_reply src result = ignore (Api.send src (Message.Rs_reply { result }))
+
+let handle_up t ~src spec =
+  match Hashtbl.find_opt t.services spec.Spec.name with
+  | Some existing when existing.status <> Down -> rs_reply src (Error Errno.E_busy)
+  | Some _ | None ->
+      let service =
+        {
+          spec;
+          endpoint = None;
+          pid = -1;
+          status = Down;
+          failures = 0;
+          last_failure_at = 0;
+          hb_outstanding = false;
+          hb_misses = 0;
+          hb_last_request = 0;
+          pending_defect = None;
+          pending_program = None;
+          term_deadline = None;
+        }
+      in
+      Hashtbl.replace t.services spec.Spec.name service;
+      (match start_process t service ~program:spec.Spec.program with
+      | Ok _ -> rs_reply src (Ok ())
+      | Error e -> rs_reply src (Error e))
+
+let handle_down t ~src name =
+  match Hashtbl.find_opt t.services name with
+  | None -> rs_reply src (Error Errno.E_noent)
+  | Some service ->
+      service.status <- Down;
+      if service.pid >= 0 then ignore (pm_kill ~pid:service.pid ~signal:Signal.Sig_kill);
+      ds_delete name;
+      rs_reply src (Ok ())
+
+(*@recovery-begin*)
+let handle_restart t ~src name =
+  match Hashtbl.find_opt t.services name with
+  | None -> rs_reply src (Error Errno.E_noent)
+  | Some service when service.status = Up ->
+      service.pending_defect <- Some Status.D_killed_by_user;
+      (match pm_kill ~pid:service.pid ~signal:Signal.Sig_kill with
+      | Ok () ->
+          (* The old instance is gone the moment the kill lands; stop
+             advertising its endpoint so lookups wait for the fresh
+             one. *)
+          service.status <- Restarting;
+          service.endpoint <- None;
+          rs_reply src (Ok ())
+      | Error e -> rs_reply src (Error e))
+  | Some _ -> rs_reply src (Error Errno.E_busy)
+
+(* Dynamic update (defect class 6): ask the component to exit cleanly,
+   escalate to SIGKILL after the grace period, then restart — possibly
+   with a new binary ("we can also start a newer or patched version of
+   the driver", Sec. 3). *)
+let handle_refresh t ~src name program =
+  match Hashtbl.find_opt t.services name with
+  | None -> rs_reply src (Error Errno.E_noent)
+  | Some service when service.status = Up ->
+      service.pending_defect <- Some Status.D_update;
+      service.pending_program <- program;
+      service.term_deadline <- Some (Api.now () + t.term_grace);
+      (match pm_kill ~pid:service.pid ~signal:Signal.Sig_term with
+      | Ok () -> rs_reply src (Ok ())
+      | Error e -> rs_reply src (Error e))
+  | Some _ -> rs_reply src (Error Errno.E_busy)
+
+let handle_complain t ~src name reason =
+  if not (List.exists (Endpoint.equal src) t.complainers) then rs_reply src (Error Errno.E_no_perm)
+  else
+    match Hashtbl.find_opt t.services name with
+    | None -> rs_reply src (Error Errno.E_noent)
+    | Some service when service.status = Up ->
+        log "complaint about %s: %s" name reason;
+        service.pending_defect <- Some Status.D_complaint;
+        (match pm_kill ~pid:service.pid ~signal:Signal.Sig_kill with
+        | Ok () ->
+            service.status <- Restarting;
+            service.endpoint <- None;
+            rs_reply src (Ok ())
+        | Error e -> rs_reply src (Error e))
+    | Some _ ->
+        (* Already being recovered; the complaint is moot. *)
+        rs_reply src (Ok ())
+
+let handle_service_restart t ~src name =
+  match Hashtbl.find_opt t.services name with
+  | Some service when service.status = Restarting -> (
+      match restart_now t service with
+      | Ok () -> rs_reply src (Ok ())
+      | Error e -> rs_reply src (Error e))
+  | Some _ -> rs_reply src (Error Errno.E_busy)
+  | None -> rs_reply src (Error Errno.E_noent)
+
+(*@recovery-begin*)
+(* Full system reboot: tear every guarded service down and bring each
+   back up from a clean binary — the policy script's last resort. *)
+let handle_reboot t ~src =
+  t.reboots <- t.reboots + 1;
+  log "policy script requested a system reboot";
+  (* Phase 1: stop everything (Down suppresses per-service recovery of
+     the kills). *)
+  Hashtbl.iter
+    (fun _name service ->
+      let was_live = service.pid >= 0 && service.endpoint <> None in
+      service.status <- Down;
+      if was_live then ignore (pm_kill ~pid:service.pid ~signal:Signal.Sig_kill))
+    t.services;
+  (* Phase 2: boot every service afresh with a clean slate. *)
+  Hashtbl.iter
+    (fun _name service ->
+      service.failures <- 0;
+      service.pending_defect <- None;
+      service.pending_program <- None;
+      service.term_deadline <- None;
+      ignore (start_process t service ~program:service.spec.Spec.program))
+    t.services;
+  rs_reply src (Ok ())
+
+(*@recovery-end*)
+let handle_lookup t ~src name =
+  let result =
+    match Hashtbl.find_opt t.services name with
+    | Some { endpoint = Some ep; pid; _ } -> Ok (ep, pid)
+    | Some _ -> Error Errno.E_again
+    | None -> Error Errno.E_noent
+  in
+  ignore (Api.send src (Message.Rs_lookup_reply { result }))
+
+(*@recovery-end*)
+(* ------------------------------------------------------------------ *)
+(* Main loop                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let body t () =
+  ignore (Api.alarm t.heartbeat_tick);
+  let rec loop () =
+    (match Api.receive Sysif.Any with
+    | Error _ -> ()
+    | Ok (Sysif.Rx_notify { kind = Message.N_sig Signal.Sig_chld; _ }) -> handle_sigchld t
+    | Ok (Sysif.Rx_notify { kind = Message.N_alarm; _ }) -> handle_tick t
+    | Ok (Sysif.Rx_notify { src; kind = Message.N_heartbeat_reply }) -> handle_heartbeat_reply t src
+    | Ok (Sysif.Rx_notify _) -> ()
+    | Ok (Sysif.Rx_msg { src; body }) -> begin
+        match body with
+        | Message.Rs_up spec -> handle_up t ~src spec
+        | Message.Rs_down { name } -> handle_down t ~src name
+        | Message.Rs_restart { name } -> handle_restart t ~src name
+        | Message.Rs_refresh { name; program } -> handle_refresh t ~src name program
+        | Message.Rs_complain { name; reason } -> handle_complain t ~src name reason
+        | Message.Rs_service_restart { name } -> handle_service_restart t ~src name
+        | Message.Rs_reboot -> handle_reboot t ~src
+        | Message.Rs_lookup { name } -> handle_lookup t ~src name
+        | _ -> rs_reply src (Error Errno.E_inval)
+      end);
+    loop ()
+  in
+  loop ()

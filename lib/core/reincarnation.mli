@@ -1,0 +1,70 @@
+(** The reincarnation server (RS) — the heart of the paper.
+
+    RS is the (logical) parent of every system process.  It starts
+    services from specs handed to it by the service utility, and then
+    guards them for the rest of their lives:
+
+    - {b Defect detection} (Sec. 5.1): SIGCHLD notifications from the
+      process manager cover exits, panics, exceptions and kills
+      (classes 1–3); periodic non-blocking heartbeat requests catch
+      stuck processes (class 4); authorized servers can complain about
+      protocol violations (class 5); and the administrator can request
+      a restart or a dynamic update (classes 3 and 6).
+    - {b Policy-driven recovery} (Sec. 5.2): on a defect, RS runs the
+      service's policy script in a child process, passing the
+      component name, defect class and failure count; the script asks
+      RS to perform the actual restart.
+    - {b Post-restart reintegration} (Sec. 5.3): after a restart RS
+      publishes the service's new endpoint in the data store, whose
+      publish/subscribe machinery pushes the update to dependents
+      (network server, VFS) that then re-integrate the driver. *)
+
+module Status := Resilix_proto.Status
+module Endpoint := Resilix_proto.Endpoint
+
+(** One recovery, as recorded for the experiment harness. *)
+type recovery_event = {
+  component : string;
+  defect : Status.defect;
+  repetition : int;  (** failure count at detection time *)
+  detected_at : int;  (** virtual time of defect detection *)
+  mutable recovered_at : int option;  (** virtual time service was back up (None = not recovered) *)
+}
+
+type t
+(** Shared RS handle (state readable from outside the simulation). *)
+
+val create :
+  register_program:(string -> (unit -> unit) -> unit) ->
+  ?policies:(string * Policy.t) list ->
+  ?complainers:Endpoint.t list ->
+  ?heartbeat_tick:int ->
+  ?term_grace:int ->
+  unit ->
+  t
+(** [register_program] installs policy-script bodies in the system's
+    binary registry (the kernel program table).  [policies] maps the
+    policy names referenced by service specs to their definitions.
+    [complainers] are the endpoints allowed to use defect class 5
+    (typically VFS, MFS, INET).  [heartbeat_tick] is RS's internal
+    polling period (default 100 ms); [term_grace] how long a SIGTERMed
+    component gets before SIGKILL (default 2 s). *)
+
+val body : t -> unit -> unit
+(** The process body; boot runs this at the well-known RS slot. *)
+
+val events : t -> recovery_event list
+(** All recoveries so far, oldest first. *)
+
+val service_up : t -> string -> bool
+(** Whether the named service is currently believed up. *)
+
+val service_state : t -> string -> [ `Up | `Restarting | `Down | `Unknown ]
+(** Current lifecycle state of the named service ([`Restarting]
+    includes a policy script mid-backoff). *)
+
+val restarts_of : t -> string -> int
+(** Number of completed recoveries of the named service. *)
+
+val reboots : t -> int
+(** Times a policy script resorted to a full system reboot. *)

@@ -1,0 +1,118 @@
+module Api = Resilix_kernel.Sysif.Api
+module Sysif = Resilix_kernel.Sysif
+module Endpoint = Resilix_proto.Endpoint
+module Errno = Resilix_proto.Errno
+module Message = Resilix_proto.Message
+
+type subscriber = { ep : Endpoint.t; mutable patterns : string list; pending : (string * Message.ds_value) Queue.t }
+
+type t = {
+  registry : (string, Message.ds_value) Hashtbl.t;
+  mutable subscribers : subscriber list;
+  snapshots : (string * string, string) Hashtbl.t; (* (owner stable name, key) -> data *)
+}
+
+let create () = { registry = Hashtbl.create 32; subscribers = []; snapshots = Hashtbl.create 32 }
+
+let pattern_matches ~pattern key =
+  let plen = String.length pattern in
+  if plen > 0 && pattern.[plen - 1] = '*' then begin
+    let prefix = String.sub pattern 0 (plen - 1) in
+    String.length key >= String.length prefix && String.sub key 0 (String.length prefix) = prefix
+  end
+  else String.equal pattern key
+
+let keys t = List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.registry [])
+
+let subscriber_for t ep =
+  match List.find_opt (fun s -> Endpoint.equal s.ep ep) t.subscribers with
+  | Some s -> s
+  | None ->
+      let s = { ep; patterns = []; pending = Queue.create () } in
+      t.subscribers <- s :: t.subscribers;
+      s
+
+(*@recovery-begin*)
+(* Resolve the stable name the naming table currently associates with
+   [ep]; this is how snapshot ownership survives endpoint changes. *)
+let stable_name_of t ep =
+  Hashtbl.fold
+    (fun key value acc ->
+      match (acc, value) with
+      | None, Message.V_endpoint e when Endpoint.equal e ep -> Some key
+      | _ -> acc)
+    t.registry None
+
+let publish t key value =
+  Hashtbl.replace t.registry key value;
+  (* Fan out to matching subscribers; dead ones are pruned when the
+     notification bounces. *)
+  t.subscribers <-
+    List.filter
+      (fun s ->
+        if List.exists (fun p -> pattern_matches ~pattern:p key) s.patterns then begin
+          Queue.push (key, value) s.pending;
+          match Api.notify s.ep Message.N_ds_update with
+          | Ok () -> true
+          | Error _ -> false
+        end
+        else true)
+      t.subscribers
+
+(*@recovery-end*)
+let body t () =
+  let reply src msg = ignore (Api.send src msg) in
+  let rec loop () =
+    (match Api.receive Sysif.Any with
+    | Ok (Sysif.Rx_notify _) -> ()
+    | Error _ -> ()
+    | Ok (Sysif.Rx_msg { src; body }) -> begin
+        match body with
+        | Message.Ds_publish { key; value } ->
+            publish t key value;
+            reply src (Message.Ds_reply { result = Ok () })
+        | Message.Ds_retrieve { key } ->
+            let result =
+              match Hashtbl.find_opt t.registry key with
+              | Some v -> Ok v
+              | None -> Error Errno.E_noent
+            in
+            reply src (Message.Ds_retrieve_reply { result })
+        | Message.Ds_delete { key } ->
+            Hashtbl.remove t.registry key;
+            reply src (Message.Ds_reply { result = Ok () })
+        | Message.Ds_subscribe { pattern } ->
+            let s = subscriber_for t src in
+            if not (List.mem pattern s.patterns) then s.patterns <- pattern :: s.patterns;
+            reply src (Message.Ds_reply { result = Ok () })
+        | Message.Ds_check ->
+            let result =
+              match List.find_opt (fun s -> Endpoint.equal s.ep src) t.subscribers with
+              | Some s -> Ok (Queue.take_opt s.pending)
+              | None -> Ok None
+            in
+            reply src (Message.Ds_check_reply { result })
+        | Message.Ds_snapshot_store { key; data } ->
+            let result =
+              match stable_name_of t src with
+              | Some owner ->
+                  Hashtbl.replace t.snapshots (owner, key) data;
+                  Ok ()
+              | None -> Error Errno.E_no_perm
+            in
+            reply src (Message.Ds_reply { result })
+        | Message.Ds_snapshot_fetch { key } ->
+            let result =
+              match stable_name_of t src with
+              | Some owner -> (
+                  match Hashtbl.find_opt t.snapshots (owner, key) with
+                  | Some data -> Ok data
+                  | None -> Error Errno.E_noent)
+              | None -> Error Errno.E_no_perm
+            in
+            reply src (Message.Ds_snapshot_reply { result })
+        | _ -> reply src (Message.Ds_reply { result = Error Errno.E_inval })
+      end);
+    loop ()
+  in
+  loop ()

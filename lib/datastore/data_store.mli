@@ -1,0 +1,30 @@
+(** The data store (DS) server.
+
+    Three roles from Sec. 5.3 of the paper:
+    - {b naming}: stable component names mapped to current IPC
+      endpoints, kept up to date by the reincarnation server;
+    - {b publish/subscribe}: components subscribe to name patterns
+      (e.g. the network server subscribes to ["eth.*"]) and get an
+      [N_ds_update] notification plus [Ds_check] drain when a watched
+      name changes — this is how driver restarts reach dependents;
+    - {b private state backup}: system processes may store snapshots
+      keyed by their stable name, authenticated against the naming
+      table so a restarted (new-endpoint) instance can retrieve them.
+
+    Patterns are exact strings or a prefix followed by ["*"]. *)
+
+type t
+(** Shared handle for introspection in tests. *)
+
+val create : unit -> t
+(** Make a DS instance. *)
+
+val body : t -> unit -> unit
+(** The process body; boot runs this at the well-known DS slot. *)
+
+val pattern_matches : pattern:string -> string -> bool
+(** The pattern language, exposed for testing: exact match, or
+    prefix-["*"]. *)
+
+val keys : t -> string list
+(** Current registry keys (sorted), for tests and the harness. *)

@@ -1,0 +1,43 @@
+module Api = Resilix_kernel.Sysif.Api
+module Errno = Resilix_proto.Errno
+
+let data_base = 0x4000
+
+let memory_needed_kb ~size_kb = size_kb + 32
+
+let parse_args () =
+  match Api.args () with
+  | [ size_kb ] -> int_of_string size_kb * 1024
+  | _ -> Api.panic "ramdisk: expected arg [size_kb]"
+
+let program () =
+  let size = parse_args () in
+  let handlers =
+    {
+      Driver_lib.default_dev_handlers with
+      Driver_lib.dh_read =
+        (fun ~src ~minor ~pos ~grant ~len ->
+          if minor <> 0 then Driver_lib.Reply (Error Errno.E_nodev)
+          else if pos < 0 || len < 0 || pos + len > size then Driver_lib.Reply (Error Errno.E_range)
+          else
+            Driver_lib.Reply
+              (match
+                 Api.safecopy_to ~owner:src ~grant ~grant_off:0 ~local_addr:(data_base + pos) ~len
+               with
+              | Ok () -> Ok len
+              | Error e -> Error e));
+      dh_write =
+        (fun ~src ~minor ~pos ~grant ~len ->
+          if minor <> 0 then Driver_lib.Reply (Error Errno.E_nodev)
+          else if pos < 0 || len < 0 || pos + len > size then Driver_lib.Reply (Error Errno.E_range)
+          else
+            Driver_lib.Reply
+              (match
+                 Api.safecopy_from ~owner:src ~grant ~grant_off:0 ~local_addr:(data_base + pos)
+                   ~len
+               with
+              | Ok () -> Ok len
+              | Error e -> Error e));
+    }
+  in
+  Driver_lib.run_dev handlers

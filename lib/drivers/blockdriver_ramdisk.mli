@@ -1,0 +1,14 @@
+(** RAM disk driver.
+
+    The paper's footnote 1 describes a small (450-line) RAM disk
+    driver providing trusted storage for driver binaries and policy
+    scripts so that disk-driver recovery never depends on the disk
+    that just failed.  This driver serves reads and writes from its
+    own address space; its contents do not survive a restart — which
+    is fine for its role as an immutable boot image. *)
+
+val program : unit -> unit
+(** The driver binary; single arg: capacity in KB. *)
+
+val memory_needed_kb : size_kb:int -> int
+(** Address-space size for a RAM disk of the given capacity. *)

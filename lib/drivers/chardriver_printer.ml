@@ -1,0 +1,130 @@
+module Api = Resilix_kernel.Sysif.Api
+module Memory = Resilix_kernel.Memory
+module Errno = Resilix_proto.Errno
+module Isa = Resilix_vm.Isa
+module Interp = Resilix_vm.Interp
+
+let image_origin = 0x1000
+let stage_buf = 0x4000
+let stage_size = 65536
+let memory_kb = 128
+let fifo_cap = 4096
+
+let r_id = 0
+let r_ctrl = 1
+let r_data = 2
+let r_isr = 4
+let r_level = 5
+
+let code ~base =
+  let p i = base + i in
+  Isa.
+    [
+      ( "init",
+        [
+          In (R0, p r_id);
+          Chkeq (R0, 0x9817);
+          Movi (R4, 0x10);
+          Out (p r_ctrl, R4);
+          Movi (R4, 0x1);
+          Out (p r_ctrl, R4);
+          Movi (R0, 0);
+          Ret;
+        ] );
+      ("level", [ In (R0, p r_level); Chklt (R0, fifo_cap + 1); Ret ]);
+      (* feed: r1 = source address, r2 = byte count. *)
+      ( "feed",
+        [
+          Chklt (R2, stage_size + 1);
+          Mov (R5, R1);
+          Label "loop";
+          Jz (R2, "done");
+          Loadb (R6, R5, 0);
+          Out (p r_data, R6);
+          Addi (R5, 1);
+          Addi (R2, -1);
+          Jmp "loop";
+          Label "done";
+          Movi (R0, 0);
+          Ret;
+        ] );
+      ("ack", [ In (R0, p r_isr); Out (p r_isr, R0); Ret ]);
+    ]
+
+let image ~base = Image.assemble ~origin:image_origin (code ~base)
+
+let image_info ~base =
+  let img = image ~base in
+  (Image.origin img, Image.insn_count img)
+
+let parse_args () =
+  match Api.args () with
+  | [ base; irq ] -> (int_of_string base, int_of_string irq)
+  | _ -> Api.panic "printer: expected args [base; irq]"
+
+type job = { src : Resilix_proto.Endpoint.t; data : bytes; mutable off : int }
+
+let program () =
+  let base, irq = parse_args () in
+  let programs = Image.load (image ~base) in
+  let regs = Array.make 8 0 in
+  let exec name ~r1 ~r2 =
+    Array.fill regs 0 8 0;
+    regs.(1) <- r1;
+    regs.(2) <- r2;
+    match Interp.run (Image.find programs name) ~regs with
+    | r0 -> r0
+    | exception Interp.Check_failed { detail; _ } ->
+        Api.panic (Printf.sprintf "printer: consistency check failed in %s: %s" name detail)
+    | exception Interp.Io_failed { port } ->
+        Api.panic (Printf.sprintf "printer: unexpected I/O failure on port %d" port)
+  in
+  (match Api.irq_register irq with
+  | Ok () -> ()
+  | Error _ -> Api.panic "printer: cannot register IRQ");
+  ignore (exec "init" ~r1:0 ~r2:0);
+  let mem = Api.memory () in
+  let current = ref None in
+  (* Feed as much of the current job as the FIFO can take; reply when
+     the whole request has been handed to the hardware. *)
+  let pump () =
+    match !current with
+    | None -> ()
+    | Some job ->
+        let level = exec "level" ~r1:0 ~r2:0 in
+        let room = fifo_cap - level in
+        let remaining = Bytes.length job.data - job.off in
+        let take = min room remaining in
+        if take > 0 then begin
+          Memory.write mem ~addr:stage_buf (Bytes.sub job.data job.off take);
+          ignore (exec "feed" ~r1:stage_buf ~r2:take);
+          job.off <- job.off + take
+        end;
+        if job.off >= Bytes.length job.data then begin
+          current := None;
+          Driver_lib.reply job.src (Ok (Bytes.length job.data))
+        end
+  in
+  let handlers =
+    {
+      Driver_lib.default_dev_handlers with
+      Driver_lib.dh_write =
+        (fun ~src ~minor ~pos:_ ~grant ~len ->
+          if minor <> 0 then Driver_lib.Reply (Error Errno.E_nodev)
+          else if len <= 0 || len > stage_size then Driver_lib.Reply (Error Errno.E_inval)
+          else if !current <> None then Driver_lib.Reply (Error Errno.E_busy)
+          else begin
+            match Api.safecopy_from ~owner:src ~grant ~grant_off:0 ~local_addr:stage_buf ~len with
+            | Error e -> Driver_lib.Reply (Error e)
+            | Ok () ->
+                current := Some { src; data = Memory.read mem ~addr:stage_buf ~len; off = 0 };
+                pump ();
+                Driver_lib.No_reply
+          end);
+      dh_irq =
+        (fun ~line:_ ->
+          ignore (exec "ack" ~r1:0 ~r2:0);
+          pump ());
+    }
+  in
+  Driver_lib.run_dev handlers

@@ -1,0 +1,110 @@
+module Api = Resilix_kernel.Sysif.Api
+module Sysif = Resilix_kernel.Sysif
+module Endpoint = Resilix_proto.Endpoint
+module Errno = Resilix_proto.Errno
+module Message = Resilix_proto.Message
+module Signal = Resilix_proto.Signal
+module Status = Resilix_proto.Status
+
+type outcome = Reply of (int, Errno.t) result | No_reply
+
+type dev_handlers = {
+  dh_open : minor:int -> (int, Errno.t) result;
+  dh_close : minor:int -> (int, Errno.t) result;
+  dh_read : src:Endpoint.t -> minor:int -> pos:int -> grant:int -> len:int -> outcome;
+  dh_write : src:Endpoint.t -> minor:int -> pos:int -> grant:int -> len:int -> outcome;
+  dh_ioctl : src:Endpoint.t -> minor:int -> op:string -> arg:int -> outcome;
+  dh_irq : line:int -> unit;
+  dh_alarm : unit -> unit;
+}
+
+let default_dev_handlers =
+  {
+    dh_open = (fun ~minor:_ -> Ok 0);
+    dh_close = (fun ~minor:_ -> Ok 0);
+    dh_read = (fun ~src:_ ~minor:_ ~pos:_ ~grant:_ ~len:_ -> Reply (Error Errno.E_inval));
+    dh_write = (fun ~src:_ ~minor:_ ~pos:_ ~grant:_ ~len:_ -> Reply (Error Errno.E_inval));
+    dh_ioctl = (fun ~src:_ ~minor:_ ~op:_ ~arg:_ -> Reply (Error Errno.E_inval));
+    dh_irq = (fun ~line:_ -> ());
+    dh_alarm = (fun () -> ());
+  }
+
+let reply src result = ignore (Api.send src (Message.Dev_reply { result }))
+
+(* Handle the notifications every driver must understand.  The two
+   recovery cases are the paper's "exactly 5 lines of code in the
+   shared driver library" (Sec. 7.3). *)
+let handle_common_notify ~src ~kind ~on_irq ~on_alarm =
+  match kind with
+  | Message.N_heartbeat_request -> ignore (Api.notify src Message.N_heartbeat_reply) (*@recovery*)
+  | Message.N_sig Signal.Sig_term -> Api.exit (Status.Exited 0) (*@recovery*)
+  | Message.N_irq line -> on_irq ~line
+  | Message.N_alarm -> on_alarm ()
+  | Message.N_sig _ | Message.N_heartbeat_reply | Message.N_ds_update -> ()
+
+let run_dev handlers =
+  let rec loop () =
+    (match Api.receive Sysif.Any with
+    | Error _ -> ()
+    | Ok (Sysif.Rx_notify { src; kind }) ->
+        handle_common_notify ~src ~kind ~on_irq:handlers.dh_irq ~on_alarm:handlers.dh_alarm
+    | Ok (Sysif.Rx_msg { src; body }) -> begin
+        match body with
+        | Message.Dev_open { minor } -> reply src (handlers.dh_open ~minor)
+        | Message.Dev_close { minor } -> reply src (handlers.dh_close ~minor)
+        | Message.Dev_read { minor; pos; grant; len } -> begin
+            match handlers.dh_read ~src ~minor ~pos ~grant ~len with
+            | Reply r -> reply src r
+            | No_reply -> ()
+          end
+        | Message.Dev_write { minor; pos; grant; len } -> begin
+            match handlers.dh_write ~src ~minor ~pos ~grant ~len with
+            | Reply r -> reply src r
+            | No_reply -> ()
+          end
+        | Message.Dev_ioctl { minor; op; arg } -> begin
+            match handlers.dh_ioctl ~src ~minor ~op ~arg with
+            | Reply r -> reply src r
+            | No_reply -> ()
+          end
+        | _ -> reply src (Error Errno.E_inval)
+      end);
+    loop ()
+  in
+  loop ()
+
+type net_handlers = {
+  nh_conf : src:Endpoint.t -> mode:Message.dl_mode -> (int, Errno.t) result;
+  nh_writev : src:Endpoint.t -> grant:int -> len:int -> unit;
+  nh_readv : src:Endpoint.t -> grant:int -> len:int -> unit;
+  nh_getstat : src:Endpoint.t -> int * int * int;
+  nh_irq : line:int -> unit;
+}
+
+let task_reply dst ~sent ~received ~read_len =
+  ignore (Api.asend dst (Message.Dl_task_reply { flags = { sent; received }; read_len }))
+
+let run_net handlers =
+  let rec loop () =
+    (match Api.receive Sysif.Any with
+    | Error _ -> ()
+    | Ok (Sysif.Rx_notify { src; kind }) ->
+        handle_common_notify ~src ~kind ~on_irq:handlers.nh_irq ~on_alarm:(fun () -> ())
+    | Ok (Sysif.Rx_msg { src; body }) -> begin
+        match body with
+        | Message.Dl_conf { mode } -> begin
+            match handlers.nh_conf ~src ~mode with
+            | Ok mac -> ignore (Api.asend src (Message.Dl_conf_reply { mac; result = Ok () }))
+            | Error e ->
+                ignore (Api.asend src (Message.Dl_conf_reply { mac = 0; result = Error e }))
+          end
+        | Message.Dl_writev { grant; len } -> handlers.nh_writev ~src ~grant ~len
+        | Message.Dl_readv { grant; len } -> handlers.nh_readv ~src ~grant ~len
+        | Message.Dl_getstat ->
+            let frames_rx, frames_tx, errors = handlers.nh_getstat ~src in
+            ignore (Api.asend src (Message.Dl_stat_reply { frames_rx; frames_tx; errors }))
+        | _ -> ignore (Api.send src (Message.Err_reply Errno.E_inval))
+      end);
+    loop ()
+  in
+  loop ()

@@ -1,0 +1,61 @@
+(** Shared driver library — the main loop every driver links against.
+
+    This is where the paper's reengineering claim lives (Sec. 7.3):
+    making a driver recoverable required "exactly 5 lines of code in
+    the shared driver library to handle the new request types", namely
+    replying to heartbeat requests and exiting cleanly on SIGTERM.
+    Those lines are marked with [@recovery] comments, which the sclc
+    line counter uses to reproduce Fig. 9.
+
+    Two loops are provided: the block/character device loop (MINIX
+    [Dev_*] protocol, synchronous replies or deferred completion) and
+    the network driver loop (MINIX [DL_*] protocol, asynchronous
+    replies). *)
+
+module Errno := Resilix_proto.Errno
+module Endpoint := Resilix_proto.Endpoint
+module Message := Resilix_proto.Message
+
+(** Outcome of a device request handler. *)
+type outcome =
+  | Reply of (int, Errno.t) result  (** reply now *)
+  | No_reply  (** the driver will {!reply} later (interrupt-driven completion) *)
+
+(** Handlers for a block or character driver.  Any handler left as the
+    default replies [E_inval]. *)
+type dev_handlers = {
+  dh_open : minor:int -> (int, Errno.t) result;
+  dh_close : minor:int -> (int, Errno.t) result;
+  dh_read : src:Endpoint.t -> minor:int -> pos:int -> grant:int -> len:int -> outcome;
+  dh_write : src:Endpoint.t -> minor:int -> pos:int -> grant:int -> len:int -> outcome;
+  dh_ioctl : src:Endpoint.t -> minor:int -> op:string -> arg:int -> outcome;
+  dh_irq : line:int -> unit;
+  dh_alarm : unit -> unit;
+}
+
+val default_dev_handlers : dev_handlers
+(** Everything rejected / ignored. *)
+
+val reply : Endpoint.t -> (int, Errno.t) result -> unit
+(** Send a deferred [Dev_reply] to a caller whose request returned
+    [No_reply]. *)
+
+val run_dev : dev_handlers -> 'a
+(** The block/character driver main loop.  Never returns (the process
+    exits via SIGTERM or dies). *)
+
+(** Handlers for a network driver (asynchronous [DL_*] protocol). *)
+type net_handlers = {
+  nh_conf : src:Endpoint.t -> mode:Message.dl_mode -> (int, Errno.t) result;
+      (** (re)initialize the hardware; returns the MAC address *)
+  nh_writev : src:Endpoint.t -> grant:int -> len:int -> unit;
+  nh_readv : src:Endpoint.t -> grant:int -> len:int -> unit;
+  nh_getstat : src:Endpoint.t -> int * int * int;  (** rx, tx, errors *)
+  nh_irq : line:int -> unit;
+}
+
+val task_reply : Endpoint.t -> sent:bool -> received:bool -> read_len:int -> unit
+(** Asynchronous completion notification to the network server. *)
+
+val run_net : net_handlers -> 'a
+(** The network driver main loop.  Never returns. *)

@@ -1,0 +1,18 @@
+(** DP8390 Ethernet driver (programmed I/O) — the fault-injection
+    target of Sec. 7.2.
+
+    Frame data moves through the device's data port a word at a time,
+    so the transmit and receive paths are real VM loops with
+    consistency checks, loads/stores, and port I/O: mutating this code
+    produces the paper's observed spectrum of panics, CPU/MMU
+    exceptions, and silent infinite loops caught by heartbeats. *)
+
+val program : unit -> unit
+(** The driver binary; args are [base; irq] as decimal strings. *)
+
+val image_info : base:int -> int * int
+(** [(origin, insn_count)] of the loaded code image, for the
+    injector. *)
+
+val memory_kb : int
+(** Address-space size the driver needs. *)

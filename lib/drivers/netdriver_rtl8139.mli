@@ -1,0 +1,23 @@
+(** RTL8139 Ethernet driver (DMA-based) — the network driver the
+    paper's Fig. 7 experiment repeatedly kills during a wget transfer.
+
+    The device-facing hot paths (init, transmit kick, ISR read, RX
+    completion) are driver-VM bytecode loaded into the driver's own
+    address space; everything else (grant management, IPC with the
+    network server) is ordinary code using the shared driver library.
+
+    The driver is stateless across restarts (Sec. 6.1): a fresh
+    instance reinitializes the hardware when the network server sends
+    [Dl_conf] after learning the new endpoint from the data store. *)
+
+val program : unit -> unit
+(** The driver binary.  Expects two args: I/O base and IRQ line (as
+    decimal strings).  Register under a program key and start through
+    the reincarnation server. *)
+
+val image_info : base:int -> int * int
+(** [(origin, insn_count)] of the code image this driver loads — what
+    the fault injector needs to aim at it. *)
+
+val memory_kb : int
+(** Address-space size the driver needs. *)

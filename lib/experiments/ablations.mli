@@ -1,0 +1,34 @@
+(** Ablations over the design choices DESIGN.md calls out — beyond the
+    paper's own evaluation. *)
+
+type heartbeat_row = {
+  period_us : int;
+  detection_us : int;  (** time from the service wedging to defect class 4 firing *)
+}
+
+val heartbeat_sweep : ?periods:int list -> ?seed:int -> unit -> heartbeat_row list
+(** Detection latency of a silently stuck driver as a function of the
+    heartbeat period (misses threshold fixed at the default 4). *)
+
+type policy_row = {
+  policy : string;
+  restarts : int;  (** recoveries during the window *)
+  state : string;  (** service lifecycle state at the end of the window *)
+}
+
+val policy_comparison : ?window_us:int -> ?seed:int -> unit -> policy_row list
+(** A crash-storming service under the direct, generic (exponential
+    backoff) and guarded (give-up) policies: backoff bounds the
+    restart churn; give-up stops it. *)
+
+type ipc_row = { operation : string; cost_us : float }
+
+val ipc_microbench : ?rounds:int -> unit -> ipc_row list
+(** Virtual-time cost of the primitives recovery is built from:
+    rendezvous round trip, notification, and grant-checked safecopy at
+    several sizes (the "few microseconds ... amortized over the I/O"
+    of Sec. 4). *)
+
+val print_heartbeat : heartbeat_row list -> unit
+val print_policy : policy_row list -> unit
+val print_ipc : ipc_row list -> unit

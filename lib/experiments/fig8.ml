@@ -1,0 +1,103 @@
+module System = Resilix_system.System
+module Reincarnation = Resilix_core.Reincarnation
+module Mfs = Resilix_fs.Mfs
+module Dd = Resilix_apps.Dd
+
+type row = {
+  kill_interval_s : int option;
+  bytes : int;
+  duration_us : int;
+  throughput_mbs : float;
+  recoveries : int;
+  reissued_ios : int;
+  mean_restart_us : int;
+  overhead_pct : float;
+  integrity_ok : bool;
+}
+
+let one_run ~size ~seed ~kill_interval =
+  let disk_mb = (size / 1024 / 1024) + 8 in
+  let opts =
+    {
+      System.default_opts with
+      System.seed;
+      fs_files = [ ("big.bin", size) ];
+      disk_mb;
+    }
+  in
+  let t = System.boot ~opts () in
+  System.start_services t [ System.spec_sata ~policy:"direct" () ];
+  let result = Dd.fresh_result () in
+  ignore (System.spawn_app t ~name:"dd" (Dd.make ~path:"/big.bin" result));
+  (match kill_interval with
+  | Some interval -> System.start_crash_script t ~target:"blk.sata" ~interval ()
+  | None -> ());
+  let finished = System.run_until t ~timeout:3_600_000_000 (fun () -> result.Dd.finished) in
+  let events = Reincarnation.events t.System.rs in
+  let completed = List.filter (fun e -> e.Reincarnation.recovered_at <> None) events in
+  let mean_restart =
+    match completed with
+    | [] -> 0
+    | es ->
+        List.fold_left
+          (fun acc e -> acc + (Option.get e.Reincarnation.recovered_at - e.Reincarnation.detected_at))
+          0 es
+        / List.length es
+  in
+  let duration = result.Dd.finished_at - result.Dd.started_at in
+  ( {
+      kill_interval_s = Option.map (fun i -> i / 1_000_000) kill_interval;
+      bytes = result.Dd.bytes;
+      duration_us = duration;
+      throughput_mbs =
+        (if duration > 0 then float_of_int result.Dd.bytes /. float_of_int duration else 0.);
+      recoveries = List.length completed;
+      reissued_ios = Mfs.reissued_ios t.System.mfs;
+      mean_restart_us = mean_restart;
+      overhead_pct = 0.;
+      integrity_ok = finished && result.Dd.ok;
+    },
+    result.Dd.fnv )
+
+let run ?(size = 128 * 1024 * 1024) ?(intervals = [ 1; 2; 4; 8; 15 ]) ?(seed = 42) () =
+  let baseline, reference_digest = one_run ~size ~seed ~kill_interval:None in
+  let rows =
+    List.map
+      (fun s ->
+        let r, digest = one_run ~size ~seed ~kill_interval:(Some (s * 1_000_000)) in
+        {
+          r with
+          overhead_pct = 100. *. (1. -. (r.throughput_mbs /. max 0.001 baseline.throughput_mbs));
+          integrity_ok = r.integrity_ok && String.equal digest reference_digest;
+        })
+      intervals
+  in
+  baseline :: rows
+
+let print rows =
+  Table.section "Fig. 8 — dd disk throughput vs. SATA-driver kill interval";
+  Table.note
+    "Paper anchors (1 GB, SATA): uninterrupted 32.7 MB/s; with kills: 30.5 MB/s\n\
+     at 15 s down to 12.3 MB/s at 1 s (overhead 7%%..62%%); identical SHA-1 every run.\n\n";
+  Table.print
+    ~header:
+      [
+        "kill interval"; "MB"; "time (s)"; "MB/s"; "recoveries"; "redone I/O";
+        "mean restart (ms)"; "overhead"; "integrity";
+      ]
+    (List.map
+       (fun r ->
+         [
+           (match r.kill_interval_s with None -> "none" | Some s -> Printf.sprintf "%d s" s);
+           Printf.sprintf "%d" (r.bytes / 1024 / 1024);
+           Printf.sprintf "%.2f" (float_of_int r.duration_us /. 1e6);
+           Printf.sprintf "%.2f" r.throughput_mbs;
+           string_of_int r.recoveries;
+           string_of_int r.reissued_ios;
+           Printf.sprintf "%.1f" (float_of_int r.mean_restart_us /. 1e3);
+           (match r.kill_interval_s with
+           | None -> "-"
+           | Some _ -> Printf.sprintf "%.1f%%" r.overhead_pct);
+           (if r.integrity_ok then "sha ok" else "CORRUPT");
+         ])
+       rows)

@@ -1,0 +1,186 @@
+module System = Resilix_system.System
+module Hwmap = Resilix_system.Hwmap
+module Engine = Resilix_sim.Engine
+module Kernel = Resilix_kernel.Kernel
+module Status = Resilix_proto.Status
+module Message = Resilix_proto.Message
+module Reincarnation = Resilix_core.Reincarnation
+module Fault = Resilix_vm.Fault
+module Nic8390 = Resilix_hw.Nic8390
+module Sockets = Resilix_apps.Sockets
+module Dp8390 = Resilix_drivers.Netdriver_dp8390
+
+type outcome = {
+  injected : int;
+  crashes : int;
+  panics : int;
+  exceptions : int;
+  heartbeats : int;
+  other : int;
+  recovered : int;
+  user_resets : int;
+  bios_resets : int;
+  by_fault_type : (string * int) list;
+}
+
+let run ?(faults = 2_000) ?(seed = 42) ?(inject_period = 20_000) ?(wedge_prob = 0.)
+    ?(has_master_reset = false) () =
+  let opts =
+    {
+      System.default_opts with
+      System.seed;
+      disk_mb = 8;
+      inet_driver = "eth.dp8390";
+      nic_wedge_prob = wedge_prob;
+      nic_has_master_reset = has_master_reset;
+    }
+  in
+  let t = System.boot ~opts () in
+  System.start_services t [ System.spec_dp8390 ~policy:"direct" ~heartbeat_period:200_000 () ];
+  (* Receive-side traffic: a UDP sink fed by the peer; the driver's
+     transmit path is exercised by the sink's periodic replies. *)
+  let received = ref 0 in
+  ignore
+    (System.spawn_app t ~name:"udp-sink" (fun () ->
+         let module Api = Resilix_kernel.Sysif.Api in
+         match Sockets.socket Message.Udp with
+         | Error _ -> ()
+         | Ok sock -> (
+             match Sockets.listen sock ~port:9 with
+             | Error _ -> ()
+             | Ok () ->
+                 let rec pump n =
+                   match Sockets.recvfrom sock ~len:2048 with
+                   | Ok (_, src_ip, src_port) ->
+                       incr received;
+                       (* Periodically talk back so TX code also runs. *)
+                       if n mod 8 = 0 then
+                         ignore
+                           (Sockets.sendto sock ~addr:src_ip ~port:src_port
+                              (Bytes.of_string "ack"));
+                       pump (n + 1)
+                   | Error _ ->
+                       Api.sleep 50_000;
+                       pump n
+                 in
+                 pump 0)));
+  let _stop =
+    Resilix_net.Peer.start_udp_stream t.System.dp_peer ~dst_ip:Hwmap.local_ip
+      ~dst_mac:Hwmap.dp8390_mac ~dst_port:9 ~src_port:7777 ~payload_len:700 ~interval:10_000
+  in
+  System.run t ~until:(Engine.now t.System.engine + 1_000_000);
+  let image = Dp8390.image_info ~base:Hwmap.dp8390_base in
+  let injected = ref 0 in
+  let bios_resets = ref 0 in
+  let user_resets = ref 0 in
+  let type_counts = Hashtbl.create 7 in
+  let finished = ref false in
+  (* Watchdog: some faults are silent-but-disabling (e.g. the eliding
+     of an rx-enable write) — the driver looks healthy but traffic
+     stops and no further driver code executes.  As in the paper's
+    defect class 3, the "user" notices the weird behaviour and asks
+     the reincarnation server for a restart, which reloads a clean
+     binary and lets the campaign continue. *)
+  let last_rx = ref 0 in
+  let last_progress_at = ref 0 in
+  let stall_timeout = 1_500_000 in
+  let rec tick () =
+    if !injected >= faults then finished := true
+    else begin
+      let now = Engine.now t.System.engine in
+      if !received > !last_rx then begin
+        last_rx := !received;
+        last_progress_at := now
+      end
+      else if now - !last_progress_at > stall_timeout then begin
+        last_progress_at := now;
+        match Kernel.find_by_name t.System.kernel "eth.dp8390" with
+        | Some _ ->
+            incr user_resets;
+            ignore (System.kill_service_once t ~target:"eth.dp8390")
+        | None -> ()
+      end;
+      (* A wedged card defeats driver-level recovery: the restarted
+         driver keeps panicking on a dead device.  Perform the
+         "low-level BIOS reset" the paper needed in those cases. *)
+      if Nic8390.wedged t.System.nic_dp then begin
+        incr bios_resets;
+        Nic8390.bios_reset t.System.nic_dp
+      end;
+      (* Only inject into a live, settled driver (like injecting into
+         the running driver on a live system). *)
+      (match Kernel.find_by_name t.System.kernel "eth.dp8390" with
+      | Some _ ->
+          let ft = Fault.random_type t.System.rng in
+          (match System.inject_fault t ~target:"eth.dp8390" ~image ft with
+          | Some _ ->
+              incr injected;
+              Hashtbl.replace type_counts (Fault.to_string ft)
+                (1 + Option.value ~default:0 (Hashtbl.find_opt type_counts (Fault.to_string ft)))
+          | None -> ())
+      | None -> ());
+      ignore (Engine.schedule t.System.engine ~after:inject_period tick)
+    end
+  in
+  tick ();
+  ignore (System.run_until t ~timeout:(faults * inject_period * 4) (fun () -> !finished));
+  (* Let the final crash (if any) recover. *)
+  System.run t ~until:(Engine.now t.System.engine + 5_000_000);
+  if Nic8390.wedged t.System.nic_dp then begin
+    incr bios_resets;
+    Nic8390.bios_reset t.System.nic_dp;
+    System.run t ~until:(Engine.now t.System.engine + 5_000_000)
+  end;
+  let all_events = Reincarnation.events t.System.rs in
+  (* User-requested restarts (the watchdog) are experimenter resets,
+     not detected crashes. *)
+  let events =
+    List.filter (fun e -> e.Reincarnation.defect <> Status.D_killed_by_user) all_events
+  in
+  let count p = List.length (List.filter p events) in
+  {
+    injected = !injected;
+    crashes = List.length events;
+    panics = count (fun e -> e.Reincarnation.defect = Status.D_exit);
+    exceptions = count (fun e -> e.Reincarnation.defect = Status.D_exception);
+    heartbeats = count (fun e -> e.Reincarnation.defect = Status.D_heartbeat);
+    other =
+      count (fun e ->
+          match e.Reincarnation.defect with
+          | Status.D_exit | Status.D_exception | Status.D_heartbeat -> false
+          | _ -> true);
+    recovered = count (fun e -> e.Reincarnation.recovered_at <> None);
+    user_resets = !user_resets;
+    bios_resets = !bios_resets;
+    by_fault_type =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) type_counts []);
+  }
+
+let pct part whole = if whole = 0 then 0. else 100. *. float_of_int part /. float_of_int whole
+
+let print label o =
+  Table.section (Printf.sprintf "Sec. 7.2 — fault injection into the DP8390 driver (%s)" label);
+  Table.note
+    "Paper anchors (Bochs): 12,500 faults -> 347 crashes: 65%% panic, 31%% CPU/MMU\n\
+     exception, 4%% heartbeat; recovery succeeded in 100%% of detected failures.\n\
+     Real hardware: >99%%, with <5 wedged-NIC cases needing a BIOS reset.\n\n";
+  Table.print
+    ~header:[ "metric"; "value"; "share" ]
+    [
+      [ "faults injected"; string_of_int o.injected; "" ];
+      [ "detectable crashes"; string_of_int o.crashes; "" ];
+      [ "  exit / internal panic (class 1)"; string_of_int o.panics;
+        Printf.sprintf "%.0f%%" (pct o.panics o.crashes) ];
+      [ "  CPU / MMU exception (class 2)"; string_of_int o.exceptions;
+        Printf.sprintf "%.0f%%" (pct o.exceptions o.crashes) ];
+      [ "  missing heartbeat (class 4)"; string_of_int o.heartbeats;
+        Printf.sprintf "%.0f%%" (pct o.heartbeats o.crashes) ];
+      [ "  other classes"; string_of_int o.other; Printf.sprintf "%.0f%%" (pct o.other o.crashes) ];
+      [ "successful recoveries"; string_of_int o.recovered;
+        Printf.sprintf "%.1f%%" (pct o.recovered o.crashes) ];
+      [ "silent faults cleared by user restart"; string_of_int o.user_resets; "" ];
+      [ "BIOS resets needed (wedged NIC)"; string_of_int o.bios_resets; "" ];
+    ];
+  Table.note "\nFaults applied by type:\n";
+  Table.print ~header:[ "fault type"; "applied" ]
+    (List.map (fun (k, v) -> [ k; string_of_int v ]) o.by_fault_type)

@@ -1,0 +1,28 @@
+let print ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width i =
+    List.fold_left
+      (fun acc row -> match List.nth_opt row i with Some s -> max acc (String.length s) | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let render row =
+    String.concat "  "
+      (List.mapi
+         (fun i w ->
+           let s = match List.nth_opt row i with Some s -> s | None -> "" in
+           s ^ String.make (max 0 (w - String.length s)) ' ')
+         widths)
+  in
+  print_endline (render header);
+  print_endline (String.concat "  " (List.map (fun w -> String.make w '-') widths));
+  List.iter (fun r -> print_endline (render r)) rows
+
+let section title =
+  print_newline ();
+  print_endline (String.make (String.length title + 4) '=');
+  Printf.printf "= %s =\n" title;
+  print_endline (String.make (String.length title + 4) '=')
+
+let note fmt = Printf.printf fmt

@@ -1,0 +1,10 @@
+(** Tiny fixed-width table printer for the experiment harness. *)
+
+val print : header:string list -> string list list -> unit
+(** Render rows under a header, column widths auto-sized. *)
+
+val section : string -> unit
+(** Print a section banner. *)
+
+val note : ('a, out_channel, unit) format -> 'a
+(** Print a free-form annotation line. *)

@@ -1,0 +1,59 @@
+(** Block cache with driver-failure masking.
+
+    Cache slots live in the file server's own address space so the
+    disk driver can [safecopy] straight into them.  All device I/O
+    goes through {!read} / {!write_through}; when the disk driver dies
+    mid-request (the IPC fails with [E_dead_src_dst]), the cache marks
+    the request pending, asks its embedder to wait for the
+    reincarnated driver's endpoint, reopens the device, and reissues
+    the idempotent block operation — exactly the recovery procedure of
+    Sec. 6.2, transparent to everything above. *)
+
+module Endpoint := Resilix_proto.Endpoint
+module Errno := Resilix_proto.Errno
+
+type t
+(** A cache bound to one block device. *)
+
+val create :
+  base_addr:int ->
+  slots:int ->
+  driver:Endpoint.t ->
+  minor:int ->
+  wait_new_driver:(Endpoint.t -> Endpoint.t) ->
+  t
+(** [wait_new_driver dead_ep] must block (receiving messages) until a
+    replacement endpoint is known, then return it; the cache reopens
+    the minor device on it and retries. *)
+
+val set_driver : t -> Endpoint.t -> unit
+(** Update the endpoint out-of-band (e.g. a data-store notification
+    arrived while no I/O was pending). *)
+
+val driver : t -> Endpoint.t
+(** Current driver endpoint. *)
+
+val read : t -> block:int -> (int, Errno.t) result
+(** Address (in the local address space) of a slot holding the block's
+    current contents. *)
+
+val write_through : t -> block:int -> (unit, Errno.t) result
+(** Persist a slot the caller just mutated.  The block must still be
+    resident (it is, absent interleaved reads). *)
+
+val zero_slot : t -> int
+(** Address of a permanently zeroed scratch slot (for sparse reads). *)
+
+val set_device_blocks : t -> int -> unit
+(** Tell the cache the device's size so read-ahead clusters are
+    clamped at the end of the disk (call after reading the
+    superblock). *)
+
+val reissued : t -> int
+(** Block operations reissued after a driver crash. *)
+
+val hits : t -> int
+(** Cache hits. *)
+
+val misses : t -> int
+(** Cache misses (device reads). *)

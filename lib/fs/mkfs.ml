@@ -1,0 +1,166 @@
+type t = {
+  write_block : int -> bytes -> unit;
+  sb : Layout.superblock;
+  imap : Bytes.t; (* one block *)
+  zmap : Bytes.t; (* zmap_blocks blocks *)
+  inode_table : Bytes.t; (* inode_blocks blocks *)
+  root_dir : Bytes.t; (* one block: the root directory's single zone *)
+  root_zone : int;
+  mutable next_free_zone : int;
+  mutable next_free_ino : int;
+  mutable files : (string * int) list; (* name -> first data block *)
+}
+
+let set_bit buf i =
+  let byte = i / 8 and bit = i mod 8 in
+  Bytes.set buf byte (Char.chr (Char.code (Bytes.get buf byte) lor (1 lsl bit)))
+
+let write_inode t ~ino inode =
+  let enc = Layout.encode_inode inode in
+  Bytes.blit enc 0 t.inode_table (ino * Layout.inode_size) Layout.inode_size
+
+let format ~write_block ~total_blocks ~inode_count =
+  let sb = Layout.geometry ~total_blocks ~inode_count in
+  let t =
+    {
+      write_block;
+      sb;
+      imap = Bytes.make Layout.block_size '\000';
+      zmap = Bytes.make (sb.Layout.zmap_blocks * Layout.block_size) '\000';
+      inode_table = Bytes.make (sb.Layout.inode_blocks * Layout.block_size) '\000';
+      root_dir = Bytes.make Layout.block_size '\000';
+      root_zone = sb.Layout.data_start;
+      next_free_zone = sb.Layout.data_start + 1;
+      next_free_ino = 2;
+      files = [];
+    }
+  in
+  (* Metadata blocks and the root zone are permanently allocated. *)
+  for b = 0 to sb.Layout.data_start do
+    set_bit t.zmap b
+  done;
+  (* Inodes 0 (never used) and 1 (root). *)
+  set_bit t.imap 0;
+  set_bit t.imap 1;
+  let root =
+    {
+      Layout.mode = 2;
+      size = 0;
+      nlinks = 1;
+      zones =
+        Array.init (Layout.direct_zones + 2) (fun i -> if i = 0 then t.root_zone else 0);
+    }
+  in
+  write_inode t ~ino:1 root;
+  t
+
+let root_entries t =
+  let per_block = Layout.block_size / Layout.dirent_size in
+  let rec count i = if i >= per_block then i else
+    let ino, _ = Layout.decode_dirent t.root_dir ~off:(i * Layout.dirent_size) in
+    if ino = 0 then i else count (i + 1)
+  in
+  count 0
+
+let add_root_entry t ~ino ~name =
+  let slot = root_entries t in
+  if (slot + 1) * Layout.dirent_size > Layout.block_size then failwith "Mkfs: root directory full";
+  Bytes.blit (Layout.encode_dirent ~ino ~name) 0 t.root_dir (slot * Layout.dirent_size)
+    Layout.dirent_size
+
+let alloc_zone t =
+  let z = t.next_free_zone in
+  if z >= t.sb.Layout.total_blocks then failwith "Mkfs: disk full";
+  t.next_free_zone <- z + 1;
+  set_bit t.zmap z;
+  z
+
+let add_contiguous_file t ~name ~size =
+  let ino = t.next_free_ino in
+  if ino >= t.sb.Layout.inode_count then failwith "Mkfs: out of inodes";
+  t.next_free_ino <- ino + 1;
+  set_bit t.imap ino;
+  let nblocks = (size + Layout.block_size - 1) / Layout.block_size in
+  let first_data = t.next_free_zone in
+  let zones = Array.make (Layout.direct_zones + 2) 0 in
+  (* Direct zones. *)
+  let remaining = ref nblocks in
+  let data_cursor = ref first_data in
+  (* Reserve all data zones contiguously first (content stays lazy). *)
+  for _ = 1 to nblocks do
+    ignore (alloc_zone t)
+  done;
+  let next_data () =
+    let z = !data_cursor in
+    data_cursor := z + 1;
+    z
+  in
+  for i = 0 to Layout.direct_zones - 1 do
+    if !remaining > 0 then begin
+      zones.(i) <- next_data ();
+      decr remaining
+    end
+  done;
+  (* Single indirect. *)
+  if !remaining > 0 then begin
+    let ind = alloc_zone t in
+    zones.(Layout.direct_zones) <- ind;
+    let blk = Bytes.make Layout.block_size '\000' in
+    let n = min !remaining Layout.zones_per_indirect in
+    for i = 0 to n - 1 do
+      let z = next_data () in
+      Bytes.set blk (4 * i) (Char.chr (z land 0xFF));
+      Bytes.set blk ((4 * i) + 1) (Char.chr ((z lsr 8) land 0xFF));
+      Bytes.set blk ((4 * i) + 2) (Char.chr ((z lsr 16) land 0xFF));
+      Bytes.set blk ((4 * i) + 3) (Char.chr ((z lsr 24) land 0xFF))
+    done;
+    remaining := !remaining - n;
+    t.write_block ind blk
+  end;
+  (* Double indirect. *)
+  if !remaining > 0 then begin
+    let dind = alloc_zone t in
+    zones.(Layout.direct_zones + 1) <- dind;
+    let dblk = Bytes.make Layout.block_size '\000' in
+    let slot = ref 0 in
+    while !remaining > 0 do
+      if !slot >= Layout.zones_per_indirect then failwith "Mkfs: file too large";
+      let ind = alloc_zone t in
+      Bytes.set dblk (4 * !slot) (Char.chr (ind land 0xFF));
+      Bytes.set dblk ((4 * !slot) + 1) (Char.chr ((ind lsr 8) land 0xFF));
+      Bytes.set dblk ((4 * !slot) + 2) (Char.chr ((ind lsr 16) land 0xFF));
+      Bytes.set dblk ((4 * !slot) + 3) (Char.chr ((ind lsr 24) land 0xFF));
+      incr slot;
+      let blk = Bytes.make Layout.block_size '\000' in
+      let n = min !remaining Layout.zones_per_indirect in
+      for i = 0 to n - 1 do
+        let z = next_data () in
+        Bytes.set blk (4 * i) (Char.chr (z land 0xFF));
+        Bytes.set blk ((4 * i) + 1) (Char.chr ((z lsr 8) land 0xFF));
+        Bytes.set blk ((4 * i) + 2) (Char.chr ((z lsr 16) land 0xFF));
+        Bytes.set blk ((4 * i) + 3) (Char.chr ((z lsr 24) land 0xFF))
+      done;
+      remaining := !remaining - n;
+      t.write_block ind blk
+    done;
+    t.write_block dind dblk
+  end;
+  write_inode t ~ino { Layout.mode = 1; size; nlinks = 1; zones };
+  add_root_entry t ~ino ~name;
+  t.files <- (name, first_data) :: t.files;
+  t
+
+let file_first_block t name = List.assoc_opt name t.files
+
+let finish t =
+  t.write_block 0 (Layout.encode_superblock t.sb);
+  t.write_block Layout.imap_block t.imap;
+  for i = 0 to t.sb.Layout.zmap_blocks - 1 do
+    t.write_block (Layout.zmap_start + i) (Bytes.sub t.zmap (i * Layout.block_size) Layout.block_size)
+  done;
+  let inode_start = Layout.inode_start t.sb in
+  for i = 0 to t.sb.Layout.inode_blocks - 1 do
+    t.write_block (inode_start + i)
+      (Bytes.sub t.inode_table (i * Layout.block_size) Layout.block_size)
+  done;
+  t.write_block t.root_zone t.root_dir

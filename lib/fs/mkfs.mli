@@ -1,0 +1,32 @@
+(** Offline file-system formatter.
+
+    Runs at simulation-setup time (like formatting a disk before
+    booting the machine): it writes raw blocks through a caller
+    supplied writer, so it has no dependency on the simulated device
+    model.
+
+    [add_contiguous_file] lays a file over a contiguous run of data
+    zones *without touching the data blocks themselves*: with the
+    simulated disk's generate-on-first-read backing store, this is how
+    a "1-GB file filled with random data" (Sec. 7.1) exists without a
+    gigabyte of memory. *)
+
+type t
+(** An in-progress format. *)
+
+val format :
+  write_block:(int -> bytes -> unit) -> total_blocks:int -> inode_count:int -> t
+(** Write superblock, bitmaps, inode table, and an empty root
+    directory. *)
+
+val add_contiguous_file : t -> name:string -> size:int -> t
+(** Create [/name] of [size] bytes over the next free contiguous
+    zones.  Returns the updated handle.
+    @raise Failure if the disk is too small. *)
+
+val file_first_block : t -> string -> int option
+(** Data block where a file added by [add_contiguous_file] starts
+    (useful for asserting what the content must be). *)
+
+val finish : t -> unit
+(** Flush all metadata. *)

@@ -1,0 +1,35 @@
+module Errno = Resilix_proto.Errno
+
+type access = Read | Write of int
+
+type claim = {
+  base : int;
+  len : int;
+  handler : reg:int -> access -> (int, Errno.t) result;
+}
+
+type t = { mutable claims : claim list }
+
+let create () = { claims = [] }
+
+let overlaps a b = a.base < b.base + b.len && b.base < a.base + a.len
+
+let register t ~base ~len handler =
+  let claim = { base; len; handler } in
+  if List.exists (overlaps claim) t.claims then invalid_arg "Bus.register: overlapping port range";
+  t.claims <- claim :: t.claims
+
+let find t port = List.find_opt (fun c -> port >= c.base && port < c.base + c.len) t.claims
+
+let io t op =
+  match op with
+  | `In port -> (
+      match find t port with
+      | Some c -> c.handler ~reg:(port - c.base) Read
+      | None -> Ok 0xFFFF_FFFF)
+  | `Out (port, value) -> (
+      match find t port with
+      | Some c -> c.handler ~reg:(port - c.base) (Write value)
+      | None -> Ok 0)
+
+let attach t kernel = Resilix_kernel.Kernel.set_io_handler kernel (io t)

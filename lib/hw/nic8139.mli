@@ -1,0 +1,61 @@
+(** RTL8139-style Ethernet controller model (DMA-based).
+
+    This is the NIC used for the Fig. 7 experiment (wget with repeated
+    driver kills).  The driver programs it through I/O ports and DMA
+    buffers mapped through the IOMMU.
+
+    Register map (32-bit registers, offsets from the claimed base):
+    {v
+      0  ID      RO  0x8139
+      1  CMD     RW  0x10 = software reset; 0x04 = RX enable; 0x08 = TX enable
+      2  CONFIG  RW  bit0 = promiscuous mode
+      3  ISR     R/ack  0x1 RX_OK, 0x4 TX_OK, 0x8 ERR; writing acks those bits
+      4  TXH     W   DMA handle of the transmit buffer
+      5  TXLEN   W   frame length in bytes
+      6  TXGO    W   any write starts transmission
+      7  RXH     W   DMA handle of the receive buffer
+      8  RXCAP   W   receive buffer capacity
+      9  RXLEN   RO  length of the frame most recently delivered
+      10 MACLO   RO  low 32 bits of the MAC
+      11 MACHI   RO  high 16 bits of the MAC
+    v}
+
+    Fault realism: out-of-spec programming (zero/oversized TX length,
+    bad DMA handles, junk CMD bits) sets the ERR bit and, with
+    probability [wedge_prob], wedges the controller — a wedged NIC
+    reads 0xFFFFFFFF everywhere and ignores resets unless it was
+    built with [has_master_reset] (the paper's Sec. 7.2 observed
+    exactly this: a few cards needed a BIOS-level reset). *)
+
+type t
+(** A NIC instance. *)
+
+type stats = { mutable frames_rx : int; mutable frames_tx : int; mutable errors : int }
+
+val create :
+  kernel:Resilix_kernel.Kernel.t ->
+  bus:Bus.t ->
+  base:int ->
+  irq:int ->
+  link:Link.t ->
+  side:Link.side ->
+  mac:int ->
+  rng:Resilix_sim.Rng.t ->
+  ?rate_bytes_per_us:int ->
+  ?reset_us:int ->
+  ?wedge_prob:float ->
+  ?has_master_reset:bool ->
+  unit ->
+  t
+(** Create and claim [base..base+11] on the bus, attach to the link.
+    Default rate is 12 bytes/us (~100 Mbit). *)
+
+val stats : t -> stats
+(** Frame and error counters. *)
+
+val wedged : t -> bool
+(** Whether the controller is wedged (unrecoverable by the driver). *)
+
+val bios_reset : t -> unit
+(** Out-of-band full reset (the "low-level BIOS reset" of Sec. 7.2);
+    clears the wedge. *)

@@ -1,0 +1,149 @@
+(** The simulated microkernel.
+
+    Every server, driver and application is an isolated process: a
+    private {!Memory.t} address space plus an OCaml fiber that talks to
+    the kernel exclusively through {!Sysif} effects.  The kernel
+    provides MINIX-style rendezvous IPC with temporally unique
+    endpoints, non-blocking notifications, capability grants with
+    [safecopy], per-process privileges, I/O-port and IRQ mediation,
+    and an IOMMU for device DMA (Sec. 4 of the paper).
+
+    All activity is driven by a {!Resilix_sim.Engine}; each kernel
+    operation advances virtual time by a configurable cost, which is
+    what the performance experiments measure. *)
+
+module Endpoint := Resilix_proto.Endpoint
+module Errno := Resilix_proto.Errno
+module Status := Resilix_proto.Status
+module Signal := Resilix_proto.Signal
+module Privilege := Resilix_proto.Privilege
+
+(** Virtual-time cost (microseconds) of each kernel operation. *)
+type costs = {
+  syscall : int;  (** fixed overhead of any scheduled syscall *)
+  ipc : int;  (** rendezvous message delivery / context switch *)
+  notify : int;  (** non-blocking notification *)
+  copy_base : int;  (** fixed part of safecopy *)
+  copy_bytes_per_us : int;  (** safecopy throughput, bytes per microsecond *)
+  devio : int;  (** mediated I/O-port access ("a few microseconds", Sec. 4) *)
+  spawn : int;  (** process creation + binary load *)
+}
+
+val default_costs : costs
+(** 1 us syscalls, 2 us IPC, 2 GB/s copies, 3 ms spawn. *)
+
+(** Live counters, exposed for benchmarks. *)
+type stats = {
+  mutable messages : int;  (** rendezvous messages delivered *)
+  mutable notifications : int;
+  mutable async_messages : int;
+  mutable safecopies : int;
+  mutable safecopy_bytes : int;
+  mutable devios : int;
+  mutable irqs : int;
+  mutable spawns : int;
+  mutable kills : int;
+  mutable exits : int;
+}
+
+type t
+(** A kernel instance. *)
+
+val create :
+  engine:Resilix_sim.Engine.t ->
+  trace:Resilix_sim.Trace.t ->
+  rng:Resilix_sim.Rng.t ->
+  ?costs:costs ->
+  unit ->
+  t
+(** Create a kernel bound to a simulation engine. *)
+
+val engine : t -> Resilix_sim.Engine.t
+(** The engine driving this kernel. *)
+
+val trace : t -> Resilix_sim.Trace.t
+(** The shared trace log. *)
+
+val stats : t -> stats
+(** Live counters. *)
+
+(** {1 Programs and processes} *)
+
+val register_program : t -> string -> (unit -> unit) -> unit
+(** [register_program t key main] adds a binary to the program
+    registry.  The reincarnation server starts (and after a crash
+    restarts) services by program key, which models reloading a fresh
+    copy of the driver binary. *)
+
+val has_program : t -> string -> bool
+(** Whether [key] is registered. *)
+
+val spawn_wellknown :
+  t ->
+  ep:Endpoint.t ->
+  name:string ->
+  priv:Privilege.t ->
+  ?args:string list ->
+  ?mem_kb:int ->
+  (unit -> unit) ->
+  unit
+(** Boot-time creation of a trusted server at a fixed slot.  Raises
+    [Invalid_argument] if the slot is taken. *)
+
+val spawn_dynamic :
+  t ->
+  name:string ->
+  program:string ->
+  args:string list ->
+  priv:Privilege.t ->
+  mem_kb:int ->
+  (Endpoint.t, Errno.t) result
+(** Used by the process manager to create a process from a registered
+    program (also available to processes as the [Proc_create] kernel
+    call). *)
+
+val kill : t -> Endpoint.t -> Status.exit_status -> (unit, Errno.t) result
+(** Terminate a process immediately (stale endpoints fail). *)
+
+val deliver_signal : t -> Endpoint.t -> Signal.t -> (unit, Errno.t) result
+(** Post a signal notification (e.g. SIGTERM) without killing. *)
+
+(** {1 Hardware-facing interface (wired by the system builder)} *)
+
+val set_io_handler : t -> ([ `In of int | `Out of int * int ] -> (int, Errno.t) result) -> unit
+(** Install the I/O-port bus backend; the kernel routes privileged
+    [Devio_*] kernel calls through it. *)
+
+val raise_irq : t -> int -> unit
+(** Called by device models: delivers an [N_irq] notification to the
+    process registered on that line (dropped if none). *)
+
+val dma :
+  t ->
+  handle:int ->
+  off:int ->
+  op:[ `Read of int | `Write of bytes ] ->
+  (bytes, Errno.t) result
+(** Device DMA through the IOMMU: [handle] was produced by the
+    [Iommu_map] kernel call over a memory grant.  Reads return the
+    bytes; writes return an empty buffer.  Fails with [E_no_perm] for
+    stale mappings (e.g. after the owning driver died) and [E_range]
+    for out-of-grant accesses. *)
+
+(** {1 Introspection (tests, fault injector, experiment harness)} *)
+
+val alive : t -> Endpoint.t -> bool
+(** Whether the endpoint names a live process (generation included). *)
+
+val find_by_name : t -> string -> Endpoint.t option
+(** Endpoint of the live process with the given name, if any. *)
+
+val proc_memory : t -> Endpoint.t -> Memory.t option
+(** Address space of a live process — used by the software fault
+    injector to mutate a running driver's loaded code image. *)
+
+val proc_name : t -> Endpoint.t -> string option
+(** Name of a live process. *)
+
+val process_count : t -> int
+(** Number of live processes. *)

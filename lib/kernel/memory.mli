@@ -1,0 +1,47 @@
+(** Simulated private address spaces.
+
+    Each process owns one flat byte region.  Any access outside it
+    raises {!Fault}, the simulator's MMU exception: if it happens on a
+    process's own stack (e.g. the driver VM dereferencing a garbled
+    pointer), the kernel kills the process with SIGSEGV — defect
+    class 2 of Sec. 5.1. *)
+
+exception Fault of { addr : int; len : int }
+(** MMU exception: access of [len] bytes at [addr] fell outside the
+    address space. *)
+
+type t
+(** An address space. *)
+
+val create : size:int -> t
+(** [create ~size] is a zero-filled space of [size] bytes. *)
+
+val size : t -> int
+(** Capacity in bytes. *)
+
+val read : t -> addr:int -> len:int -> bytes
+(** Copy out a range.  @raise Fault on out-of-bounds access. *)
+
+val write : t -> addr:int -> bytes -> unit
+(** Copy a buffer in at [addr].  @raise Fault on out-of-bounds. *)
+
+val blit_out : t -> addr:int -> dst:bytes -> dst_off:int -> len:int -> unit
+(** Copy from the space into a caller buffer without allocating. *)
+
+val blit_in : t -> addr:int -> src:bytes -> src_off:int -> len:int -> unit
+(** Copy from a caller buffer into the space. *)
+
+val copy : src:t -> src_addr:int -> dst:t -> dst_addr:int -> len:int -> unit
+(** Inter-space copy (the kernel's virtual-copy primitive). *)
+
+val get_u8 : t -> int -> int
+(** One byte. @raise Fault if out of bounds. *)
+
+val set_u8 : t -> int -> int -> unit
+(** Store one byte (low 8 bits of the value). *)
+
+val get_u32 : t -> int -> int
+(** Little-endian 32-bit load (returned as a non-negative int). *)
+
+val set_u32 : t -> int -> int -> unit
+(** Little-endian 32-bit store (low 32 bits of the value). *)

@@ -1,0 +1,174 @@
+(* The system interface: the effect through which every simulated
+   process interacts with the kernel, plus the [Api] wrappers that give
+   process code a readable, MINIX-flavoured vocabulary.
+
+   Process bodies are plain OCaml functions run as effect-handler
+   fibers by the kernel; performing [Sys op] suspends the fiber until
+   the kernel completes the operation.  This file deliberately has no
+   kernel dependencies so that servers, drivers and applications depend
+   only on [Sysif] + [Proto]. *)
+
+module Endpoint = Resilix_proto.Endpoint
+module Errno = Resilix_proto.Errno
+module Message = Resilix_proto.Message
+module Status = Resilix_proto.Status
+module Signal = Resilix_proto.Signal
+module Privilege = Resilix_proto.Privilege
+
+(* What [receive] returns: a rendezvous message or a pending
+   notification. *)
+type rx =
+  | Rx_msg of { src : Endpoint.t; body : Message.t }
+  | Rx_notify of { src : Endpoint.t; kind : Message.notify_kind }
+
+(* Receive filter. *)
+type source = Any | From of Endpoint.t
+
+type grant_access = Read_only | Write_only | Read_write
+
+type 'a syscall =
+  (* --- IPC --- *)
+  | Send : Endpoint.t * Message.t -> (unit, Errno.t) result syscall
+  | Asend : Endpoint.t * Message.t -> (unit, Errno.t) result syscall
+  | Receive : source -> (rx, Errno.t) result syscall
+  | Sendrec : Endpoint.t * Message.t -> (rx, Errno.t) result syscall
+  | Notify : Endpoint.t * Message.notify_kind -> (unit, Errno.t) result syscall
+  (* --- time and identity --- *)
+  | Sleep : int -> unit syscall
+  | Yield : int -> unit syscall (* consume simulated CPU time *)
+  | Now : int syscall
+  | Self : Endpoint.t syscall
+  | My_memory : Memory.t syscall
+  | My_args : string list syscall
+  | My_name : string syscall
+  | Random : int -> int syscall
+  | Exit : Status.exit_status -> unit syscall
+  | Trace_emit : string * string -> unit syscall (* subsystem, message *)
+  (* --- kernel calls --- *)
+  | Safecopy : {
+      dir : [ `Read | `Write ];
+      owner : Endpoint.t;
+      grant : int;
+      grant_off : int;
+      local_addr : int;
+      len : int;
+    }
+      -> (unit, Errno.t) result syscall
+  | Grant_create : {
+      for_ : Endpoint.t;
+      base : int;
+      len : int;
+      access : grant_access;
+    }
+      -> (int, Errno.t) result syscall
+  | Grant_revoke : int -> (unit, Errno.t) result syscall
+  | Devio_in : int -> (int, Errno.t) result syscall
+  | Devio_out : int * int -> (unit, Errno.t) result syscall
+  | Irq_register : int -> (unit, Errno.t) result syscall
+  | Alarm : int -> (unit, Errno.t) result syscall
+  | Iommu_map : int -> (int, Errno.t) result syscall
+  | Iommu_unmap : int -> (unit, Errno.t) result syscall
+  | Proc_create : {
+      name : string;
+      program : string;
+      args : string list;
+      priv : Privilege.t;
+      mem_kb : int;
+    }
+      -> (Endpoint.t, Errno.t) result syscall
+  | Proc_kill : Endpoint.t * Signal.t -> (unit, Errno.t) result syscall
+  | Reap_exit : (Endpoint.t * string * Status.exit_status) option syscall
+  | Privctl : Endpoint.t * Privilege.t -> (unit, Errno.t) result syscall
+
+type _ Effect.t += Sys : 'a syscall -> 'a Effect.t
+
+(* Raised inside a fiber to unwind it when the kernel kills the
+   process; the kernel's fiber wrapper translates it back into the
+   carried exit status.  Process code must never catch it. *)
+exception Killed_exn of Status.exit_status
+
+(* Raised by [Api.panic]. *)
+exception Panic_exn of string
+
+(* The name under which each kernel call is privilege-checked, or
+   [None] when the operation is unrestricted. *)
+let kcall_name : type a. a syscall -> string option = function
+  | Safecopy _ -> Some "safecopy"
+  | Grant_create _ -> Some "grant_create"
+  | Grant_revoke _ -> Some "grant_revoke"
+  | Devio_in _ | Devio_out _ -> Some "devio"
+  | Irq_register _ -> Some "irqctl"
+  | Alarm _ -> Some "alarm"
+  | Iommu_map _ | Iommu_unmap _ -> Some "iommu_map"
+  | Proc_create _ -> Some "proc_create"
+  | Proc_kill _ -> Some "proc_kill"
+  | Reap_exit -> Some "reap_exit"
+  | Privctl _ -> Some "privctl"
+  | Send _ | Asend _ | Receive _ | Sendrec _ | Notify _ | Sleep _ | Yield _ | Now | Self
+  | My_memory | My_args | My_name | Random _ | Exit _ | Trace_emit _ ->
+      None
+
+(* Convenience wrappers used by all process code. *)
+module Api = struct
+  let perform op = Effect.perform (Sys op)
+
+  let send dst msg = perform (Send (dst, msg))
+  let asend dst msg = perform (Asend (dst, msg))
+  let receive filter = perform (Receive filter)
+  let sendrec dst msg = perform (Sendrec (dst, msg))
+  let notify dst kind = perform (Notify (dst, kind))
+  let sleep d = perform (Sleep d)
+  let yield ?(cost = 1) () = perform (Yield cost)
+  let now () = perform Now
+  let self () = perform Self
+  let memory () = perform My_memory
+  let args () = perform My_args
+  let name () = perform My_name
+  let random n = perform (Random n)
+
+  let exit status : 'a =
+    perform (Exit status);
+    assert false
+
+  let panic msg : 'a = raise (Panic_exn msg)
+  let trace subsystem fmt = Format.kasprintf (fun m -> perform (Trace_emit (subsystem, m))) fmt
+
+  let safecopy_from ~owner ~grant ~grant_off ~local_addr ~len =
+    perform (Safecopy { dir = `Read; owner; grant; grant_off; local_addr; len })
+
+  let safecopy_to ~owner ~grant ~grant_off ~local_addr ~len =
+    perform (Safecopy { dir = `Write; owner; grant; grant_off; local_addr; len })
+
+  let grant_create ~for_ ~base ~len ~access = perform (Grant_create { for_; base; len; access })
+  let grant_revoke id = perform (Grant_revoke id)
+  let devio_in port = perform (Devio_in port)
+  let devio_out port value = perform (Devio_out (port, value))
+  let irq_register line = perform (Irq_register line)
+  let alarm delay = perform (Alarm delay)
+  let iommu_map grant = perform (Iommu_map grant)
+  let iommu_unmap handle = perform (Iommu_unmap handle)
+
+  let proc_create ~name ~program ~args ~priv ~mem_kb =
+    perform (Proc_create { name; program; args; priv; mem_kb })
+
+  let proc_kill target signal = perform (Proc_kill (target, signal))
+  let reap_exit () = perform Reap_exit
+  let privctl target priv = perform (Privctl (target, priv))
+
+  (* Fail-fast helpers for code paths where an IPC error is a bug in
+     the caller (e.g. boot-time setup). *)
+  let send_exn dst msg =
+    match send dst msg with
+    | Ok () -> ()
+    | Error e -> panic (Format.asprintf "send to %a failed: %a" Endpoint.pp dst Errno.pp e)
+
+  let sendrec_exn dst msg =
+    match sendrec dst msg with
+    | Ok rx -> rx
+    | Error e -> panic (Format.asprintf "sendrec to %a failed: %a" Endpoint.pp dst Errno.pp e)
+
+  let receive_exn filter =
+    match receive filter with
+    | Ok rx -> rx
+    | Error e -> panic (Format.asprintf "receive failed: %a" Errno.pp e)
+end

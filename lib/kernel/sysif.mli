@@ -1,0 +1,228 @@
+(** The system interface: how process code talks to the kernel.
+
+    Every simulated process (server, driver, application) is an OCaml
+    function run as an effect-handler fiber; performing {!Sys}
+    suspends it until the kernel completes the operation.  Process
+    code normally uses the {!Api} wrappers, which read like the MINIX
+    system library: [send]/[receive]/[sendrec] rendezvous IPC,
+    non-blocking [notify], and the privileged kernel calls (safecopy
+    over grants, mediated port I/O, IRQ registration, IOMMU mapping,
+    process management).
+
+    This module has no kernel dependencies: servers, drivers and
+    applications depend only on [Sysif] + the protocol types. *)
+
+module Endpoint := Resilix_proto.Endpoint
+module Errno := Resilix_proto.Errno
+module Message := Resilix_proto.Message
+module Status := Resilix_proto.Status
+module Signal := Resilix_proto.Signal
+module Privilege := Resilix_proto.Privilege
+
+(** What {!Api.receive} yields: a rendezvous message or a pending
+    notification. *)
+type rx =
+  | Rx_msg of { src : Endpoint.t; body : Message.t }
+  | Rx_notify of { src : Endpoint.t; kind : Message.notify_kind }
+
+(** Receive filter: anyone, or one specific endpoint. *)
+type source = Any | From of Endpoint.t
+
+(** Access rights carried by a memory grant. *)
+type grant_access = Read_only | Write_only | Read_write
+
+(** The kernel operations, indexed by their result type.  See {!Api}
+    for per-operation documentation. *)
+type 'a syscall =
+  | Send : Endpoint.t * Message.t -> (unit, Errno.t) result syscall
+  | Asend : Endpoint.t * Message.t -> (unit, Errno.t) result syscall
+  | Receive : source -> (rx, Errno.t) result syscall
+  | Sendrec : Endpoint.t * Message.t -> (rx, Errno.t) result syscall
+  | Notify : Endpoint.t * Message.notify_kind -> (unit, Errno.t) result syscall
+  | Sleep : int -> unit syscall
+  | Yield : int -> unit syscall
+  | Now : int syscall
+  | Self : Endpoint.t syscall
+  | My_memory : Memory.t syscall
+  | My_args : string list syscall
+  | My_name : string syscall
+  | Random : int -> int syscall
+  | Exit : Status.exit_status -> unit syscall
+  | Trace_emit : string * string -> unit syscall
+  | Safecopy : {
+      dir : [ `Read | `Write ];
+      owner : Endpoint.t;
+      grant : int;
+      grant_off : int;
+      local_addr : int;
+      len : int;
+    }
+      -> (unit, Errno.t) result syscall
+  | Grant_create : {
+      for_ : Endpoint.t;
+      base : int;
+      len : int;
+      access : grant_access;
+    }
+      -> (int, Errno.t) result syscall
+  | Grant_revoke : int -> (unit, Errno.t) result syscall
+  | Devio_in : int -> (int, Errno.t) result syscall
+  | Devio_out : int * int -> (unit, Errno.t) result syscall
+  | Irq_register : int -> (unit, Errno.t) result syscall
+  | Alarm : int -> (unit, Errno.t) result syscall
+  | Iommu_map : int -> (int, Errno.t) result syscall
+  | Iommu_unmap : int -> (unit, Errno.t) result syscall
+  | Proc_create : {
+      name : string;
+      program : string;
+      args : string list;
+      priv : Privilege.t;
+      mem_kb : int;
+    }
+      -> (Endpoint.t, Errno.t) result syscall
+  | Proc_kill : Endpoint.t * Signal.t -> (unit, Errno.t) result syscall
+  | Reap_exit : (Endpoint.t * string * Status.exit_status) option syscall
+  | Privctl : Endpoint.t * Privilege.t -> (unit, Errno.t) result syscall
+
+type _ Effect.t += Sys : 'a syscall -> 'a Effect.t
+
+exception Killed_exn of Status.exit_status
+(** Raised inside a fiber to unwind it when the kernel kills the
+    process; the kernel's fiber wrapper translates it back into the
+    carried exit status.  Process code must never catch it. *)
+
+exception Panic_exn of string
+(** Raised by {!Api.panic}; the kernel records a [Panicked] exit. *)
+
+val kcall_name : 'a syscall -> string option
+(** The name under which a kernel call is privilege-checked against
+    the caller's [kcalls] list, or [None] for unrestricted
+    operations (IPC is checked separately, per destination). *)
+
+(** The process-side system library. *)
+module Api : sig
+  val send : Endpoint.t -> Message.t -> (unit, Errno.t) result
+  (** Rendezvous send: blocks until the destination receives (or
+      dies — [E_dead_src_dst]). *)
+
+  val asend : Endpoint.t -> Message.t -> (unit, Errno.t) result
+  (** Asynchronous send: queues in the kernel, never blocks (used by
+      network drivers for completion notifications). *)
+
+  val receive : source -> (rx, Errno.t) result
+  (** Block until a message or notification matching the filter is
+      available.  Pending notifications are delivered first. *)
+
+  val sendrec : Endpoint.t -> Message.t -> (rx, Errno.t) result
+  (** Send, then wait for the reply from the same endpoint.  The
+      reply phase is protected against interception by notifications
+      and async messages (MINIX's MF_REPLY_PEND).  Fails with
+      [E_dead_src_dst] if the peer dies in either phase — the signal
+      servers key their driver-recovery schemes on. *)
+
+  val notify : Endpoint.t -> Message.notify_kind -> (unit, Errno.t) result
+  (** Non-blocking notification; pending kinds are deduplicated. *)
+
+  val sleep : int -> unit
+  (** Block for a number of virtual microseconds. *)
+
+  val yield : ?cost:int -> unit -> unit
+  (** Consume simulated CPU time (the driver VM calls this as fuel). *)
+
+  val now : unit -> int
+  (** Current virtual time. *)
+
+  val self : unit -> Endpoint.t
+  (** This process's (temporally unique) endpoint. *)
+
+  val memory : unit -> Memory.t
+  (** This process's address space. *)
+
+  val args : unit -> string list
+  (** The argv the service spec passed. *)
+
+  val name : unit -> string
+  (** This process's name. *)
+
+  val random : int -> int
+  (** Deterministic pseudo-random integer in [\[0, n)]. *)
+
+  val exit : Status.exit_status -> 'a
+  (** Terminate this process. *)
+
+  val panic : string -> 'a
+  (** Terminate with a panic status — what a driver does when it
+      detects an internal inconsistency (defect class 1). *)
+
+  val trace : string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+  (** Emit a line into the system trace under a subsystem tag. *)
+
+  val safecopy_from :
+    owner:Endpoint.t -> grant:int -> grant_off:int -> local_addr:int -> len:int ->
+    (unit, Errno.t) result
+  (** Copy from a granted region of [owner]'s memory into ours; the
+      kernel checks that the grant exists, names us as grantee,
+      permits reading, and covers the range. *)
+
+  val safecopy_to :
+    owner:Endpoint.t -> grant:int -> grant_off:int -> local_addr:int -> len:int ->
+    (unit, Errno.t) result
+  (** Copy from our memory into a granted region of [owner]'s. *)
+
+  val grant_create :
+    for_:Endpoint.t -> base:int -> len:int -> access:grant_access -> (int, Errno.t) result
+  (** Create a memory capability over our own address space for one
+      specific grantee; returns the grant id to ship in a message. *)
+
+  val grant_revoke : int -> (unit, Errno.t) result
+  (** Destroy a grant. *)
+
+  val devio_in : int -> (int, Errno.t) result
+  (** Mediated I/O-port read ([E_no_perm] outside the driver's
+      granted ranges). *)
+
+  val devio_out : int -> int -> (unit, Errno.t) result
+  (** Mediated I/O-port write. *)
+
+  val irq_register : int -> (unit, Errno.t) result
+  (** Claim an IRQ line (privilege-checked); interrupts arrive as
+      [N_irq] notifications from the hardware pseudo-endpoint. *)
+
+  val alarm : int -> (unit, Errno.t) result
+  (** Arm (or with 0, cancel) this process's single kernel alarm;
+      expiry arrives as an [N_alarm] notification. *)
+
+  val iommu_map : int -> (int, Errno.t) result
+  (** Expose a grant (made out to the hardware pseudo-endpoint) to
+      device DMA; returns the DMA handle the driver programs into the
+      device.  Mappings die with the process — a crashed driver's
+      device cannot scribble on its successor. *)
+
+  val iommu_unmap : int -> (unit, Errno.t) result
+  (** Tear down a DMA mapping. *)
+
+  val proc_create :
+    name:string -> program:string -> args:string list -> priv:Privilege.t -> mem_kb:int ->
+    (Endpoint.t, Errno.t) result
+  (** Create a process from the binary registry (process manager
+      only). *)
+
+  val proc_kill : Endpoint.t -> Signal.t -> (unit, Errno.t) result
+  (** Kill ([SIGKILL]/[SIGSEGV]/[SIGILL]) or signal ([SIGTERM]) a
+      process (process manager only). *)
+
+  val reap_exit : unit -> (Endpoint.t * string * Status.exit_status) option
+  (** Collect one queued exit record (process manager only). *)
+
+  val privctl : Endpoint.t -> Privilege.t -> (unit, Errno.t) result
+  (** Replace a process's privileges (reincarnation server only). *)
+
+  val send_exn : Endpoint.t -> Message.t -> unit
+  (** {!send}, panicking on error — for boot-time setup paths. *)
+
+  val sendrec_exn : Endpoint.t -> Message.t -> rx
+  (** {!sendrec}, panicking on error. *)
+
+  val receive_exn : source -> rx
+  (** {!receive}, panicking on error. *)
+end

@@ -1,0 +1,47 @@
+module Fnv = Resilix_checksum.Fnv
+module Md5 = Resilix_checksum.Md5
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let word ~seed ~index =
+  mix (Int64.add (Int64.of_int seed) (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (index + 1))))
+
+(* Byte [i] of the file is byte [i mod 8] of word [i / 8]. *)
+let read ~seed ~off ~len =
+  if off < 0 || len < 0 then invalid_arg "Filegen.read";
+  let out = Bytes.create len in
+  let pos = ref 0 in
+  while !pos < len do
+    let abs = off + !pos in
+    let index = abs / 8 and inner = abs mod 8 in
+    let w = word ~seed ~index in
+    let take = min (8 - inner) (len - !pos) in
+    for j = 0 to take - 1 do
+      Bytes.set out (!pos + j)
+        (Char.chr (Int64.to_int (Int64.shift_right_logical w (8 * (inner + j))) land 0xFF))
+    done;
+    pos := !pos + take
+  done;
+  out
+
+let fold ~seed ~size ~init ~f =
+  let chunk = 65536 in
+  let acc = ref init in
+  let off = ref 0 in
+  while !off < size do
+    let len = min chunk (size - !off) in
+    acc := f !acc (read ~seed ~off:!off ~len);
+    off := !off + len
+  done;
+  !acc
+
+let fnv_digest ~seed ~size =
+  Fnv.to_hex (fold ~seed ~size ~init:Fnv.start ~f:(fun h b -> Fnv.update h b ~off:0 ~len:(Bytes.length b)))
+
+let md5_digest ~seed ~size =
+  let ctx = Md5.init () in
+  fold ~seed ~size ~init:() ~f:(fun () b -> Md5.update ctx b ~off:0 ~len:(Bytes.length b));
+  Md5.hex (Md5.finalize ctx)

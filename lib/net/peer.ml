@@ -1,0 +1,292 @@
+module Engine = Resilix_sim.Engine
+module Link = Resilix_hw.Link
+module Rng = Resilix_sim.Rng
+
+type pconn = {
+  key : int * int * int; (* remote ip, remote port, local port *)
+  remote_ip : int;
+  remote_mac : int;
+  tcp : Tcp.t;
+  mutable timer : Engine.handle option;
+  request : Buffer.t;
+  mutable serving : (int * int * int) option; (* seed, size, sent *)
+  mutable done_serving : bool;
+}
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  link : Link.t;
+  side : Link.side;
+  ip : int;
+  mac : int;
+  files : (string, int * int) Hashtbl.t;
+  conns : (int * int * int, pconn) Hashtbl.t;
+  mutable served : int;
+  mutable accepted : int;
+  mutable udp_seq : int;
+}
+
+let add_file t name ~size ~seed = Hashtbl.replace t.files name (size, seed)
+
+let file_fnv t name =
+  Option.map (fun (size, seed) -> Filegen.fnv_digest ~seed ~size) (Hashtbl.find_opt t.files name)
+
+let file_md5 t name =
+  Option.map (fun (size, seed) -> Filegen.md5_digest ~seed ~size) (Hashtbl.find_opt t.files name)
+
+let bytes_served t = t.served
+let connections t = t.accepted
+
+let emit_frame t ~dst_mac ~dst_ip body =
+  let frame =
+    { Wire.dst_mac; src_mac = t.mac; packet = { Wire.src_ip = t.ip; dst_ip; body } }
+  in
+  Link.send t.link t.side (Wire.encode frame)
+
+(* Push file bytes into the connection as send-buffer space allows. *)
+let rec pump_file t conn =
+  match conn.serving with
+  | None -> ()
+  | Some (seed, size, sent) ->
+      if sent >= size then begin
+        if not conn.done_serving then begin
+          conn.done_serving <- true;
+          Tcp.close conn.tcp ~now:(Engine.now t.engine)
+        end
+      end
+      else begin
+        let space = Tcp.tx_space conn.tcp in
+        if space > 0 then begin
+          let len = min (min space 16384) (size - sent) in
+          let data = Filegen.read ~seed ~off:sent ~len in
+          let accepted = Tcp.send conn.tcp ~now:(Engine.now t.engine) data ~off:0 ~len in
+          t.served <- t.served + accepted;
+          conn.serving <- Some (seed, size, sent + accepted);
+          if accepted > 0 then pump_file t conn
+        end
+      end
+
+let handle_request t conn =
+  let s = Buffer.contents conn.request in
+  match String.index_opt s '\n' with
+  | None -> ()
+  | Some i -> (
+      let line = String.trim (String.sub s 0 i) in
+      match String.split_on_char ' ' line with
+      | [ "GET"; name ] -> (
+          match Hashtbl.find_opt t.files name with
+          | Some (size, seed) ->
+              conn.serving <- Some (seed, size, 0);
+              pump_file t conn
+          | None -> Tcp.close conn.tcp ~now:(Engine.now t.engine))
+      | _ -> Tcp.close conn.tcp ~now:(Engine.now t.engine))
+
+let make_conn t ~key ~remote_ip ~remote_port ~remote_mac =
+  let rec conn =
+    lazy
+      (let cb =
+         {
+           Tcp.emit =
+             (fun seg ->
+               let c = Lazy.force conn in
+               emit_frame t ~dst_mac:c.remote_mac ~dst_ip:c.remote_ip (Wire.Tcp seg));
+           set_timer =
+             (fun delay ->
+               let c = Lazy.force conn in
+               (match c.timer with Some h -> Engine.cancel h | None -> ());
+               c.timer <- None;
+               match delay with
+               | Some d ->
+                   c.timer <-
+                     Some
+                       (Engine.schedule t.engine ~after:d (fun () ->
+                            let c = Lazy.force conn in
+                            c.timer <- None;
+                            Tcp.handle_timer c.tcp ~now:(Engine.now t.engine)))
+               | None -> ());
+           notify =
+             (fun ev ->
+               let c = Lazy.force conn in
+               match ev with
+               | Tcp.Ev_rx_ready ->
+                   let data = Tcp.recv c.tcp ~max:4096 in
+                   Buffer.add_bytes c.request data;
+                   if c.serving = None then handle_request t c
+               | Tcp.Ev_tx_space -> pump_file t c
+               | Tcp.Ev_established -> ()
+               | Tcp.Ev_peer_closed ->
+                   if c.serving = None then Tcp.close c.tcp ~now:(Engine.now t.engine)
+               | Tcp.Ev_reset | Tcp.Ev_closed ->
+                   (match c.timer with Some h -> Engine.cancel h | None -> ());
+                   Hashtbl.remove t.conns c.key)
+         }
+       in
+       let _, rport, lport = key in
+       let cfg = Tcp.default_config ~local_port:lport ~remote_port:rport ~isn:(Rng.int t.rng 0x3FFFFFFF) in
+       {
+         key;
+         remote_ip;
+         remote_mac;
+         tcp = Tcp.create_passive cfg ~now:(Engine.now t.engine) cb;
+         timer = None;
+         request = Buffer.create 64;
+         serving = None;
+         done_serving = false;
+       })
+  in
+  let c = Lazy.force conn in
+  Hashtbl.replace t.conns key c;
+  t.accepted <- t.accepted + 1;
+  c
+
+let on_frame t raw =
+  match Wire.decode raw with
+  | Error _ -> () (* corrupted on the wire: drop *)
+  | Ok frame ->
+      if frame.Wire.packet.dst_ip = t.ip then begin
+        match frame.Wire.packet.body with
+        | Wire.Tcp seg -> begin
+            let key = (frame.Wire.packet.src_ip, seg.Wire.src_port, seg.Wire.dst_port) in
+            match Hashtbl.find_opt t.conns key with
+            | Some conn -> Tcp.handle_segment conn.tcp ~now:(Engine.now t.engine) seg
+            | None ->
+                if seg.Wire.syn && seg.Wire.dst_port = 80 then begin
+                  let conn =
+                    make_conn t ~key ~remote_ip:frame.Wire.packet.src_ip
+                      ~remote_port:seg.Wire.src_port ~remote_mac:frame.Wire.src_mac
+                  in
+                  Tcp.handle_segment conn.tcp ~now:(Engine.now t.engine) seg
+                end
+                else if not seg.Wire.rst then
+                  (* Stateless reset for strays. *)
+                  emit_frame t ~dst_mac:frame.Wire.src_mac ~dst_ip:frame.Wire.packet.src_ip
+                    (Wire.Tcp
+                       {
+                         Wire.src_port = seg.Wire.dst_port;
+                         dst_port = seg.Wire.src_port;
+                         seq = seg.Wire.ack_no;
+                         ack_no = 0;
+                         syn = false;
+                         ack = false;
+                         fin = false;
+                         rst = true;
+                         window = 0;
+                         payload = Bytes.empty;
+                       })
+          end
+        | Wire.Udp dgram ->
+            if dgram.Wire.dst_port = 7 then
+              (* Echo service. *)
+              emit_frame t ~dst_mac:frame.Wire.src_mac ~dst_ip:frame.Wire.packet.src_ip
+                (Wire.Udp
+                   {
+                     Wire.src_port = 7;
+                     dst_port = dgram.Wire.src_port;
+                     payload = dgram.Wire.payload;
+                   })
+      end
+
+let create ~engine ~rng ~link ~side ~ip ~mac ?(files = []) () =
+  let t =
+    {
+      engine;
+      rng;
+      link;
+      side;
+      ip;
+      mac;
+      files = Hashtbl.create 8;
+      conns = Hashtbl.create 8;
+      served = 0;
+      accepted = 0;
+      udp_seq = 0;
+    }
+  in
+  List.iter (fun (name, (size, seed)) -> add_file t name ~size ~seed) files;
+  Link.attach link side (on_frame t);
+  t
+
+type client_result = {
+  mutable connected : bool;
+  mutable response : string;
+  mutable closed : bool;
+}
+
+(* An outbound TCP connection from the peer into the machine under
+   test: used to exercise the network server's passive-open path.
+   Built with refs rather than a lazy knot because the active open
+   emits its SYN during construction. *)
+let start_tcp_client t ~dst_ip ~dst_mac ~dst_port ~payload =
+  let result = { connected = false; response = ""; closed = false } in
+  let local_port = 50_000 + Rng.int t.rng 10_000 in
+  let key = (dst_ip, dst_port, local_port) in
+  let tcp_ref = ref None in
+  let timer = ref None in
+  let cb =
+    {
+      Tcp.emit = (fun seg -> emit_frame t ~dst_mac ~dst_ip (Wire.Tcp seg));
+      set_timer =
+        (fun delay ->
+          (match !timer with Some h -> Engine.cancel h | None -> ());
+          timer := None;
+          match delay with
+          | Some d ->
+              timer :=
+                Some
+                  (Engine.schedule t.engine ~after:d (fun () ->
+                       timer := None;
+                       match !tcp_ref with
+                       | Some tcp -> Tcp.handle_timer tcp ~now:(Engine.now t.engine)
+                       | None -> ()))
+          | None -> ());
+      notify =
+        (fun ev ->
+          match (!tcp_ref, ev) with
+          | Some tcp, Tcp.Ev_established ->
+              result.connected <- true;
+              ignore
+                (Tcp.send tcp ~now:(Engine.now t.engine) (Bytes.of_string payload) ~off:0
+                   ~len:(String.length payload))
+          | Some tcp, Tcp.Ev_rx_ready ->
+              let data = Tcp.recv tcp ~max:65536 in
+              result.response <- result.response ^ Bytes.to_string data
+          | Some tcp, Tcp.Ev_peer_closed -> Tcp.close tcp ~now:(Engine.now t.engine)
+          | _, (Tcp.Ev_reset | Tcp.Ev_closed) ->
+              result.closed <- true;
+              (match !timer with Some h -> Engine.cancel h | None -> ());
+              timer := None;
+              Hashtbl.remove t.conns key
+          | _ -> ())
+    }
+  in
+  let cfg =
+    Tcp.default_config ~local_port ~remote_port:dst_port ~isn:(Rng.int t.rng 0x3FFFFFFF)
+  in
+  let tcp = Tcp.create_active cfg ~now:(Engine.now t.engine) cb in
+  tcp_ref := Some tcp;
+  Hashtbl.replace t.conns key
+    {
+      key;
+      remote_ip = dst_ip;
+      remote_mac = dst_mac;
+      tcp;
+      timer = None;
+      request = Buffer.create 16;
+      serving = None;
+      done_serving = false;
+    };
+  result
+
+let start_udp_stream t ~dst_ip ~dst_mac ~dst_port ~src_port ~payload_len ~interval =
+  let stopped = ref false in
+  let rec tick () =
+    if not !stopped then begin
+      t.udp_seq <- t.udp_seq + 1;
+      let payload = Bytes.make payload_len (Char.chr (t.udp_seq land 0xFF)) in
+      emit_frame t ~dst_mac ~dst_ip (Wire.Udp { Wire.src_port; dst_port; payload });
+      ignore (Engine.schedule t.engine ~after:interval tick)
+    end
+  in
+  tick ();
+  fun () -> stopped := true

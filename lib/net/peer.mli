@@ -1,0 +1,66 @@
+(** The simulated remote host ("the Internet side" of the link).
+
+    It terminates TCP connections with its own instance of the same
+    {!Tcp} engine, serves deterministic files over a trivial
+    [GET <name>\n] protocol on port 80 (the wget experiment's server),
+    echoes UDP on port 7, and can blast a periodic UDP stream at the
+    machine under test (receive-side traffic for the fault-injection
+    campaign).
+
+    The peer attaches directly to the link — it stands in for remote
+    infrastructure, not for a component of the system under test. *)
+
+type t
+(** A peer instance. *)
+
+val create :
+  engine:Resilix_sim.Engine.t ->
+  rng:Resilix_sim.Rng.t ->
+  link:Resilix_hw.Link.t ->
+  side:Resilix_hw.Link.side ->
+  ip:int ->
+  mac:int ->
+  ?files:(string * (int * int)) list ->
+  unit ->
+  t
+(** [files] maps file names to [(size_bytes, content_seed)]. *)
+
+val add_file : t -> string -> size:int -> seed:int -> unit
+(** Register another servable file. *)
+
+val file_fnv : t -> string -> string option
+(** FNV digest of a registered file (what the client should see). *)
+
+val file_md5 : t -> string -> string option
+(** MD5 digest of a registered file. *)
+
+val bytes_served : t -> int
+(** Total file bytes accepted into server-side TCP so far. *)
+
+val connections : t -> int
+(** TCP connections accepted so far. *)
+
+type client_result = {
+  mutable connected : bool;
+  mutable response : string;  (** everything the server sent back *)
+  mutable closed : bool;
+}
+
+val start_tcp_client :
+  t -> dst_ip:int -> dst_mac:int -> dst_port:int -> payload:string -> client_result
+(** Open a TCP connection *into* the machine under test (exercising
+    the network server's listen/accept path), send [payload], then
+    collect whatever comes back until the peer closes. *)
+
+val start_udp_stream :
+  t ->
+  dst_ip:int ->
+  dst_mac:int ->
+  dst_port:int ->
+  src_port:int ->
+  payload_len:int ->
+  interval:int ->
+  unit ->
+  unit
+(** Begin sending one datagram every [interval] microseconds; the
+    returned thunk stops the stream. *)

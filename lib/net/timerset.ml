@@ -1,0 +1,16 @@
+type t = { table : (int, int) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 16 }
+let set t ~key ~deadline = Hashtbl.replace t.table key deadline
+let cancel t ~key = Hashtbl.remove t.table key
+
+let next_deadline t =
+  Hashtbl.fold
+    (fun _ d acc -> match acc with None -> Some d | Some d' -> Some (min d d'))
+    t.table None
+
+let take_due t ~now =
+  let due = Hashtbl.fold (fun k d acc -> if d <= now then k :: acc else acc) t.table [] in
+  List.iter (fun k -> Hashtbl.remove t.table k) due;
+  (* Deterministic order for reproducibility. *)
+  List.sort Int.compare due

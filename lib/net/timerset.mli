@@ -1,0 +1,23 @@
+(** Multiplexes many logical timers onto one deadline source.
+
+    The network server owns a single kernel alarm; each TCP connection
+    needs its own retransmission timer.  This keeps the earliest
+    deadline per integer key. *)
+
+type t
+(** A timer set. *)
+
+val create : unit -> t
+(** Empty set. *)
+
+val set : t -> key:int -> deadline:int -> unit
+(** Arm (or re-arm) the timer for [key]. *)
+
+val cancel : t -> key:int -> unit
+(** Disarm [key]'s timer. *)
+
+val next_deadline : t -> int option
+(** Earliest armed deadline. *)
+
+val take_due : t -> now:int -> int list
+(** Remove and return every key whose deadline has passed. *)

@@ -1,0 +1,191 @@
+module Crc32 = Resilix_checksum.Crc32
+
+type tcp_segment = {
+  src_port : int;
+  dst_port : int;
+  seq : int;
+  ack_no : int;
+  syn : bool;
+  ack : bool;
+  fin : bool;
+  rst : bool;
+  window : int;
+  payload : bytes;
+}
+
+type udp_datagram = { src_port : int; dst_port : int; payload : bytes }
+type ip_payload = Tcp of tcp_segment | Udp of udp_datagram
+type packet = { src_ip : int; dst_ip : int; body : ip_payload }
+type frame = { dst_mac : int; src_mac : int; packet : packet }
+
+let max_payload = 1460
+
+let ip a b c d = (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
+
+let ip_to_string v =
+  Printf.sprintf "%d.%d.%d.%d" ((v lsr 24) land 0xFF) ((v lsr 16) land 0xFF) ((v lsr 8) land 0xFF)
+    (v land 0xFF)
+
+(* --- low-level byte helpers --- *)
+
+let put_u16 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let put_u32 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let put_u48 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 40) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 32) land 0xFF));
+  put_u32 buf (v land 0xFFFF_FFFF)
+
+let get_u8 b i = Char.code (Bytes.get b i)
+let get_u16 b i = (get_u8 b i lsl 8) lor get_u8 b (i + 1)
+let get_u32 b i = (get_u16 b i lsl 16) lor get_u16 b (i + 2)
+let get_u48 b i = (get_u16 b i lsl 32) lor get_u32 b (i + 2)
+
+let flags_byte seg =
+  (if seg.syn then 1 else 0)
+  lor (if seg.ack then 2 else 0)
+  lor (if seg.fin then 4 else 0)
+  lor if seg.rst then 8 else 0
+
+let proto_tcp = 6
+let proto_udp = 17
+
+(* Layout:
+   0  dst_mac (6)
+   6  src_mac (6)
+   12 ethertype (2) = 0x0800
+   14 src_ip (4)
+   18 dst_ip (4)
+   22 proto (1)
+   TCP (proto 6), from 23:
+     src_port(2) dst_port(2) seq(4) ack(4) flags(1) window(4) len(2) crc(4) payload
+   UDP (proto 17), from 23:
+     src_port(2) dst_port(2) len(2) crc(4) payload *)
+
+let encode frame =
+  let buf = Buffer.create 64 in
+  put_u48 buf frame.dst_mac;
+  put_u48 buf frame.src_mac;
+  put_u16 buf 0x0800;
+  put_u32 buf frame.packet.src_ip;
+  put_u32 buf frame.packet.dst_ip;
+  (match frame.packet.body with
+  | Tcp seg ->
+      Buffer.add_char buf (Char.chr proto_tcp);
+      let hdr = Buffer.create 32 in
+      put_u16 hdr seg.src_port;
+      put_u16 hdr seg.dst_port;
+      put_u32 hdr (seg.seq land 0xFFFF_FFFF);
+      put_u32 hdr (seg.ack_no land 0xFFFF_FFFF);
+      Buffer.add_char hdr (Char.chr (flags_byte seg));
+      put_u32 hdr seg.window;
+      put_u16 hdr (Bytes.length seg.payload);
+      let hdr = Buffer.contents hdr in
+      let crc = Crc32.finish (Crc32.update_string (Crc32.update_string Crc32.start hdr) (Bytes.to_string seg.payload)) in
+      Buffer.add_string buf hdr;
+      put_u32 buf crc;
+      Buffer.add_bytes buf seg.payload
+  | Udp dgram ->
+      Buffer.add_char buf (Char.chr proto_udp);
+      let hdr = Buffer.create 8 in
+      put_u16 hdr dgram.src_port;
+      put_u16 hdr dgram.dst_port;
+      put_u16 hdr (Bytes.length dgram.payload);
+      let hdr = Buffer.contents hdr in
+      let crc = Crc32.finish (Crc32.update_string (Crc32.update_string Crc32.start hdr) (Bytes.to_string dgram.payload)) in
+      Buffer.add_string buf hdr;
+      put_u32 buf crc;
+      Buffer.add_bytes buf dgram.payload);
+  Buffer.to_bytes buf
+
+let decode b =
+  try
+    if Bytes.length b < 23 then Error "frame too short"
+    else if get_u16 b 12 <> 0x0800 then Error "bad ethertype"
+    else begin
+      let dst_mac = get_u48 b 0 and src_mac = get_u48 b 6 in
+      let src_ip = get_u32 b 14 and dst_ip = get_u32 b 18 in
+      let proto = get_u8 b 22 in
+      if proto = proto_tcp then begin
+        if Bytes.length b < 23 + 19 + 4 then Error "tcp header truncated"
+        else begin
+          let src_port = get_u16 b 23 and dst_port = get_u16 b 25 in
+          let seq = get_u32 b 27 and ack_no = get_u32 b 31 in
+          let flags = get_u8 b 35 in
+          let window = get_u32 b 36 in
+          let len = get_u16 b 40 in
+          let crc = get_u32 b 42 in
+          if Bytes.length b < 46 + len then Error "tcp payload truncated"
+          else begin
+            let payload = Bytes.sub b 46 len in
+            let hdr = Bytes.to_string (Bytes.sub b 23 19) in
+            let computed =
+              Crc32.finish
+                (Crc32.update_string (Crc32.update_string Crc32.start hdr)
+                   (Bytes.to_string payload))
+            in
+            if computed <> crc then Error "tcp checksum mismatch"
+            else
+              Ok
+                {
+                  dst_mac;
+                  src_mac;
+                  packet =
+                    {
+                      src_ip;
+                      dst_ip;
+                      body =
+                        Tcp
+                          {
+                            src_port;
+                            dst_port;
+                            seq;
+                            ack_no;
+                            syn = flags land 1 <> 0;
+                            ack = flags land 2 <> 0;
+                            fin = flags land 4 <> 0;
+                            rst = flags land 8 <> 0;
+                            window;
+                            payload;
+                          };
+                    };
+                }
+          end
+        end
+      end
+      else if proto = proto_udp then begin
+        if Bytes.length b < 23 + 6 + 4 then Error "udp header truncated"
+        else begin
+          let src_port = get_u16 b 23 and dst_port = get_u16 b 25 in
+          let len = get_u16 b 27 in
+          let crc = get_u32 b 29 in
+          if Bytes.length b < 33 + len then Error "udp payload truncated"
+          else begin
+            let payload = Bytes.sub b 33 len in
+            let hdr = Bytes.to_string (Bytes.sub b 23 6) in
+            let computed =
+              Crc32.finish
+                (Crc32.update_string (Crc32.update_string Crc32.start hdr)
+                   (Bytes.to_string payload))
+            in
+            if computed <> crc then Error "udp checksum mismatch"
+            else
+              Ok
+                {
+                  dst_mac;
+                  src_mac;
+                  packet = { src_ip; dst_ip; body = Udp { src_port; dst_port; payload } };
+                }
+          end
+        end
+      end
+      else Error "unknown protocol"
+    end
+  with Invalid_argument _ -> Error "malformed frame"

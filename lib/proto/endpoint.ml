@@ -1,0 +1,10 @@
+type t = { slot : int; gen : int } [@@deriving eq]
+
+let make ~slot ~gen = { slot; gen }
+
+let compare a b =
+  match Int.compare a.slot b.slot with 0 -> Int.compare a.gen b.gen | c -> c
+
+let pp ppf t = Format.fprintf ppf "ep:%d.%d" t.slot t.gen
+let to_string t = Format.asprintf "%a" pp t
+let show = to_string

@@ -1,0 +1,22 @@
+(** Temporally unique IPC endpoints.
+
+    An endpoint names a process instance: a process-table slot plus a
+    generation number that the kernel bumps every time the slot is
+    reused.  This is the paper's mechanism for making sure messages
+    cannot be delivered to the wrong process across a restart — a
+    recovered driver gets a fresh endpoint, and sends to the stale one
+    fail with [E_dead_src_dst] (Sec. 5.3). *)
+
+type t = { slot : int; gen : int } [@@deriving show, eq]
+
+val make : slot:int -> gen:int -> t
+(** Construct an endpoint. *)
+
+val compare : t -> t -> int
+(** Total order (slot-major). *)
+
+val pp : Format.formatter -> t -> unit
+(** Compact rendering, e.g. ["ep:7.2"]. *)
+
+val to_string : t -> string
+(** Same rendering as {!pp}, as a string. *)

@@ -1,0 +1,45 @@
+type t =
+  | E_dead_src_dst
+  | E_bad_endpoint
+  | E_no_perm
+  | E_again
+  | E_io
+  | E_noent
+  | E_inval
+  | E_nospace
+  | E_busy
+  | E_timeout
+  | E_conn_refused
+  | E_conn_reset
+  | E_bad_fd
+  | E_exist
+  | E_not_dir
+  | E_is_dir
+  | E_nodev
+  | E_range
+  | E_nomem
+[@@deriving eq]
+
+let to_string = function
+  | E_dead_src_dst -> "EDEADSRCDST"
+  | E_bad_endpoint -> "EBADENDPT"
+  | E_no_perm -> "EPERM"
+  | E_again -> "EAGAIN"
+  | E_io -> "EIO"
+  | E_noent -> "ENOENT"
+  | E_inval -> "EINVAL"
+  | E_nospace -> "ENOSPC"
+  | E_busy -> "EBUSY"
+  | E_timeout -> "ETIMEDOUT"
+  | E_conn_refused -> "ECONNREFUSED"
+  | E_conn_reset -> "ECONNRESET"
+  | E_bad_fd -> "EBADF"
+  | E_exist -> "EEXIST"
+  | E_not_dir -> "ENOTDIR"
+  | E_is_dir -> "EISDIR"
+  | E_nodev -> "ENODEV"
+  | E_range -> "ERANGE"
+  | E_nomem -> "ENOMEM"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let show = to_string

@@ -1,0 +1,29 @@
+(** Error codes shared across all IPC protocols (MINIX-style). *)
+
+type t =
+  | E_dead_src_dst  (** IPC peer died or endpoint is stale — the signal a server sees when a driver crashes mid-request *)
+  | E_bad_endpoint  (** endpoint never existed / malformed *)
+  | E_no_perm  (** privilege check failed *)
+  | E_again  (** temporarily unavailable, retry *)
+  | E_io  (** device or driver level I/O error *)
+  | E_noent  (** no such name / file / service *)
+  | E_inval  (** malformed request *)
+  | E_nospace  (** out of blocks / table slots *)
+  | E_busy  (** resource held (e.g. service already running) *)
+  | E_timeout  (** operation timed out *)
+  | E_conn_refused  (** no listener at destination *)
+  | E_conn_reset  (** connection torn down by peer *)
+  | E_bad_fd  (** unknown file / socket descriptor *)
+  | E_exist  (** name already exists *)
+  | E_not_dir  (** path component is not a directory *)
+  | E_is_dir  (** directory where a file was expected *)
+  | E_nodev  (** no driver registered for the device *)
+  | E_range  (** offset/length outside the valid range *)
+  | E_nomem  (** out of memory / grant slots *)
+[@@deriving show, eq]
+
+val to_string : t -> string
+(** Short lowercase name, e.g. ["EDEADSRCDST"]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints {!to_string}. *)

@@ -1,0 +1,44 @@
+(** Per-process privileges (principle of least authority, Sec. 4).
+
+    Privileges are attached to a process when the reincarnation server
+    creates it and enforced by the kernel at run time: which stable
+    names it may IPC to, which kernel calls it may make, which I/O
+    port ranges and IRQ lines it may touch. *)
+
+type allow = All | Only of string list [@@deriving show, eq]
+(** A whitelist: [All] for trusted servers, [Only names] otherwise. *)
+
+type t = {
+  uid : int;  (** unprivileged user id (system processes get uid > 0) *)
+  ipc_to : allow;  (** stable names of permitted IPC destinations *)
+  kcalls : allow;  (** permitted kernel call names, e.g. ["safecopy"] *)
+  io_ports : (int * int) list;  (** inclusive port ranges this process may access *)
+  irqs : int list;  (** IRQ lines this process may register *)
+  may_complain : bool;  (** may report malfunctioning components to RS (defect class 5) *)
+}
+[@@deriving show, eq]
+
+val none : t
+(** No authority at all (plain applications). *)
+
+val app : t
+(** An ordinary application: may IPC to the servers (PM, VFS, INET,
+    DS, RS) but makes no kernel calls and touches no hardware. *)
+
+val server : ipc_to:allow -> t
+(** A trusted system server: full kernel-call set except process
+    management, no hardware access. *)
+
+val driver : ipc_to:string list -> io_ports:(int * int) list -> irqs:int list -> t
+(** A device driver: the driver kernel-call subset (safecopy, devio,
+    irqctl, iommu_map, grants, alarms) plus exactly the given hardware
+    resources. *)
+
+val allows : allow -> string -> bool
+(** [allows a name] checks membership. *)
+
+val allows_port : t -> int -> bool
+(** Whether the process may touch I/O port [p]. *)
+
+val allows_irq : t -> int -> bool
+(** Whether the process may register IRQ line [i]. *)

@@ -1,0 +1,11 @@
+type t = Sig_term | Sig_kill | Sig_segv | Sig_ill | Sig_chld [@@deriving eq]
+
+let to_string = function
+  | Sig_term -> "SIGTERM"
+  | Sig_kill -> "SIGKILL"
+  | Sig_segv -> "SIGSEGV"
+  | Sig_ill -> "SIGILL"
+  | Sig_chld -> "SIGCHLD"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let show = to_string

@@ -1,0 +1,15 @@
+(** The small set of POSIX-style signals the simulated system uses. *)
+
+type t =
+  | Sig_term  (** polite shutdown request (dynamic update path) *)
+  | Sig_kill  (** unconditional kill (the crash script uses this) *)
+  | Sig_segv  (** MMU exception: bad pointer dereference *)
+  | Sig_ill  (** CPU exception: illegal instruction *)
+  | Sig_chld  (** child status change, sent by PM to the parent (RS) *)
+[@@deriving show, eq]
+
+val to_string : t -> string
+(** e.g. ["SIGTERM"]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints {!to_string}. *)

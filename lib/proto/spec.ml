@@ -1,0 +1,26 @@
+type t = {
+  name : string;
+  program : string;
+  args : string list;
+  privileges : Privilege.t;
+  heartbeat_period : int;
+  max_heartbeat_misses : int;
+  policy : string;
+  policy_params : string list;
+  mem_kb : int;
+}
+[@@deriving show, eq]
+
+let make ~name ~program ?(args = []) ~privileges ?(heartbeat_period = 500_000)
+    ?(max_heartbeat_misses = 4) ?(policy = "") ?(policy_params = []) ?(mem_kb = 256) () =
+  {
+    name;
+    program;
+    args;
+    privileges;
+    heartbeat_period;
+    max_heartbeat_misses;
+    policy;
+    policy_params;
+    mem_kb;
+  }

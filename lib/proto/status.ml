@@ -1,0 +1,25 @@
+type exit_status = Exited of int | Panicked of string | Killed of Signal.t [@@deriving show, eq]
+
+type defect = D_exit | D_exception | D_killed_by_user | D_heartbeat | D_complaint | D_update
+[@@deriving show, eq]
+
+let defect_of_exit = function
+  | Exited _ | Panicked _ -> D_exit
+  | Killed (Signal.Sig_segv | Signal.Sig_ill) -> D_exception
+  | Killed (Signal.Sig_kill | Signal.Sig_term | Signal.Sig_chld) -> D_killed_by_user
+
+let defect_number = function
+  | D_exit -> 1
+  | D_exception -> 2
+  | D_killed_by_user -> 3
+  | D_heartbeat -> 4
+  | D_complaint -> 5
+  | D_update -> 6
+
+let defect_name = function
+  | D_exit -> "exit/panic"
+  | D_exception -> "cpu/mmu exception"
+  | D_killed_by_user -> "killed by user"
+  | D_heartbeat -> "heartbeat missing"
+  | D_complaint -> "complaint"
+  | D_update -> "dynamic update"

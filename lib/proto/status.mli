@@ -1,0 +1,28 @@
+(** Process termination statuses and the defect classes of Sec. 5.1. *)
+
+type exit_status =
+  | Exited of int  (** voluntary exit with a code; 0 is clean *)
+  | Panicked of string  (** internal-inconsistency panic *)
+  | Killed of Signal.t  (** killed: by the user (SIGKILL/SIGTERM) or by a CPU/MMU exception (SIGSEGV/SIGILL) *)
+[@@deriving show, eq]
+
+(** The six inputs that can initiate recovery (Sec. 5.1). *)
+type defect =
+  | D_exit  (** 1: process exit or panic *)
+  | D_exception  (** 2: crashed by CPU or MMU exception *)
+  | D_killed_by_user  (** 3: killed by user *)
+  | D_heartbeat  (** 4: heartbeat message missing *)
+  | D_complaint  (** 5: complaint by another component *)
+  | D_update  (** 6: dynamic update requested by user *)
+[@@deriving show, eq]
+
+val defect_of_exit : exit_status -> defect
+(** Classify a termination reported by the process manager into
+    defect class 1, 2 or 3. *)
+
+val defect_number : defect -> int
+(** The paper's class number (1..6); this is what a policy script
+    receives as its [reason] argument. *)
+
+val defect_name : defect -> string
+(** Human-readable name of the class. *)

@@ -1,0 +1,27 @@
+let ep slot = Endpoint.make ~slot ~gen:0
+
+let hardware = ep 0
+let pm = ep 1
+let rs = ep 2
+let ds = ep 3
+let vfs = ep 4
+let mfs = ep 5
+let inet = ep 6
+let first_dynamic_slot = 8
+
+let name_pm = "pm"
+let name_rs = "rs"
+let name_ds = "ds"
+let name_vfs = "vfs"
+let name_mfs = "mfs"
+let name_inet = "inet"
+
+let name_of_slot = function
+  | 0 -> Some "hardware"
+  | 1 -> Some name_pm
+  | 2 -> Some name_rs
+  | 3 -> Some name_ds
+  | 4 -> Some name_vfs
+  | 5 -> Some name_mfs
+  | 6 -> Some name_inet
+  | _ -> None

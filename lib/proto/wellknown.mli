@@ -1,0 +1,42 @@
+(** Well-known process-table slots and stable service names.
+
+    The trusted servers live at fixed slots established at boot; all
+    other components are found through the data store by stable name
+    (Sec. 5.3). *)
+
+val hardware : Endpoint.t
+(** Pseudo-endpoint used as the source of IRQ/alarm notifications. *)
+
+val pm : Endpoint.t
+(** The process manager. *)
+
+val rs : Endpoint.t
+(** The reincarnation server. *)
+
+val ds : Endpoint.t
+(** The data store. *)
+
+val vfs : Endpoint.t
+(** The virtual file system server. *)
+
+val mfs : Endpoint.t
+(** The MINIX-like file server. *)
+
+val inet : Endpoint.t
+(** The network server. *)
+
+val first_dynamic_slot : int
+(** Slot at which dynamically created processes begin. *)
+
+val name_of_slot : int -> string option
+(** Stable name of a well-known slot, if any. *)
+
+(** Stable names used as data-store keys ([drv.*] entries are
+    published by RS so dependents can subscribe, e.g. to ["eth.*"]). *)
+
+val name_pm : string
+val name_rs : string
+val name_ds : string
+val name_vfs : string
+val name_mfs : string
+val name_inet : string

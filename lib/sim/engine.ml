@@ -1,0 +1,58 @@
+type handle = { mutable cancelled : bool }
+
+type event = { fire : unit -> unit; handle : handle }
+
+type t = {
+  mutable clock : Time.t;
+  mutable seq : int;
+  queue : event Heap.t;
+}
+
+let create () = { clock = Time.zero; seq = 0; queue = Heap.create () }
+let now t = t.clock
+
+let schedule_at t ~at fire =
+  if Time.compare at t.clock < 0 then
+    invalid_arg
+      (Format.asprintf "Engine.schedule_at: %a is before now (%a)" Time.pp at Time.pp t.clock);
+  let handle = { cancelled = false } in
+  t.seq <- t.seq + 1;
+  Heap.push t.queue ~key:at ~seq:t.seq { fire; handle };
+  handle
+
+let schedule t ~after fire =
+  if after < 0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~at:(Time.add t.clock after) fire
+
+let cancel handle = handle.cancelled <- true
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (at, _, ev) ->
+      t.clock <- at;
+      if not ev.handle.cancelled then ev.fire ();
+      true
+
+let run ?until ?max_events t =
+  let fired = ref 0 in
+  let continue () =
+    (match max_events with Some m -> !fired < m | None -> true)
+    &&
+    match Heap.peek t.queue with
+    | None -> false
+    | Some (at, _, _) -> (
+        match until with
+        | Some stop when Time.compare at stop > 0 -> false
+        | Some _ | None -> true)
+  in
+  while continue () do
+    ignore (step t);
+    incr fired
+  done;
+  let stopped_by_budget = match max_events with Some m -> !fired >= m | None -> false in
+  match until with
+  | Some stop when (not stopped_by_budget) && Time.compare t.clock stop < 0 -> t.clock <- stop
+  | Some _ | None -> ()
+
+let pending t = Heap.length t.queue

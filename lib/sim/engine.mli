@@ -1,0 +1,42 @@
+(** Discrete-event simulation engine.
+
+    The engine owns the virtual clock and a queue of pending events.
+    Events scheduled for the same instant fire in the order they were
+    scheduled.  The entire simulated operating system — kernel, device
+    models, timers — is driven by this single queue, which is what
+    makes runs deterministic and replayable. *)
+
+type t
+(** An engine instance. *)
+
+type handle
+(** A cancellation handle for a scheduled event. *)
+
+val create : unit -> t
+(** A fresh engine with the clock at {!Time.zero}. *)
+
+val now : t -> Time.t
+(** Current virtual time. *)
+
+val schedule_at : t -> at:Time.t -> (unit -> unit) -> handle
+(** [schedule_at t ~at f] runs [f] when the clock reaches [at].
+    [at] must not be in the past. *)
+
+val schedule : t -> after:Time.t -> (unit -> unit) -> handle
+(** [schedule t ~after f] runs [f] after [after] has elapsed. *)
+
+val cancel : handle -> unit
+(** Prevents the event from firing.  Idempotent; safe after firing. *)
+
+val step : t -> bool
+(** Runs the single earliest pending event.  Returns [false] when the
+    queue is empty. *)
+
+val run : ?until:Time.t -> ?max_events:int -> t -> unit
+(** [run t] executes events until the queue is empty, [until] is
+    reached (clock stops exactly at [until]), or [max_events] have
+    fired.  Defaults: no time bound, no event bound. *)
+
+val pending : t -> int
+(** Number of events waiting (including cancelled ones not yet
+    reaped). *)

@@ -1,0 +1,73 @@
+type 'a entry = { key : int; seq : int; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+let length h = h.size
+let is_empty h = h.size = 0
+
+let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let swap h i j =
+  let tmp = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less h.data.(i) h.data.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && less h.data.(l) h.data.(!smallest) then smallest := l;
+  if r < h.size && less h.data.(r) h.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let ensure_capacity h =
+  let cap = Array.length h.data in
+  if h.size >= cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    (* The dummy element is immediately overwritten before being read. *)
+    let ndata = Array.make ncap h.data.(if cap = 0 then 0 else 0) in
+    Array.blit h.data 0 ndata 0 h.size;
+    h.data <- ndata
+  end
+
+let push h ~key ~seq value =
+  let entry = { key; seq; value } in
+  if Array.length h.data = 0 then h.data <- Array.make 16 entry
+  else ensure_capacity h;
+  h.data.(h.size) <- entry;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let peek h =
+  if h.size = 0 then None
+  else
+    let e = h.data.(0) in
+    Some (e.key, e.seq, e.value)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let e = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h 0
+    end;
+    Some (e.key, e.seq, e.value)
+  end
+
+let clear h =
+  h.data <- [||];
+  h.size <- 0

@@ -1,0 +1,29 @@
+(** Imperative binary min-heap used by the event queue.
+
+    Elements carry an integer primary key (the event time) and an
+    integer secondary key (a monotonically increasing sequence number)
+    so that ties are broken deterministically in FIFO order. *)
+
+type 'a t
+(** A heap of values of type ['a]. *)
+
+val create : unit -> 'a t
+(** [create ()] is a fresh empty heap. *)
+
+val length : 'a t -> int
+(** Number of elements currently stored. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty h] is [length h = 0]. *)
+
+val push : 'a t -> key:int -> seq:int -> 'a -> unit
+(** [push h ~key ~seq v] inserts [v] with priority [(key, seq)]. *)
+
+val peek : 'a t -> (int * int * 'a) option
+(** [peek h] is the minimum element without removing it. *)
+
+val pop : 'a t -> (int * int * 'a) option
+(** [pop h] removes and returns the minimum element. *)
+
+val clear : 'a t -> unit
+(** Removes every element. *)

@@ -1,0 +1,46 @@
+type level = Debug | Info | Warn | Error
+
+type event = { time : Time.t; level : level; subsystem : string; message : string }
+
+type t = {
+  capacity : int;
+  mutable echo : bool;
+  queue : event Queue.t;
+}
+
+let create ?(capacity = 65536) ?(echo = false) () = { capacity; echo; queue = Queue.create () }
+let set_echo t echo = t.echo <- echo
+
+let level_tag = function Debug -> "DBG" | Info -> "INF" | Warn -> "WRN" | Error -> "ERR"
+
+let pp_event ppf e =
+  Format.fprintf ppf "[%a] %s %-8s %s" Time.pp e.time (level_tag e.level) e.subsystem e.message
+
+let record t e =
+  if Queue.length t.queue >= t.capacity then ignore (Queue.pop t.queue);
+  Queue.push e t.queue;
+  if t.echo then Format.eprintf "%a@." pp_event e
+
+let emit t ~now level subsystem fmt =
+  Format.kasprintf (fun message -> record t { time = now; level; subsystem; message }) fmt
+
+let events t = List.of_seq (Queue.to_seq t.queue)
+
+let matches ~subsystem ~contains e =
+  String.equal e.subsystem subsystem
+  &&
+  let sub_len = String.length contains and msg_len = String.length e.message in
+  let rec scan i =
+    if i + sub_len > msg_len then false
+    else if String.sub e.message i sub_len = contains then true
+    else scan (i + 1)
+  in
+  sub_len = 0 || scan 0
+
+let find t ~subsystem ~contains =
+  List.find_opt (matches ~subsystem ~contains) (events t)
+
+let count t ~subsystem ~contains =
+  List.length (List.filter (matches ~subsystem ~contains) (events t))
+
+let clear t = Queue.clear t.queue

@@ -1,0 +1,44 @@
+(** Structured trace log for the simulated system.
+
+    The kernel, servers, drivers and experiments all emit events here;
+    tests assert on the recorded history, and [echo] mirrors events to
+    stderr for interactive runs. *)
+
+type level = Debug | Info | Warn | Error
+
+type event = {
+  time : Time.t;  (** virtual time at which the event was emitted *)
+  level : level;
+  subsystem : string;  (** e.g. ["kernel"], ["rs"], ["inet"] *)
+  message : string;
+}
+
+type t
+(** A bounded in-memory trace buffer. *)
+
+val create : ?capacity:int -> ?echo:bool -> unit -> t
+(** [create ()] makes an empty trace keeping the last [capacity]
+    (default 65536) events.  With [echo:true] events are also printed
+    to stderr as they happen. *)
+
+val set_echo : t -> bool -> unit
+(** Toggle mirroring to stderr. *)
+
+val emit : t -> now:Time.t -> level -> string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** [emit t ~now level subsystem fmt ...] records one event. *)
+
+val events : t -> event list
+(** All retained events, oldest first. *)
+
+val find : t -> subsystem:string -> contains:string -> event option
+(** First retained event from [subsystem] whose message contains
+    [contains] as a substring. *)
+
+val count : t -> subsystem:string -> contains:string -> int
+(** Number of retained matching events. *)
+
+val clear : t -> unit
+(** Drop all retained events. *)
+
+val pp_event : Format.formatter -> event -> unit
+(** One-line rendering of an event. *)

@@ -1,0 +1,25 @@
+let rtl8139_base = 0x300
+let rtl8139_irq = 11
+let dp8390_base = 0x320
+let dp8390_irq = 12
+let sata_base = 0x340
+let sata_irq = 13
+let floppy_base = 0x360
+let floppy_irq = 14
+let audio_base = 0x380
+let audio_irq = 5
+let printer_base = 0x390
+let printer_irq = 6
+let cd_base = 0x3A0
+let cd_irq = 7
+
+let ip a b c d = (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
+
+let local_ip = ip 10 0 0 1
+let rtl_peer_ip = ip 10 0 0 2
+let dp_peer_ip = ip 10 0 0 3
+
+let rtl8139_mac = 0x0200_0000_0001
+let dp8390_mac = 0x0200_0000_0003
+let rtl_peer_mac = 0x0200_0000_0002
+let dp_peer_mac = 0x0200_0000_0004

@@ -1,0 +1,33 @@
+(** The simulated machine's fixed hardware map: I/O port bases and IRQ
+    lines for every device, plus network addressing.  Shared by the
+    boot code, driver specs (least-authority port/IRQ grants), and the
+    experiment harness. *)
+
+val rtl8139_base : int
+val rtl8139_irq : int
+val dp8390_base : int
+val dp8390_irq : int
+val sata_base : int
+val sata_irq : int
+val floppy_base : int
+val floppy_irq : int
+val audio_base : int
+val audio_irq : int
+val printer_base : int
+val printer_irq : int
+val cd_base : int
+val cd_irq : int
+
+val local_ip : int
+(** IP of the machine under test. *)
+
+val rtl_peer_ip : int
+(** IP of the remote peer behind the RTL8139's link. *)
+
+val dp_peer_ip : int
+(** IP of the remote peer behind the DP8390's link. *)
+
+val rtl8139_mac : int
+val dp8390_mac : int
+val rtl_peer_mac : int
+val dp_peer_mac : int

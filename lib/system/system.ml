@@ -1,0 +1,407 @@
+module Engine = Resilix_sim.Engine
+module Trace = Resilix_sim.Trace
+module Rng = Resilix_sim.Rng
+module Kernel = Resilix_kernel.Kernel
+module Sysif = Resilix_kernel.Sysif
+module Api = Resilix_kernel.Sysif.Api
+module Errno = Resilix_proto.Errno
+module Message = Resilix_proto.Message
+module Privilege = Resilix_proto.Privilege
+module Signal = Resilix_proto.Signal
+module Spec = Resilix_proto.Spec
+module Wellknown = Resilix_proto.Wellknown
+module Policy = Resilix_core.Policy
+module Reincarnation = Resilix_core.Reincarnation
+module Service = Resilix_core.Service
+
+type opts = {
+  seed : int;
+  trace_echo : bool;
+  inet_driver : string;
+  disk_mb : int;
+  fs_files : (string * int) list;
+  link_latency : int;
+  link_bytes_per_us : int;
+  link_drop_prob : float;
+  peer_files : (string * (int * int)) list;
+  nic_wedge_prob : float;
+  nic_has_master_reset : bool;
+  policies : (string * Policy.t) list;
+  heartbeat_tick : int;
+}
+
+let default_opts =
+  {
+    seed = 42;
+    trace_echo = false;
+    inet_driver = "eth.rtl8139";
+    disk_mb = 64;
+    fs_files = [];
+    link_latency = 200;
+    (* The link is a 100 Mbit Ethernet: ~12 bytes/us.  This is what
+       capped the paper's wget at ~10.8 MB/s. *)
+    link_bytes_per_us = 12;
+    link_drop_prob = 0.;
+    peer_files = [];
+    nic_wedge_prob = 0.;
+    nic_has_master_reset = false;
+    policies =
+      [ ("direct", Policy.direct); ("generic", Policy.generic ~alert:"root" ()) ];
+    heartbeat_tick = 100_000;
+  }
+
+type t = {
+  engine : Engine.t;
+  kernel : Kernel.t;
+  trace : Trace.t;
+  rng : Rng.t;
+  bus : Resilix_hw.Bus.t;
+  store : Resilix_hw.Blockstore.t;
+  nic_rtl : Resilix_hw.Nic8139.t;
+  nic_dp : Resilix_hw.Nic8390.t;
+  disk : Resilix_hw.Disk.t;
+  floppy : Resilix_hw.Disk.t;
+  audio : Resilix_hw.Audio_dev.t;
+  printer : Resilix_hw.Printer_dev.t;
+  cd : Resilix_hw.Cd_dev.t;
+  rtl_link : Resilix_hw.Link.t;
+  dp_link : Resilix_hw.Link.t;
+  rtl_peer : Resilix_net.Peer.t;
+  dp_peer : Resilix_net.Peer.t;
+  pm : Resilix_pm.Proc_manager.t;
+  ds : Resilix_datastore.Data_store.t;
+  rs : Reincarnation.t;
+  vfs : Resilix_fs.Vfs.t;
+  mfs : Resilix_fs.Mfs.t;
+  inet : Resilix_net.Inet.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Canned service specs                                                *)
+(* ------------------------------------------------------------------ *)
+
+let args_of ~base ~irq = [ string_of_int base; string_of_int irq ]
+
+let spec_rtl8139 ?(policy = "direct") ?(heartbeat_period = 500_000) () =
+  Spec.make ~name:"eth.rtl8139" ~program:"eth.rtl8139"
+    ~args:(args_of ~base:Hwmap.rtl8139_base ~irq:Hwmap.rtl8139_irq)
+    ~privileges:
+      (Privilege.driver ~ipc_to:[ "inet" ]
+         ~io_ports:[ (Hwmap.rtl8139_base, Hwmap.rtl8139_base + 11) ]
+         ~irqs:[ Hwmap.rtl8139_irq ])
+    ~heartbeat_period ~policy
+    ~mem_kb:Resilix_drivers.Netdriver_rtl8139.memory_kb ()
+
+let spec_dp8390 ?(policy = "direct") ?(heartbeat_period = 500_000) () =
+  Spec.make ~name:"eth.dp8390" ~program:"eth.dp8390"
+    ~args:(args_of ~base:Hwmap.dp8390_base ~irq:Hwmap.dp8390_irq)
+    ~privileges:
+      (Privilege.driver ~ipc_to:[ "inet" ]
+         ~io_ports:[ (Hwmap.dp8390_base, Hwmap.dp8390_base + 9) ]
+         ~irqs:[ Hwmap.dp8390_irq ])
+    ~heartbeat_period ~policy
+    ~mem_kb:Resilix_drivers.Netdriver_dp8390.memory_kb ()
+
+let spec_sata ?(policy = "direct") ?(heartbeat_period = 500_000) () =
+  Spec.make ~name:"blk.sata" ~program:"blk.sata"
+    ~args:(args_of ~base:Hwmap.sata_base ~irq:Hwmap.sata_irq)
+    ~privileges:
+      (Privilege.driver ~ipc_to:[ "mfs"; "vfs" ]
+         ~io_ports:[ (Hwmap.sata_base, Hwmap.sata_base + 6) ]
+         ~irqs:[ Hwmap.sata_irq ])
+    ~heartbeat_period ~policy
+    ~mem_kb:Resilix_drivers.Blockdriver_disk.memory_kb ()
+
+let spec_floppy ?(policy = "generic") () =
+  Spec.make ~name:"blk.floppy" ~program:"blk.floppy"
+    ~args:(args_of ~base:Hwmap.floppy_base ~irq:Hwmap.floppy_irq)
+    ~privileges:
+      (Privilege.driver ~ipc_to:[ "mfs"; "vfs" ]
+         ~io_ports:[ (Hwmap.floppy_base, Hwmap.floppy_base + 6) ]
+         ~irqs:[ Hwmap.floppy_irq ])
+    ~policy
+    ~mem_kb:Resilix_drivers.Blockdriver_disk.memory_kb ()
+
+let spec_ramdisk ?(size_kb = 512) () =
+  Spec.make ~name:"blk.ram" ~program:"blk.ram" ~args:[ string_of_int size_kb ]
+    ~privileges:(Privilege.driver ~ipc_to:[ "mfs"; "vfs" ] ~io_ports:[] ~irqs:[])
+    ~policy:""
+    ~mem_kb:(Resilix_drivers.Blockdriver_ramdisk.memory_needed_kb ~size_kb)
+    ()
+
+let spec_audio ?(policy = "direct") () =
+  Spec.make ~name:"chr.audio" ~program:"chr.audio"
+    ~args:(args_of ~base:Hwmap.audio_base ~irq:Hwmap.audio_irq)
+    ~privileges:
+      (Privilege.driver ~ipc_to:[ "vfs" ]
+         ~io_ports:[ (Hwmap.audio_base, Hwmap.audio_base + 5) ]
+         ~irqs:[ Hwmap.audio_irq ])
+    ~policy
+    ~mem_kb:Resilix_drivers.Chardriver_audio.memory_kb ()
+
+let spec_printer ?(policy = "direct") () =
+  Spec.make ~name:"chr.printer" ~program:"chr.printer"
+    ~args:(args_of ~base:Hwmap.printer_base ~irq:Hwmap.printer_irq)
+    ~privileges:
+      (Privilege.driver ~ipc_to:[ "vfs" ]
+         ~io_ports:[ (Hwmap.printer_base, Hwmap.printer_base + 5) ]
+         ~irqs:[ Hwmap.printer_irq ])
+    ~policy
+    ~mem_kb:Resilix_drivers.Chardriver_printer.memory_kb ()
+
+let spec_cd ?(policy = "direct") () =
+  Spec.make ~name:"chr.cd" ~program:"chr.cd"
+    ~args:(args_of ~base:Hwmap.cd_base ~irq:Hwmap.cd_irq)
+    ~privileges:
+      (Privilege.driver ~ipc_to:[ "vfs" ]
+         ~io_ports:[ (Hwmap.cd_base, Hwmap.cd_base + 6) ]
+         ~irqs:[ Hwmap.cd_irq ])
+    ~policy
+    ~mem_kb:Resilix_drivers.Chardriver_cd.memory_kb ()
+
+(* ------------------------------------------------------------------ *)
+(* Boot                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let server_priv = Privilege.server ~ipc_to:Privilege.All
+
+let boot ?(opts = default_opts) () =
+  let engine = Engine.create () in
+  let trace = Trace.create ~echo:opts.trace_echo () in
+  let master_rng = Rng.create ~seed:opts.seed in
+  let rng_kernel = Rng.split master_rng in
+  let rng_hw = Rng.split master_rng in
+  let rng_links = Rng.split master_rng in
+  let rng_peers = Rng.split master_rng in
+  let kernel = Kernel.create ~engine ~trace ~rng:rng_kernel () in
+  (* --- hardware --- *)
+  let bus = Resilix_hw.Bus.create () in
+  Resilix_hw.Bus.attach bus kernel;
+  let rtl_link =
+    Resilix_hw.Link.create ~engine ~rng:(Rng.split rng_links) ~latency:opts.link_latency
+      ~bytes_per_us:opts.link_bytes_per_us ~drop_prob:opts.link_drop_prob ()
+  in
+  let dp_link =
+    Resilix_hw.Link.create ~engine ~rng:(Rng.split rng_links) ~latency:opts.link_latency
+      ~bytes_per_us:opts.link_bytes_per_us ~drop_prob:opts.link_drop_prob ()
+  in
+  let nic_rtl =
+    Resilix_hw.Nic8139.create ~kernel ~bus ~base:Hwmap.rtl8139_base ~irq:Hwmap.rtl8139_irq
+      ~link:rtl_link ~side:Resilix_hw.Link.A ~mac:Hwmap.rtl8139_mac ~rng:(Rng.split rng_hw)
+      ~wedge_prob:opts.nic_wedge_prob ~has_master_reset:opts.nic_has_master_reset ()
+  in
+  let nic_dp =
+    Resilix_hw.Nic8390.create ~kernel ~bus ~base:Hwmap.dp8390_base ~irq:Hwmap.dp8390_irq
+      ~link:dp_link ~side:Resilix_hw.Link.A ~mac:Hwmap.dp8390_mac ~rng:(Rng.split rng_hw)
+      ~wedge_prob:opts.nic_wedge_prob ~has_master_reset:opts.nic_has_master_reset ()
+  in
+  let store =
+    Resilix_hw.Blockstore.create ~seed:(opts.seed * 7919) ~sectors:(opts.disk_mb * 2048)
+      ~sector_size:512
+  in
+  let disk =
+    Resilix_hw.Disk.create ~kernel ~bus ~base:Hwmap.sata_base ~irq:Hwmap.sata_irq ~store
+      ~rng:(Rng.split rng_hw) ()
+  in
+  let floppy_store =
+    Resilix_hw.Blockstore.create ~seed:(opts.seed * 104729) ~sectors:2880 ~sector_size:512
+  in
+  let floppy =
+    Resilix_hw.Disk.create ~kernel ~bus ~base:Hwmap.floppy_base ~irq:Hwmap.floppy_irq
+      ~store:floppy_store ~rng:(Rng.split rng_hw) ~rate_bytes_per_us:1 ~seek_us:20_000 ()
+  in
+  let audio =
+    Resilix_hw.Audio_dev.create ~kernel ~bus ~base:Hwmap.audio_base ~irq:Hwmap.audio_irq
+      ~rng:(Rng.split rng_hw) ()
+  in
+  let printer =
+    Resilix_hw.Printer_dev.create ~kernel ~bus ~base:Hwmap.printer_base ~irq:Hwmap.printer_irq
+      ~rng:(Rng.split rng_hw) ()
+  in
+  let cd =
+    Resilix_hw.Cd_dev.create ~kernel ~bus ~base:Hwmap.cd_base ~irq:Hwmap.cd_irq
+      ~rng:(Rng.split rng_hw) ()
+  in
+  (* --- remote peers --- *)
+  let rtl_peer =
+    Resilix_net.Peer.create ~engine ~rng:(Rng.split rng_peers) ~link:rtl_link
+      ~side:Resilix_hw.Link.B ~ip:Hwmap.rtl_peer_ip ~mac:Hwmap.rtl_peer_mac
+      ~files:opts.peer_files ()
+  in
+  let dp_peer =
+    Resilix_net.Peer.create ~engine ~rng:(Rng.split rng_peers) ~link:dp_link
+      ~side:Resilix_hw.Link.B ~ip:Hwmap.dp_peer_ip ~mac:Hwmap.dp_peer_mac ()
+  in
+  (* --- format the disk --- *)
+  let mk =
+    Resilix_fs.Mkfs.format
+      ~write_block:(fun block data -> Resilix_hw.Blockstore.write store ~lba:(block * 8) data)
+      ~total_blocks:(opts.disk_mb * 256) ~inode_count:1024
+  in
+  let mk =
+    List.fold_left
+      (fun mk (name, size) -> Resilix_fs.Mkfs.add_contiguous_file mk ~name ~size)
+      mk opts.fs_files
+  in
+  Resilix_fs.Mkfs.finish mk;
+  (* --- driver binaries --- *)
+  Kernel.register_program kernel "eth.rtl8139" Resilix_drivers.Netdriver_rtl8139.program;
+  Kernel.register_program kernel "eth.dp8390" Resilix_drivers.Netdriver_dp8390.program;
+  Kernel.register_program kernel "blk.sata" Resilix_drivers.Blockdriver_disk.program;
+  Kernel.register_program kernel "blk.floppy" Resilix_drivers.Blockdriver_disk.program;
+  Kernel.register_program kernel "blk.ram" Resilix_drivers.Blockdriver_ramdisk.program;
+  Kernel.register_program kernel "chr.audio" Resilix_drivers.Chardriver_audio.program;
+  Kernel.register_program kernel "chr.printer" Resilix_drivers.Chardriver_printer.program;
+  Kernel.register_program kernel "chr.cd" Resilix_drivers.Chardriver_cd.program;
+  (* --- trusted servers (Fig. 1) --- *)
+  let pm = Resilix_pm.Proc_manager.create () in
+  let ds = Resilix_datastore.Data_store.create () in
+  let rs =
+    Reincarnation.create
+      ~register_program:(Kernel.register_program kernel)
+      ~policies:opts.policies
+      ~complainers:[ Wellknown.vfs; Wellknown.mfs; Wellknown.inet ]
+      ~heartbeat_tick:opts.heartbeat_tick ()
+  in
+  let vfs =
+    Resilix_fs.Vfs.create
+      ~chardevs:
+        [
+          ("/dev/audio", ("chr.audio", 0));
+          ("/dev/printer", ("chr.printer", 0));
+          ("/dev/cd", ("chr.cd", 0));
+        ]
+      ()
+  in
+  let mfs = Resilix_fs.Mfs.create ~driver_key:"blk.sata" () in
+  let gateway_mac =
+    if String.equal opts.inet_driver "eth.dp8390" then Hwmap.dp_peer_mac else Hwmap.rtl_peer_mac
+  in
+  let inet =
+    Resilix_net.Inet.create ~local_ip:Hwmap.local_ip ~gateway_mac ~driver_key:opts.inet_driver ()
+  in
+  Kernel.spawn_wellknown kernel ~ep:Wellknown.pm ~name:Wellknown.name_pm
+    ~priv:
+      {
+        server_priv with
+        Privilege.kcalls =
+          Privilege.Only [ "proc_create"; "proc_kill"; "reap_exit"; "alarm" ];
+      }
+    (Resilix_pm.Proc_manager.body pm);
+  Kernel.spawn_wellknown kernel ~ep:Wellknown.ds ~name:Wellknown.name_ds ~priv:server_priv
+    (Resilix_datastore.Data_store.body ds);
+  Kernel.spawn_wellknown kernel ~ep:Wellknown.rs ~name:Wellknown.name_rs
+    ~priv:{ server_priv with Privilege.kcalls = Privilege.All }
+    (Reincarnation.body rs);
+  Kernel.spawn_wellknown kernel ~ep:Wellknown.vfs ~name:Wellknown.name_vfs ~priv:server_priv
+    ~mem_kb:Resilix_fs.Vfs.memory_kb (Resilix_fs.Vfs.body vfs);
+  Kernel.spawn_wellknown kernel ~ep:Wellknown.mfs ~name:Wellknown.name_mfs ~priv:server_priv
+    ~mem_kb:Resilix_fs.Mfs.memory_kb (Resilix_fs.Mfs.body mfs);
+  Kernel.spawn_wellknown kernel ~ep:Wellknown.inet ~name:Wellknown.name_inet ~priv:server_priv
+    ~mem_kb:1024 (Resilix_net.Inet.body inet);
+  {
+    engine;
+    kernel;
+    trace;
+    rng = master_rng;
+    bus;
+    store;
+    nic_rtl;
+    nic_dp;
+    disk;
+    floppy;
+    audio;
+    printer;
+    cd;
+    rtl_link;
+    dp_link;
+    rtl_peer;
+    dp_peer;
+    pm;
+    ds;
+    rs;
+    vfs;
+    mfs;
+    inet;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Workloads                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let app_counter = ref 0
+
+let spawn_app t ~name ?(priv = Privilege.app) ?(mem_kb = 256) body =
+  incr app_counter;
+  let key = Printf.sprintf "app#%s#%d" name !app_counter in
+  Kernel.register_program t.kernel key body;
+  match Kernel.spawn_dynamic t.kernel ~name ~program:key ~args:[] ~priv ~mem_kb with
+  | Ok ep -> ep
+  | Error e -> failwith ("spawn_app failed: " ^ Errno.to_string e)
+
+let run ?until ?max_events t = Engine.run ?until ?max_events t.engine
+
+let run_until t ?(timeout = 60_000_000) pred =
+  let deadline = Engine.now t.engine + timeout in
+  let rec step () =
+    if pred () then true
+    else if Engine.now t.engine >= deadline then false
+    else if Engine.step t.engine then step ()
+    else pred ()
+  in
+  step ()
+
+let start_services t specs =
+  let done_flag = ref false in
+  ignore
+    (spawn_app t ~name:"service-setup" (fun () ->
+         List.iter
+           (fun spec ->
+             match Service.up spec with
+             | Ok () -> ()
+             | Error e ->
+                 Api.panic
+                   (Printf.sprintf "service up %s failed: %s" spec.Spec.name (Errno.to_string e)))
+           specs;
+         List.iter
+           (fun spec ->
+             match Service.wait_until_up spec.Spec.name with
+             | Ok _ -> ()
+             | Error e ->
+                 Api.panic
+                   (Printf.sprintf "service %s did not come up: %s" spec.Spec.name
+                      (Errno.to_string e)))
+           specs;
+         done_flag := true));
+  if not (run_until t (fun () -> !done_flag)) then
+    failwith "start_services: services did not come up"
+
+(* The paper's crash simulation (Sec. 7.1): "a tiny shell script that
+   first initiates the I/O transfer, and then repeatedly looks up the
+   driver's process ID and kills the driver using a SIGKILL signal". *)
+let start_crash_script t ~target ~interval ?count () =
+  ignore
+    (spawn_app t ~name:("crash-" ^ target) (fun () ->
+         let remaining = ref (Option.value count ~default:max_int) in
+         while !remaining > 0 do
+           Api.sleep interval;
+           decr remaining;
+           match Api.sendrec Wellknown.pm (Message.Pm_pidof { name = target }) with
+           | Ok (Sysif.Rx_msg { body = Message.Pm_pidof_reply { result = Ok pid }; _ }) ->
+               ignore
+                 (Api.sendrec Wellknown.pm (Message.Pm_kill { pid; signal = Signal.Sig_kill }))
+           | _ -> () (* between incarnations: try again next round *)
+         done))
+
+let kill_service_once t ~target =
+  match Kernel.find_by_name t.kernel target with
+  | Some ep -> Kernel.kill t.kernel ep (Resilix_proto.Status.Killed Signal.Sig_kill)
+  | None -> Error Errno.E_noent
+
+let inject_fault t ~target ~image:(origin, insn_count) ftype =
+  match Kernel.find_by_name t.kernel target with
+  | None -> None
+  | Some ep -> (
+      match Kernel.proc_memory t.kernel ep with
+      | None -> None
+      | Some mem -> Resilix_vm.Fault.inject t.rng mem ~base:origin ~insn_count ftype)

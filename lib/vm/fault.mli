@@ -1,0 +1,36 @@
+(** Software fault injection (Sec. 7.2).
+
+    Mutates the encoded driver-VM image *inside a running driver's
+    address space*, emulating the binary-mutation fault injectors the
+    paper builds on (Ng & Chen; Swift et al.).  The seven fault types
+    are the paper's list verbatim. *)
+
+type fault_type =
+  | Change_src  (** 1: change source register of an instruction *)
+  | Change_dst  (** 2: change destination register *)
+  | Garble_pointer  (** 3: corrupt the address operand of a load/store *)
+  | Stale_param  (** 4: use current register value instead of passed parameter (drop the initializing MOVI) *)
+  | Invert_loop  (** 5: invert the termination condition of a loop *)
+  | Flip_bit  (** 6: flip one bit of an instruction *)
+  | Elide  (** 7: elide an instruction *)
+
+val all : fault_type array
+(** The seven types, in the paper's order. *)
+
+val to_string : fault_type -> string
+(** Short name for reports. *)
+
+val random_type : Resilix_sim.Rng.t -> fault_type
+(** Uniformly chosen fault type. *)
+
+val inject :
+  Resilix_sim.Rng.t ->
+  Resilix_kernel.Memory.t ->
+  base:int ->
+  insn_count:int ->
+  fault_type ->
+  string option
+(** [inject rng mem ~base ~insn_count ft] applies one fault of type
+    [ft] to the image at [base].  Starts at a random instruction and
+    scans for one the fault type applies to; returns a description of
+    what was mutated, or [None] when no suitable instruction exists. *)

@@ -1,0 +1,44 @@
+(** Interpreter for driver-VM programs.
+
+    Programs execute *inside a driver process's fiber*: instruction
+    fetches read the process's own memory (so injected faults in the
+    loaded image take effect immediately), loads/stores go to the same
+    address space (wild pointers raise real MMU faults that kill the
+    process with SIGSEGV), and [In]/[Out] instructions are mediated
+    I/O-port kernel calls subject to the driver's privileges.
+
+    Failure surface, mapped to the paper's defect classes (Sec. 5.1):
+    - {!Check_failed} and {!Io_failed} are caught by the driver
+      library, which panics — class 1 (exit/panic).
+    - Illegal opcodes raise SIGILL and MMU faults raise SIGSEGV via
+      the kernel — class 2 (CPU/MMU exception).
+    - Runaway loops never return to the driver's message loop, so
+      heartbeats go unanswered — class 4. *)
+
+exception Check_failed of { index : int; detail : string }
+(** A [Chk*] consistency check failed: the driver detected an
+    internal inconsistency. *)
+
+exception Io_failed of { port : int }
+(** A mediated port access was rejected (e.g. a corrupted port number
+    outside the driver's privilege range). *)
+
+type program = {
+  base : int;  (** address of the loaded image in the process *)
+  insn_count : int;  (** number of encoded instructions *)
+}
+
+val load : base:int -> bytes -> program
+(** Copy an assembled image into the *calling process's* memory at
+    [base] and describe it.  Must be performed from inside a fiber. *)
+
+val run : ?fuel_slice:int -> program -> regs:int array -> int
+(** Execute from instruction 0 until [Ret], returning r0.  [regs] is
+    the 8-register file (mutated in place; index 0 = r0), which is how
+    the OCaml part of a driver passes parameters in and reads results
+    out.  Every [fuel_slice] instructions (default 32) the interpreter
+    yields ~1 microsecond of simulated CPU time, so runaway loops
+    advance virtual time instead of hanging the simulator.
+
+    @raise Check_failed / Io_failed as documented above; illegal
+    instructions and MMU faults terminate the process directly. *)

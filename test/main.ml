@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "resilix"
+    [
+      ("sim", Test_sim.tests);
+      ("proto", Test_proto.tests);
+      ("checksum", Test_checksum.tests);
+      ("kernel", Test_kernel.tests);
+      ("vm", Test_vm.tests);
+      ("hw", Test_hw.tests);
+      ("net", Test_net.tests);
+      ("tcp-edge", Test_tcp_edge.tests);
+      ("fs", Test_fs.tests);
+      ("servers", Test_servers.tests);
+      ("system", Test_system.tests);
+      ("chardev", Test_chardev.tests);
+      ("recovery", Test_recovery.tests);
+      ("faultinj", Test_faultinj.tests);
+      ("sclc", Test_sclc.tests);
+    ]

@@ -1,0 +1,132 @@
+(* Tests for lib/checksum: known-answer vectors plus streaming/one-shot
+   equivalence properties. *)
+
+module Md5 = Resilix_checksum.Md5
+module Sha1 = Resilix_checksum.Sha1
+module Crc32 = Resilix_checksum.Crc32
+module Fnv = Resilix_checksum.Fnv
+
+let check_md5 input expected () = Alcotest.(check string) input expected (Md5.digest_string input)
+
+let check_sha1 input expected () =
+  Alcotest.(check string) input expected (Sha1.digest_string input)
+
+let md5_vectors =
+  [
+    ("", "d41d8cd98f00b204e9800998ecf8427e");
+    ("a", "0cc175b9c0f1b6a831c399e269772661");
+    ("abc", "900150983cd24fb0d6963f7d28e17f72");
+    ("message digest", "f96b697d7cb7938d525a2f31aaf161d0");
+    ("abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b");
+    ( "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+      "d174ab98d277d9f5a5611c2c9f419d9f" );
+    ( "12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+      "57edf4a22be3c955ac49da2e2107b67a" );
+  ]
+
+let sha1_vectors =
+  [
+    ("", "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    ("abc", "a9993e364706816aba3e25717850c26c9cd0d89d");
+    ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+      "84983e441c3bd26ebaae4aa1f95129e5e54670f1" );
+  ]
+
+let test_sha1_million () =
+  (* FIPS 180-1 appendix: one million 'a's. *)
+  let ctx = Sha1.init () in
+  let chunk = Bytes.make 1000 'a' in
+  for _ = 1 to 1000 do
+    Sha1.update ctx chunk ~off:0 ~len:1000
+  done;
+  Alcotest.(check string)
+    "sha1 of 1M a's" "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+    (Sha1.hex (Sha1.finalize ctx))
+
+let test_crc32_vectors () =
+  Alcotest.(check int) "crc32 of empty" 0 (Crc32.string "");
+  Alcotest.(check int) "crc32 of '123456789'" 0xCBF43926 (Crc32.string "123456789")
+
+let test_fnv_vectors () =
+  (* Published FNV-1a 64-bit values. *)
+  Alcotest.(check string) "fnv of empty" "cbf29ce484222325" (Fnv.to_hex (Fnv.string ""));
+  Alcotest.(check string) "fnv of 'a'" "af63dc4c8601ec8c" (Fnv.to_hex (Fnv.string "a"));
+  Alcotest.(check string) "fnv of 'foobar'" "85944171f73967e8" (Fnv.to_hex (Fnv.string "foobar"))
+
+(* Property: splitting the input into arbitrary chunks does not change
+   any digest — this is exactly how the dd/wget examples stream data. *)
+
+let random_chunks =
+  QCheck.Gen.(
+    let* body = string_size (int_bound 600) in
+    let* cuts = list_size (int_bound 8) (int_bound (max 1 (String.length body))) in
+    QCheck.Gen.return (body, List.sort_uniq compare cuts))
+
+let split_at_cuts body cuts =
+  let n = String.length body in
+  let points = List.filter (fun c -> c > 0 && c < n) cuts in
+  let rec pieces start = function
+    | [] -> [ String.sub body start (n - start) ]
+    | c :: rest -> String.sub body start (c - start) :: pieces c rest
+  in
+  pieces 0 points
+
+let prop_streaming_md5 =
+  QCheck.Test.make ~name:"md5 streaming = one-shot" ~count:200
+    (QCheck.make random_chunks)
+    (fun (body, cuts) ->
+      let ctx = Md5.init () in
+      List.iter (Md5.update_string ctx) (split_at_cuts body cuts);
+      Md5.hex (Md5.finalize ctx) = Md5.digest_string body)
+
+let prop_streaming_sha1 =
+  QCheck.Test.make ~name:"sha1 streaming = one-shot" ~count:200
+    (QCheck.make random_chunks)
+    (fun (body, cuts) ->
+      let ctx = Sha1.init () in
+      List.iter (Sha1.update_string ctx) (split_at_cuts body cuts);
+      Sha1.hex (Sha1.finalize ctx) = Sha1.digest_string body)
+
+let prop_streaming_crc =
+  QCheck.Test.make ~name:"crc32 streaming = one-shot" ~count:200
+    (QCheck.make random_chunks)
+    (fun (body, cuts) ->
+      let c =
+        List.fold_left (fun acc s -> Crc32.update_string acc s) Crc32.start
+          (split_at_cuts body cuts)
+      in
+      Crc32.finish c = Crc32.string body)
+
+let prop_streaming_fnv =
+  QCheck.Test.make ~name:"fnv streaming = one-shot" ~count:200
+    (QCheck.make random_chunks)
+    (fun (body, cuts) ->
+      let h =
+        List.fold_left (fun acc s -> Fnv.update_string acc s) Fnv.start (split_at_cuts body cuts)
+      in
+      h = Fnv.string body)
+
+let prop_md5_injective_smoke =
+  QCheck.Test.make ~name:"md5 distinguishes distinct short strings" ~count:200
+    QCheck.(pair (string_of_size (QCheck.Gen.int_bound 40)) (string_of_size (QCheck.Gen.int_bound 40)))
+    (fun (a, b) -> a = b || Md5.digest_string a <> Md5.digest_string b)
+
+let tests =
+  List.mapi
+    (fun i (input, expected) ->
+      Alcotest.test_case (Printf.sprintf "md5 vector %d" i) `Quick (check_md5 input expected))
+    md5_vectors
+  @ List.mapi
+      (fun i (input, expected) ->
+        Alcotest.test_case (Printf.sprintf "sha1 vector %d" i) `Quick (check_sha1 input expected))
+      sha1_vectors
+  @ [
+      Alcotest.test_case "sha1 one million a's" `Slow test_sha1_million;
+      Alcotest.test_case "crc32 vectors" `Quick test_crc32_vectors;
+      Alcotest.test_case "fnv-1a vectors" `Quick test_fnv_vectors;
+      QCheck_alcotest.to_alcotest prop_streaming_md5;
+      QCheck_alcotest.to_alcotest prop_streaming_sha1;
+      QCheck_alcotest.to_alcotest prop_streaming_crc;
+      QCheck_alcotest.to_alcotest prop_streaming_fnv;
+      QCheck_alcotest.to_alcotest prop_md5_injective_smoke;
+    ]

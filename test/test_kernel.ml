@@ -1,0 +1,654 @@
+(* Tests for the simulated microkernel: rendezvous IPC, temporally
+   unique endpoints, notifications, async sends, grants + safecopy,
+   privileges, kills during IPC, alarms, IRQ routing and DMA. *)
+
+module Engine = Resilix_sim.Engine
+module Trace = Resilix_sim.Trace
+module Rng = Resilix_sim.Rng
+module Kernel = Resilix_kernel.Kernel
+module Memory = Resilix_kernel.Memory
+module Sysif = Resilix_kernel.Sysif
+module Api = Resilix_kernel.Sysif.Api
+module Endpoint = Resilix_proto.Endpoint
+module Errno = Resilix_proto.Errno
+module Message = Resilix_proto.Message
+module Privilege = Resilix_proto.Privilege
+module Signal = Resilix_proto.Signal
+module Status = Resilix_proto.Status
+module Wellknown = Resilix_proto.Wellknown
+
+let make_kernel () =
+  let engine = Engine.create () in
+  let trace = Trace.create () in
+  let rng = Rng.create ~seed:1 in
+  let kernel = Kernel.create ~engine ~trace ~rng () in
+  (engine, kernel)
+
+let all_priv =
+  {
+    Privilege.none with
+    Privilege.ipc_to = Privilege.All;
+    kcalls = Privilege.All;
+    io_ports = [ (0, 0xFFFF) ];
+    irqs = List.init 32 Fun.id;
+  }
+
+let ep slot = Endpoint.make ~slot ~gen:1
+
+(* Spawn a test process at a dynamic slot with full privileges. *)
+let spawn kernel name body =
+  Kernel.register_program kernel name body;
+  match
+    Kernel.spawn_dynamic kernel ~name ~program:name ~args:[] ~priv:all_priv ~mem_kb:64
+  with
+  | Ok e -> e
+  | Error _ -> Alcotest.fail "spawn failed"
+
+let errno = Alcotest.testable Errno.pp Errno.equal
+
+let test_rendezvous_send_receive () =
+  let engine, kernel = make_kernel () in
+  let got = ref None in
+  let receiver =
+    spawn kernel "receiver" (fun () ->
+        match Api.receive Sysif.Any with
+        | Ok (Sysif.Rx_msg { body = Message.Dev_open { minor }; _ }) -> got := Some minor
+        | _ -> ())
+  in
+  let _sender =
+    spawn kernel "sender" (fun () -> ignore (Api.send receiver (Message.Dev_open { minor = 7 })))
+  in
+  Engine.run engine;
+  Alcotest.(check (option int)) "message delivered" (Some 7) !got
+
+let test_sender_blocks_until_receive () =
+  let engine, kernel = make_kernel () in
+  let send_done_at = ref 0 in
+  let receiver =
+    spawn kernel "receiver" (fun () ->
+        Api.sleep 1000;
+        ignore (Api.receive Sysif.Any))
+  in
+  let _sender =
+    spawn kernel "sender" (fun () ->
+        ignore (Api.send receiver Message.Ok_reply);
+        send_done_at := Api.now ())
+  in
+  Engine.run engine;
+  Alcotest.(check bool)
+    (Printf.sprintf "send completed only after receive (at %d)" !send_done_at)
+    true (!send_done_at >= 1000)
+
+let test_sendrec_reply () =
+  let engine, kernel = make_kernel () in
+  let reply = ref None in
+  let server =
+    spawn kernel "server" (fun () ->
+        match Api.receive Sysif.Any with
+        | Ok (Sysif.Rx_msg { src; body = Message.Dev_read _ }) ->
+            ignore (Api.send src (Message.Dev_reply { result = Ok 42 }))
+        | _ -> ())
+  in
+  let _client =
+    spawn kernel "client" (fun () ->
+        match Api.sendrec server (Message.Dev_read { minor = 0; pos = 0; grant = 0; len = 0 }) with
+        | Ok (Sysif.Rx_msg { body = Message.Dev_reply { result = Ok n }; _ }) -> reply := Some n
+        | _ -> ())
+  in
+  Engine.run engine;
+  Alcotest.(check (option int)) "sendrec got the reply" (Some 42) !reply
+
+let test_receive_from_filters () =
+  let engine, kernel = make_kernel () in
+  let order = ref [] in
+  (* Receiver waits specifically for B even though A sends first. *)
+  let mk_receiver a_ep b_ep =
+    spawn kernel "receiver" (fun () ->
+        (match Api.receive (Sysif.From b_ep) with
+        | Ok (Sysif.Rx_msg { body = Message.Err_reply e; _ }) -> order := ("b", e) :: !order
+        | _ -> ());
+        match Api.receive (Sysif.From a_ep) with
+        | Ok (Sysif.Rx_msg { body = Message.Err_reply e; _ }) -> order := ("a", e) :: !order
+        | _ -> ())
+  in
+  (* Pre-create sender endpoints by spawning them first but have them
+     sleep so the receiver installs its filter first. *)
+  let a =
+    spawn kernel "a" (fun () ->
+        Api.sleep 10;
+        ignore (Api.send (Option.get (Kernel.find_by_name kernel "receiver")) (Message.Err_reply Errno.E_io)))
+  in
+  let b =
+    spawn kernel "b" (fun () ->
+        Api.sleep 50;
+        ignore (Api.send (Option.get (Kernel.find_by_name kernel "receiver")) (Message.Err_reply Errno.E_busy)))
+  in
+  let _r = mk_receiver a b in
+  Engine.run engine;
+  Alcotest.(check (list (pair string errno)))
+    "B served first despite A arriving earlier"
+    [ ("a", Errno.E_io); ("b", Errno.E_busy) ]
+    !order
+
+let test_notify_queued_and_deduped () =
+  let engine, kernel = make_kernel () in
+  let notifies = ref 0 in
+  let receiver =
+    spawn kernel "receiver" (fun () ->
+        Api.sleep 1000;
+        let rec drain () =
+          match Api.receive Sysif.Any with
+          | Ok (Sysif.Rx_notify { kind = Message.N_heartbeat_request; _ }) ->
+              incr notifies;
+              drain ()
+          | Ok (Sysif.Rx_msg { body = Message.Ok_reply; _ }) -> () (* stop marker *)
+          | _ -> drain ()
+        in
+        drain ())
+  in
+  let _sender =
+    spawn kernel "sender" (fun () ->
+        (* Three notifies of the same kind while target is asleep must
+           collapse into one pending notification. *)
+        ignore (Api.notify receiver Message.N_heartbeat_request);
+        ignore (Api.notify receiver Message.N_heartbeat_request);
+        ignore (Api.notify receiver Message.N_heartbeat_request);
+        Api.sleep 2000;
+        ignore (Api.send receiver Message.Ok_reply))
+  in
+  Engine.run engine;
+  Alcotest.(check int) "notifications deduplicated" 1 !notifies
+
+let test_async_send_does_not_block () =
+  let engine, kernel = make_kernel () in
+  let t_sent = ref (-1) in
+  let got = ref false in
+  let receiver =
+    spawn kernel "receiver" (fun () ->
+        Api.sleep 5000;
+        match Api.receive Sysif.Any with
+        | Ok (Sysif.Rx_msg { body = Message.Ok_reply; _ }) -> got := true
+        | _ -> ())
+  in
+  let _sender =
+    spawn kernel "sender" (fun () ->
+        ignore (Api.asend receiver Message.Ok_reply);
+        t_sent := Api.now ())
+  in
+  Engine.run engine;
+  Alcotest.(check bool) "async send returned immediately" true (!t_sent >= 0 && !t_sent < 5000);
+  Alcotest.(check bool) "message eventually delivered" true !got
+
+let test_dead_destination () =
+  let engine, kernel = make_kernel () in
+  let result = ref None in
+  let victim = spawn kernel "victim" (fun () -> Api.sleep 100) in
+  let _sender =
+    spawn kernel "sender" (fun () ->
+        Api.sleep 1000 (* victim exits at t=100ish *);
+        result := Some (Api.send victim Message.Ok_reply))
+  in
+  Engine.run engine;
+  match !result with
+  | Some (Error Errno.E_dead_src_dst) -> ()
+  | _ -> Alcotest.fail "expected E_dead_src_dst for send to dead process"
+
+let test_kill_aborts_rendezvous () =
+  let engine, kernel = make_kernel () in
+  let result = ref None in
+  (* The "driver" receives a request and hangs forever; killing it must
+     abort the file-server-style sendrec with E_dead_src_dst. *)
+  let driver =
+    spawn kernel "driver" (fun () ->
+        ignore (Api.receive Sysif.Any);
+        Api.sleep 1_000_000_000)
+  in
+  let _fs =
+    spawn kernel "fs" (fun () ->
+        result := Some (Api.sendrec driver (Message.Dev_read { minor = 0; pos = 0; grant = 0; len = 512 })))
+  in
+  ignore
+    (Engine.schedule engine ~after:5000 (fun () ->
+         ignore (Kernel.kill kernel driver (Status.Killed Signal.Sig_kill))));
+  Engine.run engine;
+  match !result with
+  | Some (Error Errno.E_dead_src_dst) -> ()
+  | _ -> Alcotest.fail "expected E_dead_src_dst when driver killed mid-sendrec"
+
+let test_stale_endpoint_after_restart () =
+  let engine, kernel = make_kernel () in
+  let result = ref None in
+  Kernel.register_program kernel "drv" (fun () -> Api.sleep 1_000_000_000);
+  let first =
+    match Kernel.spawn_dynamic kernel ~name:"drv" ~program:"drv" ~args:[] ~priv:all_priv ~mem_kb:64 with
+    | Ok e -> e
+    | Error _ -> Alcotest.fail "spawn"
+  in
+  ignore
+    (Engine.schedule engine ~after:100 (fun () ->
+         ignore (Kernel.kill kernel first (Status.Killed Signal.Sig_kill));
+         (* Restart: same slot may be reused, generation must differ. *)
+         match
+           Kernel.spawn_dynamic kernel ~name:"drv" ~program:"drv" ~args:[] ~priv:all_priv
+             ~mem_kb:64
+         with
+         | Ok second -> Alcotest.(check bool) "endpoint differs" false (Endpoint.equal first second)
+         | Error _ -> Alcotest.fail "respawn"));
+  let _sender =
+    spawn kernel "sender" (fun () ->
+        Api.sleep 10_000;
+        result := Some (Api.send first Message.Ok_reply))
+  in
+  Engine.run engine ~until:20_000;
+  match !result with
+  | Some (Error Errno.E_dead_src_dst) -> ()
+  | _ -> Alcotest.fail "expected stale endpoint send to fail with E_dead_src_dst"
+
+let test_grant_safecopy () =
+  let engine, kernel = make_kernel () in
+  let copied = ref "" in
+  let owner =
+    spawn kernel "owner" (fun () ->
+        let mem = Api.memory () in
+        Memory.write mem ~addr:100 (Bytes.of_string "hello grants");
+        match Api.receive Sysif.Any with
+        | Ok (Sysif.Rx_msg { src; body = Message.Dev_read { grant = -1; _ } }) ->
+            (* Create the grant on demand and ship its id. *)
+            let g =
+              match
+                Api.grant_create ~for_:src ~base:100 ~len:12 ~access:Sysif.Read_only
+              with
+              | Ok g -> g
+              | Error _ -> Api.panic "grant_create failed"
+            in
+            ignore (Api.send src (Message.Dev_reply { result = Ok g }))
+        | _ -> ())
+  in
+  let _reader =
+    spawn kernel "reader" (fun () ->
+        match Api.sendrec owner (Message.Dev_read { minor = 0; pos = 0; grant = -1; len = 12 }) with
+        | Ok (Sysif.Rx_msg { body = Message.Dev_reply { result = Ok g }; _ }) -> (
+            match Api.safecopy_from ~owner ~grant:g ~grant_off:0 ~local_addr:0 ~len:12 with
+            | Ok () ->
+                let mem = Api.memory () in
+                copied := Bytes.to_string (Memory.read mem ~addr:0 ~len:12)
+            | Error _ -> ())
+        | _ -> ())
+  in
+  Engine.run engine;
+  Alcotest.(check string) "safecopy moved the bytes" "hello grants" !copied
+
+let test_grant_wrong_grantee_rejected () =
+  let engine, kernel = make_kernel () in
+  let outcome = ref None in
+  let owner =
+    spawn kernel "owner" (fun () ->
+        let other = Endpoint.make ~slot:63 ~gen:9 in
+        (match Api.grant_create ~for_:other ~base:0 ~len:16 ~access:Sysif.Read_write with
+        | Ok _ -> ()
+        | Error _ -> ());
+        Api.sleep 10_000)
+  in
+  let _thief =
+    spawn kernel "thief" (fun () ->
+        Api.sleep 100;
+        (* Grant id 1 exists but names someone else as grantee. *)
+        outcome := Some (Api.safecopy_from ~owner ~grant:1 ~grant_off:0 ~local_addr:0 ~len:8))
+  in
+  Engine.run engine ~until:20_000;
+  match !outcome with
+  | Some (Error Errno.E_no_perm) -> ()
+  | _ -> Alcotest.fail "expected E_no_perm for wrong grantee"
+
+let test_grant_bounds_checked () =
+  let engine, kernel = make_kernel () in
+  let outcome = ref None in
+  let owner =
+    spawn kernel "owner" (fun () ->
+        (match Api.receive Sysif.Any with
+        | Ok (Sysif.Rx_msg { src; _ }) ->
+            let g =
+              match Api.grant_create ~for_:src ~base:0 ~len:16 ~access:Sysif.Read_write with
+              | Ok g -> g
+              | Error _ -> Api.panic "grant failed"
+            in
+            ignore (Api.send src (Message.Dev_reply { result = Ok g }))
+        | _ -> ());
+        Api.sleep 10_000)
+  in
+  let _client =
+    spawn kernel "client" (fun () ->
+        match Api.sendrec owner Message.Ok_reply with
+        | Ok (Sysif.Rx_msg { body = Message.Dev_reply { result = Ok g }; _ }) ->
+            outcome := Some (Api.safecopy_from ~owner ~grant:g ~grant_off:8 ~local_addr:0 ~len:16)
+        | _ -> ())
+  in
+  Engine.run engine ~until:20_000;
+  match !outcome with
+  | Some (Error Errno.E_range) -> ()
+  | _ -> Alcotest.fail "expected E_range for out-of-grant copy"
+
+let test_ipc_privilege_enforced () =
+  let engine, kernel = make_kernel () in
+  let outcome = ref None in
+  let target = spawn kernel "target" (fun () -> ignore (Api.receive Sysif.Any)) in
+  Kernel.register_program kernel "restricted" (fun () ->
+      outcome := Some (Api.send target Message.Ok_reply));
+  let priv = { Privilege.none with Privilege.ipc_to = Privilege.Only [ "somebody-else" ] } in
+  (match
+     Kernel.spawn_dynamic kernel ~name:"restricted" ~program:"restricted" ~args:[] ~priv ~mem_kb:64
+   with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "spawn");
+  Engine.run engine ~until:10_000;
+  match !outcome with
+  | Some (Error Errno.E_no_perm) -> ()
+  | _ -> Alcotest.fail "expected E_no_perm for disallowed IPC destination"
+
+let test_kcall_privilege_enforced () =
+  let engine, kernel = make_kernel () in
+  let outcome = ref None in
+  Kernel.register_program kernel "noio" (fun () -> outcome := Some (Api.devio_in 0x300));
+  let priv =
+    { Privilege.none with Privilege.ipc_to = Privilege.All; kcalls = Privilege.Only [ "alarm" ] }
+  in
+  (match Kernel.spawn_dynamic kernel ~name:"noio" ~program:"noio" ~args:[] ~priv ~mem_kb:64 with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "spawn");
+  Engine.run engine;
+  match !outcome with
+  | Some (Error Errno.E_no_perm) -> ()
+  | _ -> Alcotest.fail "expected E_no_perm for denied kernel call"
+
+let test_io_port_privilege () =
+  let engine, kernel = make_kernel () in
+  Kernel.set_io_handler kernel (fun _ -> Ok 0xAB);
+  let in_range = ref None and out_of_range = ref None in
+  Kernel.register_program kernel "drv" (fun () ->
+      in_range := Some (Api.devio_in 0x300);
+      out_of_range := Some (Api.devio_in 0x400));
+  let priv =
+    {
+      Privilege.none with
+      Privilege.ipc_to = Privilege.All;
+      kcalls = Privilege.All;
+      io_ports = [ (0x300, 0x30F) ];
+    }
+  in
+  (match Kernel.spawn_dynamic kernel ~name:"drv" ~program:"drv" ~args:[] ~priv ~mem_kb:64 with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "spawn");
+  Engine.run engine;
+  (match !in_range with
+  | Some (Ok 0xAB) -> ()
+  | _ -> Alcotest.fail "allowed port read should succeed");
+  match !out_of_range with
+  | Some (Error Errno.E_no_perm) -> ()
+  | _ -> Alcotest.fail "port outside the privileged range must be denied"
+
+let test_mmu_fault_kills () =
+  let engine, kernel = make_kernel () in
+  let _victim =
+    spawn kernel "victim" (fun () ->
+        let mem = Api.memory () in
+        (* Dereference a wild pointer: instant SIGSEGV. *)
+        ignore (Memory.get_u32 mem 99_999_999))
+  in
+  (* PM would normally reap this; check via trace + liveness. *)
+  Engine.run engine;
+  Alcotest.(check bool) "victim is dead" true (Kernel.find_by_name kernel "victim" = None);
+  let trace = Kernel.trace kernel in
+  Alcotest.(check bool)
+    "killed by SIGSEGV recorded" true
+    (Trace.find trace ~subsystem:"kernel" ~contains:"killed(SIGSEGV)" <> None)
+
+let test_exit_status_panic () =
+  let engine, kernel = make_kernel () in
+  let _p = spawn kernel "panicky" (fun () -> Api.panic "inconsistent state") in
+  Engine.run engine;
+  let trace = Kernel.trace kernel in
+  Alcotest.(check bool)
+    "panic recorded" true
+    (Trace.find trace ~subsystem:"kernel" ~contains:"panicked(inconsistent state)" <> None)
+
+let test_alarm_notification () =
+  let engine, kernel = make_kernel () in
+  let fired_at = ref 0 in
+  let _p =
+    spawn kernel "sleeper" (fun () ->
+        ignore (Api.alarm 5000);
+        match Api.receive (Sysif.From Wellknown.hardware) with
+        | Ok (Sysif.Rx_notify { kind = Message.N_alarm; _ }) -> fired_at := Api.now ()
+        | _ -> ())
+  in
+  Engine.run engine;
+  (* The process only starts after the spawn cost, so just require the
+     alarm to have fired a full period after that. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "alarm after ~5000 (got %d)" !fired_at)
+    true
+    (!fired_at >= 5000 && !fired_at < 20_000)
+
+let test_irq_routing () =
+  let engine, kernel = make_kernel () in
+  let got_irq = ref None in
+  let _drv =
+    spawn kernel "drv" (fun () ->
+        ignore (Api.irq_register 11);
+        match Api.receive Sysif.Any with
+        | Ok (Sysif.Rx_notify { kind = Message.N_irq line; _ }) -> got_irq := Some line
+        | _ -> ())
+  in
+  (* Raise the line well after the driver had time to register. *)
+  ignore (Engine.schedule engine ~after:10_000 (fun () -> Kernel.raise_irq kernel 11));
+  Engine.run engine;
+  Alcotest.(check (option int)) "IRQ 11 delivered" (Some 11) !got_irq
+
+let test_dma_through_iommu () =
+  let engine, kernel = make_kernel () in
+  let handle = ref None in
+  let _drv =
+    spawn kernel "drv" (fun () ->
+        let mem = Api.memory () in
+        Memory.write mem ~addr:0x200 (Bytes.of_string "dma payload!");
+        (match Api.grant_create ~for_:Wellknown.hardware ~base:0x200 ~len:12 ~access:Sysif.Read_write with
+        | Ok g -> (
+            match Api.iommu_map g with Ok h -> handle := Some h | Error _ -> ())
+        | Error _ -> ());
+        Api.sleep 100_000)
+  in
+  ignore
+    (Engine.schedule engine ~after:10_000 (fun () ->
+         match !handle with
+         | Some h -> (
+             (match Kernel.dma kernel ~handle:h ~off:0 ~op:(`Read 12) with
+             | Ok b -> Alcotest.(check string) "device reads driver memory" "dma payload!" (Bytes.to_string b)
+             | Error _ -> Alcotest.fail "dma read failed");
+             (* Out-of-grant access must be rejected. *)
+             match Kernel.dma kernel ~handle:h ~off:8 ~op:(`Read 12) with
+             | Error Errno.E_range -> ()
+             | _ -> Alcotest.fail "expected E_range for out-of-grant DMA")
+         | None -> Alcotest.fail "no dma handle"));
+  Engine.run engine ~until:50_000
+
+let test_dma_stale_after_death () =
+  let engine, kernel = make_kernel () in
+  let handle = ref None in
+  let victim =
+    spawn kernel "drv" (fun () ->
+        (match Api.grant_create ~for_:Wellknown.hardware ~base:0 ~len:64 ~access:Sysif.Read_write with
+        | Ok g -> ( match Api.iommu_map g with Ok h -> handle := Some h | Error _ -> ())
+        | Error _ -> ());
+        Api.sleep 1_000_000_000)
+  in
+  ignore
+    (Engine.schedule engine ~after:10_000 (fun () ->
+         ignore (Kernel.kill kernel victim (Status.Killed Signal.Sig_kill))));
+  ignore
+    (Engine.schedule engine ~after:20_000 (fun () ->
+         match !handle with
+         | Some h -> (
+             match Kernel.dma kernel ~handle:h ~off:0 ~op:(`Read 8) with
+             | Error Errno.E_no_perm -> ()
+             | _ -> Alcotest.fail "DMA must fail after the owning driver died")
+         | None -> Alcotest.fail "no dma handle"));
+  Engine.run engine ~until:30_000
+
+let test_sendrec_to_self_rejected () =
+  let engine, kernel = make_kernel () in
+  let outcome = ref None in
+  Kernel.register_program kernel "selfish" (fun () ->
+      let self = Api.self () in
+      outcome := Some (Api.sendrec self Message.Ok_reply));
+  (match
+     Kernel.spawn_dynamic kernel ~name:"selfish" ~program:"selfish" ~args:[] ~priv:all_priv
+       ~mem_kb:64
+   with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "spawn");
+  Engine.run engine;
+  match !outcome with
+  | Some (Error Errno.E_inval) -> ()
+  | _ -> Alcotest.fail "sendrec to self must fail"
+
+let test_receive_from_dead_source_fails () =
+  let engine, kernel = make_kernel () in
+  let outcome = ref None in
+  let short_lived = spawn kernel "short" (fun () -> ()) in
+  let _waiter =
+    spawn kernel "waiter" (fun () ->
+        Api.sleep 1000;
+        outcome := Some (Api.receive (Sysif.From short_lived)))
+  in
+  Engine.run engine;
+  match !outcome with
+  | Some (Error Errno.E_dead_src_dst) -> ()
+  | _ -> Alcotest.fail "receive from a dead endpoint must fail immediately"
+
+let test_receive_aborted_when_source_dies () =
+  let engine, kernel = make_kernel () in
+  let outcome = ref None in
+  let victim = spawn kernel "victim" (fun () -> Api.sleep 1_000_000_000) in
+  let _waiter = spawn kernel "waiter" (fun () -> outcome := Some (Api.receive (Sysif.From victim))) in
+  ignore
+    (Engine.schedule engine ~after:5000 (fun () ->
+         ignore (Kernel.kill kernel victim (Status.Killed Signal.Sig_kill))));
+  Engine.run engine ~until:20_000;
+  match !outcome with
+  | Some (Error Errno.E_dead_src_dst) -> ()
+  | _ -> Alcotest.fail "pending receive must abort when its source dies"
+
+let test_sigterm_is_notification () =
+  let engine, kernel = make_kernel () in
+  let got_term = ref false in
+  let victim =
+    spawn kernel "victim" (fun () ->
+        match Api.receive Sysif.Any with
+        | Ok (Sysif.Rx_notify { kind = Message.N_sig Signal.Sig_term; _ }) -> got_term := true
+        | _ -> ())
+  in
+  ignore
+    (Engine.schedule engine ~after:100 (fun () ->
+         ignore (Kernel.deliver_signal kernel victim Signal.Sig_term)));
+  Engine.run engine;
+  Alcotest.(check bool) "SIGTERM delivered as notification" true !got_term;
+  Alcotest.(check bool) "victim exited gracefully" true (Kernel.find_by_name kernel "victim" = None)
+
+let test_exit_queue_for_pm () =
+  (* The exit queue + SIGCHLD path is exercised through the PM in the
+     server tests; here just check the kernel records exits. *)
+  let engine, kernel = make_kernel () in
+  let _p = spawn kernel "transient" (fun () -> Api.exit (Status.Exited 3)) in
+  Engine.run engine;
+  Alcotest.(check int) "one exit recorded" 1 (Kernel.stats kernel).Kernel.exits
+
+let prop_many_processes_all_messages_delivered =
+  QCheck.Test.make ~name:"N senders, one receiver: all delivered exactly once" ~count:30
+    QCheck.(int_range 1 20)
+    (fun n ->
+      let engine, kernel = make_kernel () in
+      let received = Hashtbl.create 16 in
+      let receiver =
+        spawn kernel "receiver" (fun () ->
+            for _ = 1 to n do
+              match Api.receive Sysif.Any with
+              | Ok (Sysif.Rx_msg { body = Message.Dev_open { minor }; _ }) ->
+                  Hashtbl.replace received minor (1 + Option.value ~default:0 (Hashtbl.find_opt received minor))
+              | _ -> ()
+            done)
+      in
+      for i = 1 to n do
+        ignore
+          (spawn kernel (Printf.sprintf "sender%d" i) (fun () ->
+               ignore (Api.send receiver (Message.Dev_open { minor = i }))))
+      done;
+      Engine.run engine;
+      List.for_all
+        (fun i -> Hashtbl.find_opt received i = Some 1)
+        (List.init n (fun i -> i + 1)))
+
+(* Property: safecopy succeeds exactly on in-grant, in-memory ranges. *)
+let prop_grant_bounds =
+  QCheck.Test.make ~name:"safecopy honours grant bounds exactly" ~count:40
+    QCheck.(quad (int_bound 2000) (int_bound 2000) (int_bound 2000) (int_bound 2000))
+    (fun (base, len, off, n) ->
+      let engine, kernel = make_kernel () in
+      let outcome = ref None in
+      let owner =
+        spawn kernel "owner" (fun () ->
+            (match Api.receive Sysif.Any with
+            | Ok (Sysif.Rx_msg { src; _ }) -> (
+                match Api.grant_create ~for_:src ~base ~len ~access:Sysif.Read_write with
+                | Ok g -> ignore (Api.send src (Message.Dev_reply { result = Ok g }))
+                | Error _ -> ignore (Api.send src (Message.Dev_reply { result = Error Errno.E_nomem })))
+            | _ -> ());
+            Api.sleep 1_000_000_000)
+      in
+      ignore
+        (spawn kernel "copier" (fun () ->
+             match Api.sendrec owner Message.Ok_reply with
+             | Ok (Sysif.Rx_msg { body = Message.Dev_reply { result = Ok g }; _ }) ->
+                 outcome :=
+                   Some (Api.safecopy_from ~owner ~grant:g ~grant_off:off ~local_addr:0 ~len:n)
+             | _ -> outcome := Some (Error Errno.E_nomem)));
+      Engine.run engine ~until:10_000_000;
+      let mem_bytes = 64 * 1024 in
+      let grant_creatable = base + len <= mem_bytes in
+      let in_grant = off + n <= len in
+      match !outcome with
+      | Some (Ok ()) -> grant_creatable && in_grant
+      | Some (Error Errno.E_range) -> grant_creatable && not in_grant
+      | Some (Error Errno.E_nomem) -> not grant_creatable
+      | _ -> false)
+
+let tests =
+  [
+    Alcotest.test_case "rendezvous send/receive" `Quick test_rendezvous_send_receive;
+    QCheck_alcotest.to_alcotest prop_grant_bounds;
+    Alcotest.test_case "sender blocks until receive" `Quick test_sender_blocks_until_receive;
+    Alcotest.test_case "sendrec round trip" `Quick test_sendrec_reply;
+    Alcotest.test_case "receive-from filter" `Quick test_receive_from_filters;
+    Alcotest.test_case "notify queued and deduped" `Quick test_notify_queued_and_deduped;
+    Alcotest.test_case "async send does not block" `Quick test_async_send_does_not_block;
+    Alcotest.test_case "send to dead process" `Quick test_dead_destination;
+    Alcotest.test_case "kill aborts rendezvous (sendrec)" `Quick test_kill_aborts_rendezvous;
+    Alcotest.test_case "stale endpoint after restart" `Quick test_stale_endpoint_after_restart;
+    Alcotest.test_case "grant + safecopy" `Quick test_grant_safecopy;
+    Alcotest.test_case "safecopy wrong grantee rejected" `Quick test_grant_wrong_grantee_rejected;
+    Alcotest.test_case "safecopy bounds checked" `Quick test_grant_bounds_checked;
+    Alcotest.test_case "IPC destination privilege" `Quick test_ipc_privilege_enforced;
+    Alcotest.test_case "kernel call privilege" `Quick test_kcall_privilege_enforced;
+    Alcotest.test_case "I/O port privilege" `Quick test_io_port_privilege;
+    Alcotest.test_case "MMU fault kills process" `Quick test_mmu_fault_kills;
+    Alcotest.test_case "panic exit status" `Quick test_exit_status_panic;
+    Alcotest.test_case "alarm notification" `Quick test_alarm_notification;
+    Alcotest.test_case "IRQ routing" `Quick test_irq_routing;
+    Alcotest.test_case "DMA through IOMMU" `Quick test_dma_through_iommu;
+    Alcotest.test_case "DMA stale after driver death" `Quick test_dma_stale_after_death;
+    Alcotest.test_case "sendrec to self rejected" `Quick test_sendrec_to_self_rejected;
+    Alcotest.test_case "receive from dead source" `Quick test_receive_from_dead_source_fails;
+    Alcotest.test_case "receive aborted when source dies" `Quick test_receive_aborted_when_source_dies;
+    Alcotest.test_case "SIGTERM as notification" `Quick test_sigterm_is_notification;
+    Alcotest.test_case "exit recorded" `Quick test_exit_queue_for_pm;
+    QCheck_alcotest.to_alcotest prop_many_processes_all_messages_delivered;
+  ]

@@ -1,0 +1,258 @@
+(* Tests for the network stack below the INET server: wire codecs and
+   the TCP engine driven over a simulated (lossy, reordering-free)
+   pipe. *)
+
+module Engine = Resilix_sim.Engine
+module Rng = Resilix_sim.Rng
+module Wire = Resilix_net.Wire
+module Tcp = Resilix_net.Tcp
+
+(* --- wire codec --- *)
+
+let seg ?(payload = "") ?(syn = false) ?(ack = false) ?(fin = false) ?(rst = false) () =
+  {
+    Wire.src_port = 1234;
+    dst_port = 80;
+    seq = 0x89ABCDEF;
+    ack_no = 0x01020304;
+    syn;
+    ack;
+    fin;
+    rst;
+    window = 65535;
+    payload = Bytes.of_string payload;
+  }
+
+let frame body =
+  { Wire.dst_mac = 0x0000_0000_0002; src_mac = 0x0000_0000_0001; packet = { Wire.src_ip = Wire.ip 10 0 0 1; dst_ip = Wire.ip 10 0 0 2; body } }
+
+let test_tcp_roundtrip () =
+  let f = frame (Wire.Tcp (seg ~payload:"hello tcp" ~ack:true ())) in
+  match Wire.decode (Wire.encode f) with
+  | Error e -> Alcotest.fail e
+  | Ok f' -> (
+      Alcotest.(check bool) "macs preserved" true (f'.Wire.dst_mac = f.Wire.dst_mac);
+      match f'.Wire.packet.body with
+      | Wire.Tcp s ->
+          Alcotest.(check string) "payload" "hello tcp" (Bytes.to_string s.Wire.payload);
+          Alcotest.(check int) "seq" 0x89ABCDEF s.Wire.seq;
+          Alcotest.(check bool) "ack flag" true s.Wire.ack
+      | Wire.Udp _ -> Alcotest.fail "wrong protocol")
+
+let test_udp_roundtrip () =
+  let f = frame (Wire.Udp { Wire.src_port = 53; dst_port = 5353; payload = Bytes.of_string "dns?" }) in
+  match Wire.decode (Wire.encode f) with
+  | Error e -> Alcotest.fail e
+  | Ok f' -> (
+      match f'.Wire.packet.body with
+      | Wire.Udp d -> Alcotest.(check string) "payload" "dns?" (Bytes.to_string d.Wire.payload)
+      | Wire.Tcp _ -> Alcotest.fail "wrong protocol")
+
+let test_corruption_detected () =
+  let f = frame (Wire.Tcp (seg ~payload:"integrity matters" ~ack:true ())) in
+  let b = Wire.encode f in
+  (* Flip one payload bit. *)
+  let i = Bytes.length b - 3 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x10));
+  match Wire.decode b with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "corrupted frame must not decode"
+
+let prop_wire_roundtrip =
+  QCheck.Test.make ~name:"wire roundtrip for arbitrary payloads" ~count:200
+    QCheck.(string_of_size (QCheck.Gen.int_bound 1460))
+    (fun payload ->
+      let f = frame (Wire.Tcp (seg ~payload ~ack:true ())) in
+      match Wire.decode (Wire.encode f) with
+      | Ok { Wire.packet = { body = Wire.Tcp s; _ }; _ } ->
+          Bytes.to_string s.Wire.payload = payload
+      | _ -> false)
+
+(* --- TCP over a simulated pipe --- *)
+
+(* Wire two TCP engines together through the engine with latency,
+   optional loss, and per-connection timers. *)
+type pipe_end = {
+  mutable conn : Tcp.t option;
+  mutable timer : Engine.handle option;
+  mutable events : Tcp.event list;
+}
+
+let make_pair ?(latency = 500) ?(drop_prob = 0.) ?(seed = 7) engine =
+  let rng = Rng.create ~seed in
+  let a = { conn = None; timer = None; events = [] } in
+  let b = { conn = None; timer = None; events = [] } in
+  let deliver_to dst seg =
+    if not (Rng.bool rng drop_prob) then
+      ignore
+        (Engine.schedule engine ~after:latency (fun () ->
+             match dst.conn with
+             | Some c -> Tcp.handle_segment c ~now:(Engine.now engine) seg
+             | None -> ()))
+  in
+  let callbacks this other =
+    {
+      Tcp.emit = (fun seg -> deliver_to other seg);
+      set_timer =
+        (fun delay ->
+          (match this.timer with Some h -> Engine.cancel h | None -> ());
+          this.timer <- None;
+          match delay with
+          | Some d ->
+              this.timer <-
+                Some
+                  (Engine.schedule engine ~after:d (fun () ->
+                       this.timer <- None;
+                       match this.conn with
+                       | Some c -> Tcp.handle_timer c ~now:(Engine.now engine)
+                       | None -> ()))
+          | None -> ());
+      notify = (fun ev -> this.events <- ev :: this.events);
+    }
+  in
+  let cfg_a = Tcp.default_config ~local_port:1000 ~remote_port:2000 ~isn:111 in
+  let cfg_b = Tcp.default_config ~local_port:2000 ~remote_port:1000 ~isn:999_222 in
+  b.conn <- Some (Tcp.create_passive cfg_b ~now:0 (callbacks b a));
+  a.conn <- Some (Tcp.create_active cfg_a ~now:0 (callbacks a b));
+  (a, b)
+
+let test_handshake () =
+  let engine = Engine.create () in
+  let a, b = make_pair engine in
+  Engine.run engine ~until:1_000_000;
+  Alcotest.(check bool) "A established" true (Tcp.is_established (Option.get a.conn));
+  Alcotest.(check bool) "B established" true (Tcp.is_established (Option.get b.conn))
+
+(* Pump [total] bytes from A to B through app-level send/recv loops. *)
+let transfer engine a b ~total ~chunk =
+  let sent = ref 0 and received = Buffer.create total in
+  let conn_a = Option.get a.conn and conn_b = Option.get b.conn in
+  let src_byte i = Char.chr (((i * 131) + (i / 251)) land 0xFF) in
+  let rec feeder () =
+    if !sent < total && not (Tcp.is_closed conn_a) then begin
+      let want = min chunk (total - !sent) in
+      let data = Bytes.init want (fun i -> src_byte (!sent + i)) in
+      let accepted = Tcp.send conn_a ~now:(Engine.now engine) data ~off:0 ~len:want in
+      sent := !sent + accepted;
+      if !sent >= total then Tcp.close conn_a ~now:(Engine.now engine);
+      ignore (Engine.schedule engine ~after:2_000 feeder)
+    end
+  in
+  let rec drainer () =
+    let data = Tcp.recv conn_b ~max:65536 in
+    Buffer.add_bytes received data;
+    if not (Tcp.peer_closed conn_b && Tcp.rx_available conn_b = 0) then
+      ignore (Engine.schedule engine ~after:2_000 drainer)
+  in
+  feeder ();
+  drainer ();
+  Engine.run engine ~until:600_000_000;
+  let got = Buffer.contents received in
+  let expected = String.init total src_byte in
+  (got, expected)
+
+let test_bulk_transfer_clean () =
+  let engine = Engine.create () in
+  let a, b = make_pair engine in
+  let got, expected = transfer engine a b ~total:200_000 ~chunk:8192 in
+  Alcotest.(check int) "all bytes arrive" (String.length expected) (String.length got);
+  Alcotest.(check bool) "content identical" true (String.equal got expected)
+
+let test_bulk_transfer_lossy () =
+  let engine = Engine.create () in
+  let a, b = make_pair ~drop_prob:0.05 ~seed:21 engine in
+  let got, expected = transfer engine a b ~total:120_000 ~chunk:4096 in
+  Alcotest.(check int) "all bytes arrive despite 5% loss" (String.length expected)
+    (String.length got);
+  Alcotest.(check bool) "content identical" true (String.equal got expected);
+  Alcotest.(check bool) "losses caused retransmissions" true
+    (Tcp.retransmissions (Option.get a.conn) > 0)
+
+let test_transfer_across_blackout () =
+  (* Model a driver crash: 100% loss for a window in the middle of the
+     transfer; TCP must recover afterwards (Sec. 6.1). *)
+  let engine = Engine.create () in
+  let dropping = ref false in
+  let rng = Rng.create ~seed:5 in
+  let a = { conn = None; timer = None; events = [] } in
+  let b = { conn = None; timer = None; events = [] } in
+  let deliver_to dst seg =
+    ignore rng;
+    if not !dropping then
+      ignore
+        (Engine.schedule engine ~after:500 (fun () ->
+             match dst.conn with
+             | Some c -> Tcp.handle_segment c ~now:(Engine.now engine) seg
+             | None -> ()))
+  in
+  let callbacks this other =
+    {
+      Tcp.emit = (fun seg -> deliver_to other seg);
+      set_timer =
+        (fun delay ->
+          (match this.timer with Some h -> Engine.cancel h | None -> ());
+          this.timer <- None;
+          match delay with
+          | Some d ->
+              this.timer <-
+                Some
+                  (Engine.schedule engine ~after:d (fun () ->
+                       this.timer <- None;
+                       match this.conn with
+                       | Some c -> Tcp.handle_timer c ~now:(Engine.now engine)
+                       | None -> ()))
+          | None -> ());
+      notify = (fun ev -> this.events <- ev :: this.events);
+    }
+  in
+  let cfg_a = Tcp.default_config ~local_port:1000 ~remote_port:2000 ~isn:77 in
+  let cfg_b = Tcp.default_config ~local_port:2000 ~remote_port:1000 ~isn:88 in
+  b.conn <- Some (Tcp.create_passive cfg_b ~now:0 (callbacks b a));
+  a.conn <- Some (Tcp.create_active cfg_a ~now:0 (callbacks a b));
+  (* Blackout between t=1s and t=1.5s. *)
+  ignore (Engine.schedule engine ~after:1_000_000 (fun () -> dropping := true));
+  ignore (Engine.schedule engine ~after:1_500_000 (fun () -> dropping := false));
+  let got, expected = transfer engine a b ~total:400_000 ~chunk:8192 in
+  Alcotest.(check int) "all bytes arrive across the blackout" (String.length expected)
+    (String.length got);
+  Alcotest.(check bool) "content identical" true (String.equal got expected)
+
+let test_clean_close () =
+  let engine = Engine.create () in
+  let a, b = make_pair engine in
+  let conn_a = Option.get a.conn and conn_b = Option.get b.conn in
+  ignore
+    (Engine.schedule engine ~after:10_000 (fun () ->
+         let data = Bytes.of_string "bye" in
+         ignore (Tcp.send conn_a ~now:(Engine.now engine) data ~off:0 ~len:3);
+         Tcp.close conn_a ~now:(Engine.now engine)));
+  ignore
+    (Engine.schedule engine ~after:200_000 (fun () ->
+         ignore (Tcp.recv conn_b ~max:100);
+         Tcp.close conn_b ~now:(Engine.now engine)));
+  Engine.run engine ~until:30_000_000;
+  Alcotest.(check bool) "A fully closed" true (Tcp.is_closed conn_a);
+  Alcotest.(check bool) "B saw peer close" true (Tcp.peer_closed conn_b)
+
+let prop_lossy_transfer_delivers_exactly =
+  QCheck.Test.make ~name:"tcp delivers the exact stream under random loss" ~count:15
+    QCheck.(pair (int_range 1 40_000) (int_range 0 15))
+    (fun (total, loss_pct) ->
+      let engine = Engine.create () in
+      let a, b = make_pair ~drop_prob:(float_of_int loss_pct /. 100.) ~seed:(total + loss_pct) engine in
+      let got, expected = transfer engine a b ~total ~chunk:3000 in
+      String.equal got expected)
+
+let tests =
+  [
+    Alcotest.test_case "wire tcp roundtrip" `Quick test_tcp_roundtrip;
+    Alcotest.test_case "wire udp roundtrip" `Quick test_udp_roundtrip;
+    Alcotest.test_case "wire corruption detected" `Quick test_corruption_detected;
+    QCheck_alcotest.to_alcotest prop_wire_roundtrip;
+    Alcotest.test_case "tcp handshake" `Quick test_handshake;
+    Alcotest.test_case "tcp bulk transfer (clean)" `Quick test_bulk_transfer_clean;
+    Alcotest.test_case "tcp bulk transfer (5% loss)" `Quick test_bulk_transfer_lossy;
+    Alcotest.test_case "tcp across 0.5s blackout" `Quick test_transfer_across_blackout;
+    Alcotest.test_case "tcp clean close" `Quick test_clean_close;
+    QCheck_alcotest.to_alcotest prop_lossy_transfer_delivers_exactly;
+  ]

@@ -1,0 +1,302 @@
+(* Tests for the trusted servers: data store (naming, pub/sub,
+   authenticated snapshots — including state recovery across a
+   reincarnation), process manager, and the complaint defect class
+   through a protocol-violating driver. *)
+
+module System = Resilix_system.System
+module Kernel = Resilix_kernel.Kernel
+module Api = Resilix_kernel.Sysif.Api
+module Sysif = Resilix_kernel.Sysif
+module Errno = Resilix_proto.Errno
+module Message = Resilix_proto.Message
+module Privilege = Resilix_proto.Privilege
+module Signal = Resilix_proto.Signal
+module Spec = Resilix_proto.Spec
+module Status = Resilix_proto.Status
+module Wellknown = Resilix_proto.Wellknown
+module Data_store = Resilix_datastore.Data_store
+module Reincarnation = Resilix_core.Reincarnation
+module Service = Resilix_core.Service
+module Driver_lib = Resilix_drivers.Driver_lib
+
+let boot () = System.boot ~opts:{ System.default_opts with System.disk_mb = 8 } ()
+
+let with_app ?priv t body =
+  let finished = ref false in
+  let failure = ref None in
+  ignore
+    (System.spawn_app t ~name:"tapp" ?priv (fun () ->
+         (try body () with e -> failure := Some (Printexc.to_string e));
+         finished := true));
+  let ok = System.run_until t ~timeout:120_000_000 (fun () -> !finished) in
+  Alcotest.(check bool) "app finished" true ok;
+  match !failure with Some msg -> Alcotest.fail msg | None -> ()
+
+(* --- data store --- *)
+
+let test_pattern_matching () =
+  let cases =
+    [
+      ("eth.*", "eth.rtl8139", true);
+      ("eth.*", "eth.", true);
+      ("eth.*", "ethx", false);
+      ("eth.*", "blk.sata", false);
+      ("blk.sata", "blk.sata", true);
+      ("blk.sata", "blk.sata2", false);
+      ("*", "anything", true);
+    ]
+  in
+  List.iter
+    (fun (pattern, key, expected) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s ~ %s" pattern key)
+        expected
+        (Data_store.pattern_matches ~pattern key))
+    cases
+
+let prop_star_pattern_is_prefix =
+  QCheck.Test.make ~name:"'p*' matches exactly the p-prefixed keys" ~count:200
+    QCheck.(pair (string_of_size (QCheck.Gen.int_bound 8)) (string_of_size (QCheck.Gen.int_bound 12)))
+    (fun (prefix, key) ->
+      let pattern = prefix ^ "*" in
+      let is_prefix =
+        String.length key >= String.length prefix
+        && String.sub key 0 (String.length prefix) = prefix
+      in
+      Data_store.pattern_matches ~pattern key = is_prefix)
+
+let ds_publish key value =
+  match Api.sendrec Wellknown.ds (Message.Ds_publish { key; value }) with
+  | Ok (Sysif.Rx_msg { body = Message.Ds_reply { result = Ok () }; _ }) -> ()
+  | _ -> failwith "publish failed"
+
+let ds_retrieve key =
+  match Api.sendrec Wellknown.ds (Message.Ds_retrieve { key }) with
+  | Ok (Sysif.Rx_msg { body = Message.Ds_retrieve_reply { result }; _ }) -> result
+  | _ -> Error Errno.E_io
+
+let test_ds_publish_retrieve_delete () =
+  let t = boot () in
+  with_app t (fun () ->
+      ds_publish "answer" (Message.V_int 42);
+      (match ds_retrieve "answer" with
+      | Ok (Message.V_int 42) -> ()
+      | _ -> failwith "retrieve mismatch");
+      (match Api.sendrec Wellknown.ds (Message.Ds_delete { key = "answer" }) with
+      | Ok _ -> ()
+      | Error _ -> failwith "delete failed");
+      match ds_retrieve "answer" with
+      | Error Errno.E_noent -> ()
+      | _ -> failwith "deleted key still present")
+
+let test_ds_subscription_notifies () =
+  let t = boot () in
+  with_app t (fun () ->
+      (match Api.sendrec Wellknown.ds (Message.Ds_subscribe { pattern = "cfg.*" }) with
+      | Ok _ -> ()
+      | Error _ -> failwith "subscribe failed");
+      ds_publish "cfg.speed" (Message.V_int 9600);
+      ds_publish "other.key" (Message.V_int 1);
+      (* The matching publication arrives as a notification + check. *)
+      match Api.receive Sysif.Any with
+      | Ok (Sysif.Rx_notify { kind = Message.N_ds_update; _ }) -> (
+          match Api.sendrec Wellknown.ds Message.Ds_check with
+          | Ok (Sysif.Rx_msg { body = Message.Ds_check_reply { result = Ok (Some (key, Message.V_int 9600)) }; _ })
+            ->
+              if not (String.equal key "cfg.speed") then failwith "wrong key";
+              (* And nothing else is pending (other.key did not match). *)
+              (match Api.sendrec Wellknown.ds Message.Ds_check with
+              | Ok (Sysif.Rx_msg { body = Message.Ds_check_reply { result = Ok None }; _ }) -> ()
+              | _ -> failwith "unexpected second update")
+          | _ -> failwith "check did not return the update")
+      | _ -> failwith "expected a DS notification")
+
+let test_snapshot_requires_identity () =
+  let t = boot () in
+  (* An anonymous app has no stable name in the registry, so the data
+     store must refuse to store private state for it. *)
+  with_app t (fun () ->
+      match Api.sendrec Wellknown.ds (Message.Ds_snapshot_store { key = "x"; data = "y" }) with
+      | Ok (Sysif.Rx_msg { body = Message.Ds_reply { result = Error Errno.E_no_perm }; _ }) -> ()
+      | _ -> failwith "unauthenticated snapshot store must be refused")
+
+(* A stateful service: keeps a counter, backs it up in the data store,
+   and restores it after a restart — the Sec. 5.3 state-recovery
+   mechanism ("a restarted component may need to retrieve state that
+   is lost when it crashed"). *)
+let stateful_program () =
+  let counter = ref 0 in
+  (* Restore state from our authenticated snapshot, if any.  A fresh
+     incarnation may briefly precede its naming-table entry, so retry
+     on EPERM like a robust service would. *)
+  let rec restore tries =
+    match Api.sendrec Wellknown.ds (Message.Ds_snapshot_fetch { key = "counter" }) with
+    | Ok (Sysif.Rx_msg { body = Message.Ds_snapshot_reply { result = Ok data }; _ }) ->
+        counter := int_of_string data
+    | Ok (Sysif.Rx_msg { body = Message.Ds_snapshot_reply { result = Error Errno.E_no_perm }; _ })
+      when tries > 0 ->
+        Api.sleep 10_000;
+        restore (tries - 1)
+    | _ -> ()
+  in
+  restore 5;
+  Driver_lib.run_dev
+    {
+      Driver_lib.default_dev_handlers with
+      Driver_lib.dh_ioctl =
+        (fun ~src:_ ~minor:_ ~op ~arg:_ ->
+          match op with
+          | "get" -> Driver_lib.Reply (Ok !counter)
+          | "incr" ->
+              incr counter;
+              ignore
+                (Api.sendrec Wellknown.ds
+                   (Message.Ds_snapshot_store { key = "counter"; data = string_of_int !counter }));
+              Driver_lib.Reply (Ok !counter)
+          | _ -> Driver_lib.Reply (Error Errno.E_inval));
+    }
+
+let svc_ioctl name op =
+  match Service.lookup name with
+  | Error e -> Error e
+  | Ok (ep, _) -> (
+      match Api.sendrec ep (Message.Dev_ioctl { minor = 0; op; arg = 0 }) with
+      | Ok (Sysif.Rx_msg { body = Message.Dev_reply { result }; _ }) -> result
+      | Ok _ -> Error Errno.E_io
+      | Error e -> Error e)
+
+let test_stateful_recovery_via_snapshots () =
+  let t = boot () in
+  Kernel.register_program t.System.kernel "stateful" stateful_program;
+  let spec =
+    Spec.make ~name:"svc.counter" ~program:"stateful"
+      ~privileges:(Privilege.driver ~ipc_to:[ "vfs" ] ~io_ports:[] ~irqs:[])
+      ~heartbeat_period:0 ~mem_kb:64 ()
+  in
+  System.start_services t [ spec ];
+  let after_restart = ref (-1) in
+  with_app ~priv:{ Privilege.app with Privilege.ipc_to = Privilege.All } t (fun () ->
+      for _ = 1 to 3 do
+        ignore (svc_ioctl "svc.counter" "incr")
+      done;
+      (* Kill the service; its in-memory counter dies with it. *)
+      ignore (Service.restart "svc.counter");
+      (match Service.wait_until_up "svc.counter" with
+      | Ok _ -> ()
+      | Error _ -> failwith "service did not come back");
+      Api.sleep 50_000;
+      match svc_ioctl "svc.counter" "get" with
+      | Ok v -> after_restart := v
+      | Error e -> failwith ("get failed: " ^ Errno.to_string e));
+  Alcotest.(check int) "state restored from the data store" 3 !after_restart;
+  Alcotest.(check int) "one reincarnation happened" 1
+    (Reincarnation.restarts_of t.System.rs "svc.counter")
+
+(* --- process manager --- *)
+
+let test_pm_pidof_and_kill () =
+  let t = boot () in
+  Kernel.register_program t.System.kernel "sleeper" (fun () -> Api.sleep 1_000_000_000);
+  let spec =
+    Spec.make ~name:"svc.sleeper" ~program:"sleeper"
+      ~privileges:(Privilege.driver ~ipc_to:[] ~io_ports:[] ~irqs:[])
+      ~heartbeat_period:0 ~mem_kb:64 ()
+  in
+  System.start_services t [ spec ];
+  with_app t (fun () ->
+      let pid =
+        match Api.sendrec Wellknown.pm (Message.Pm_pidof { name = "svc.sleeper" }) with
+        | Ok (Sysif.Rx_msg { body = Message.Pm_pidof_reply { result = Ok pid }; _ }) -> pid
+        | _ -> failwith "pidof failed"
+      in
+      (match Api.sendrec Wellknown.pm (Message.Pm_pidof { name = "nobody" }) with
+      | Ok (Sysif.Rx_msg { body = Message.Pm_pidof_reply { result = Error Errno.E_noent }; _ }) -> ()
+      | _ -> failwith "pidof of unknown name must fail");
+      match Api.sendrec Wellknown.pm (Message.Pm_kill { pid; signal = Signal.Sig_kill }) with
+      | Ok (Sysif.Rx_msg { body = Message.Pm_reply { result = Ok () }; _ }) -> ()
+      | _ -> failwith "kill failed");
+  (* RS recovers it (killed-by-user class). *)
+  System.run t ~until:(Resilix_sim.Engine.now t.System.engine + 1_000_000);
+  Alcotest.(check bool) "recovered after pm kill" true
+    (Reincarnation.service_up t.System.rs "svc.sleeper")
+
+let test_pm_kill_unknown_pid () =
+  let t = boot () in
+  with_app t (fun () ->
+      match Api.sendrec Wellknown.pm (Message.Pm_kill { pid = 424242; signal = Signal.Sig_kill }) with
+      | Ok (Sysif.Rx_msg { body = Message.Pm_reply { result = Error Errno.E_noent }; _ }) -> ()
+      | _ -> failwith "killing an unknown pid must fail")
+
+(* --- complaints (defect class 5) --- *)
+
+(* A protocol-violating network driver: it claims to have received a
+   frame of an impossible length, which INET reports to RS. *)
+let liar_program () =
+  Driver_lib.run_net
+    {
+      Driver_lib.nh_conf = (fun ~src:_ ~mode:_ -> Ok 0x4242);
+      nh_writev = (fun ~src:_ ~grant:_ ~len:_ -> ());
+      nh_readv =
+        (fun ~src ~grant:_ ~len:_ ->
+          Driver_lib.task_reply src ~sent:false ~received:true ~read_len:999_999);
+      nh_getstat = (fun ~src:_ -> (0, 0, 0));
+      nh_irq = (fun ~line:_ -> ());
+    }
+
+let test_complaint_defect_class () =
+  let opts =
+    { System.default_opts with System.disk_mb = 8; inet_driver = "eth.liar" }
+  in
+  let t = System.boot ~opts () in
+  Kernel.register_program t.System.kernel "liar" liar_program;
+  let spec =
+    Spec.make ~name:"eth.liar" ~program:"liar"
+      ~privileges:(Privilege.driver ~ipc_to:[ "inet" ] ~io_ports:[] ~irqs:[])
+      ~heartbeat_period:0 ~mem_kb:64 ()
+  in
+  System.start_services t [ spec ];
+  (* INET configures the driver, posts a receive buffer, the driver
+     lies, INET complains, RS replaces the driver. *)
+  System.run t ~until:(Resilix_sim.Engine.now t.System.engine + 3_000_000);
+  let complaints =
+    List.filter
+      (fun e -> e.Reincarnation.defect = Status.D_complaint)
+      (Reincarnation.events t.System.rs)
+  in
+  Alcotest.(check bool) "at least one complaint recorded" true (List.length complaints >= 1);
+  (* The liar keeps lying after every replacement, so the last event
+     may still be mid-recovery; at least one full replace must have
+     completed. *)
+  Alcotest.(check bool) "complained-about driver was replaced" true
+    (List.exists (fun e -> e.Reincarnation.recovered_at <> None) complaints)
+
+let test_complaint_requires_authority () =
+  let t = boot () in
+  Kernel.register_program t.System.kernel "sleeper" (fun () -> Api.sleep 1_000_000_000);
+  let spec =
+    Spec.make ~name:"svc.sleeper" ~program:"sleeper"
+      ~privileges:(Privilege.driver ~ipc_to:[] ~io_ports:[] ~irqs:[])
+      ~heartbeat_period:0 ~mem_kb:64 ()
+  in
+  System.start_services t [ spec ];
+  with_app t (fun () ->
+      (* An ordinary application is not an authorized complainer. *)
+      match
+        Api.sendrec Wellknown.rs (Message.Rs_complain { name = "svc.sleeper"; reason = "grudge" })
+      with
+      | Ok (Sysif.Rx_msg { body = Message.Rs_reply { result = Error Errno.E_no_perm }; _ }) -> ()
+      | _ -> failwith "unauthorized complaint must be rejected")
+
+let tests =
+  [
+    Alcotest.test_case "ds pattern matching" `Quick test_pattern_matching;
+    QCheck_alcotest.to_alcotest prop_star_pattern_is_prefix;
+    Alcotest.test_case "ds publish/retrieve/delete" `Quick test_ds_publish_retrieve_delete;
+    Alcotest.test_case "ds subscription notifies" `Quick test_ds_subscription_notifies;
+    Alcotest.test_case "snapshot needs a stable name" `Quick test_snapshot_requires_identity;
+    Alcotest.test_case "stateful recovery via DS snapshots" `Quick test_stateful_recovery_via_snapshots;
+    Alcotest.test_case "pm pidof and kill" `Quick test_pm_pidof_and_kill;
+    Alcotest.test_case "pm kill unknown pid" `Quick test_pm_kill_unknown_pid;
+    Alcotest.test_case "complaint replaces a lying driver" `Quick test_complaint_defect_class;
+    Alcotest.test_case "complaints require authority" `Quick test_complaint_requires_authority;
+  ]

@@ -1,0 +1,156 @@
+(* Tests for lib/sim: event ordering, cancellation, determinism of the
+   RNG, trace querying, and heap properties. *)
+
+module Engine = Resilix_sim.Engine
+module Time = Resilix_sim.Time
+module Heap = Resilix_sim.Heap
+module Rng = Resilix_sim.Rng
+module Trace = Resilix_sim.Trace
+
+let test_event_ordering () =
+  let engine = Engine.create () in
+  let order = ref [] in
+  let mark tag () = order := tag :: !order in
+  ignore (Engine.schedule engine ~after:(Time.usec 30) (mark "c"));
+  ignore (Engine.schedule engine ~after:(Time.usec 10) (mark "a"));
+  ignore (Engine.schedule engine ~after:(Time.usec 20) (mark "b"));
+  Engine.run engine;
+  Alcotest.(check (list string)) "fires by time" [ "a"; "b"; "c" ] (List.rev !order);
+  Alcotest.(check int) "clock at last event" 30 (Engine.now engine)
+
+let test_fifo_ties () =
+  let engine = Engine.create () in
+  let order = ref [] in
+  for i = 1 to 5 do
+    ignore (Engine.schedule engine ~after:(Time.usec 5) (fun () -> order := i :: !order))
+  done;
+  Engine.run engine;
+  Alcotest.(check (list int)) "same-time events fire FIFO" [ 1; 2; 3; 4; 5 ] (List.rev !order)
+
+let test_cancel () =
+  let engine = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule engine ~after:(Time.usec 10) (fun () -> fired := true) in
+  Engine.cancel h;
+  Engine.run engine;
+  Alcotest.(check bool) "cancelled event does not fire" false !fired
+
+let test_run_until () =
+  let engine = Engine.create () in
+  let fired = ref 0 in
+  ignore (Engine.schedule engine ~after:(Time.msec 1) (fun () -> incr fired));
+  ignore (Engine.schedule engine ~after:(Time.msec 5) (fun () -> incr fired));
+  Engine.run engine ~until:(Time.msec 2);
+  Alcotest.(check int) "only events before the bound" 1 !fired;
+  Alcotest.(check int) "clock advanced exactly to bound" (Time.msec 2) (Engine.now engine);
+  Engine.run engine;
+  Alcotest.(check int) "remaining events fire later" 2 !fired
+
+let test_nested_schedule () =
+  let engine = Engine.create () in
+  let times = ref [] in
+  ignore
+    (Engine.schedule engine ~after:(Time.usec 10) (fun () ->
+         times := Engine.now engine :: !times;
+         ignore
+           (Engine.schedule engine ~after:(Time.usec 7) (fun () ->
+                times := Engine.now engine :: !times))));
+  Engine.run engine;
+  Alcotest.(check (list int)) "events may schedule events" [ 10; 17 ] (List.rev !times)
+
+let test_schedule_past_rejected () =
+  let engine = Engine.create () in
+  ignore (Engine.schedule engine ~after:(Time.usec 10) (fun () -> ()));
+  Engine.run engine;
+  Alcotest.check_raises "scheduling in the past fails" (Invalid_argument "dummy")
+    (fun () ->
+      try ignore (Engine.schedule_at engine ~at:(Time.usec 5) (fun () -> ())) with
+      | Invalid_argument _ -> raise (Invalid_argument "dummy"))
+
+let test_rng_determinism () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  let seq_a = List.init 100 (fun _ -> Rng.int a 1000) in
+  let seq_b = List.init 100 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" seq_a seq_b;
+  let c = Rng.create ~seed:43 in
+  let seq_c = List.init 100 (fun _ -> Rng.int c 1000) in
+  Alcotest.(check bool) "different seed differs" true (seq_a <> seq_c)
+
+let test_rng_split_independent () =
+  let parent = Rng.create ~seed:7 in
+  let child = Rng.split parent in
+  let seq_child = List.init 50 (fun _ -> Rng.int child 100) in
+  let seq_parent = List.init 50 (fun _ -> Rng.int parent 100) in
+  Alcotest.(check bool) "split streams differ" true (seq_child <> seq_parent)
+
+let test_trace_query () =
+  let trace = Trace.create () in
+  Trace.emit trace ~now:(Time.usec 5) Trace.Info "rs" "restarting %s (attempt %d)" "eth" 2;
+  Trace.emit trace ~now:(Time.usec 9) Trace.Warn "inet" "driver %s down" "eth";
+  Alcotest.(check int) "count matches" 1 (Trace.count trace ~subsystem:"rs" ~contains:"restarting");
+  (match Trace.find trace ~subsystem:"rs" ~contains:"attempt 2" with
+  | Some e -> Alcotest.(check int) "event time preserved" 5 e.Trace.time
+  | None -> Alcotest.fail "expected to find the rs event");
+  Alcotest.(check int) "no cross-subsystem match" 0
+    (Trace.count trace ~subsystem:"rs" ~contains:"driver eth down")
+
+let test_trace_capacity () =
+  let trace = Trace.create ~capacity:3 () in
+  for i = 1 to 5 do
+    Trace.emit trace ~now:(Time.usec i) Trace.Debug "x" "event %d" i
+  done;
+  let evs = Trace.events trace in
+  Alcotest.(check int) "bounded retention" 3 (List.length evs);
+  Alcotest.(check string) "oldest dropped" "event 3" (List.hd evs).Trace.message
+
+(* Property: popping the heap yields keys in nondecreasing order, with
+   FIFO sequence order inside equal keys. *)
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"heap pops sorted by (key, seq)" ~count:300
+    QCheck.(list (int_bound 50))
+    (fun keys ->
+      let h = Heap.create () in
+      List.iteri (fun seq key -> Heap.push h ~key ~seq key) keys;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some (k, s, _) -> drain ((k, s) :: acc)
+      in
+      let out = drain [] in
+      let rec ordered = function
+        | (k1, s1) :: ((k2, s2) :: _ as rest) ->
+            (k1 < k2 || (k1 = k2 && s1 < s2)) && ordered rest
+        | [ _ ] | [] -> true
+      in
+      List.length out = List.length keys && ordered out)
+
+let prop_engine_no_time_travel =
+  QCheck.Test.make ~name:"engine clock is monotone" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_bound 30) (int_bound 1000))
+    (fun delays ->
+      let engine = Engine.create () in
+      let monotone = ref true in
+      let last = ref 0 in
+      List.iter
+        (fun d ->
+          ignore
+            (Engine.schedule engine ~after:d (fun () ->
+                 if Engine.now engine < !last then monotone := false;
+                 last := Engine.now engine)))
+        delays;
+      Engine.run engine;
+      !monotone)
+
+let tests =
+  [
+    Alcotest.test_case "event ordering" `Quick test_event_ordering;
+    Alcotest.test_case "FIFO tie-breaking" `Quick test_fifo_ties;
+    Alcotest.test_case "cancellation" `Quick test_cancel;
+    Alcotest.test_case "run ~until" `Quick test_run_until;
+    Alcotest.test_case "nested scheduling" `Quick test_nested_schedule;
+    Alcotest.test_case "no scheduling in the past" `Quick test_schedule_past_rejected;
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng split independence" `Quick test_rng_split_independent;
+    Alcotest.test_case "trace query" `Quick test_trace_query;
+    Alcotest.test_case "trace capacity bound" `Quick test_trace_capacity;
+    QCheck_alcotest.to_alcotest prop_heap_sorted;
+    QCheck_alcotest.to_alcotest prop_engine_no_time_travel;
+  ]

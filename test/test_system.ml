@@ -1,0 +1,269 @@
+(* Full-system integration tests: boot the complete simulated machine
+   (Fig. 1 architecture) and exercise the recovery schemes of Sec. 6
+   end to end. *)
+
+module System = Resilix_system.System
+module Hwmap = Resilix_system.Hwmap
+module Engine = Resilix_sim.Engine
+module Reincarnation = Resilix_core.Reincarnation
+module Status = Resilix_proto.Status
+module Peer = Resilix_net.Peer
+module Filegen = Resilix_net.Filegen
+module Wget = Resilix_apps.Wget
+module Dd = Resilix_apps.Dd
+
+let file_seed = 1234
+
+let boot_with_net ?(file_mb = 4) () =
+  let size = file_mb * 1024 * 1024 in
+  let opts =
+    {
+      System.default_opts with
+      System.peer_files = [ ("big.bin", (size, file_seed)) ];
+      fs_files = [ ("data.bin", 2 * 1024 * 1024) ];
+      disk_mb = 16;
+    }
+  in
+  let t = System.boot ~opts () in
+  (t, size)
+
+let test_boot_and_services () =
+  let t, _ = boot_with_net () in
+  System.start_services t [ System.spec_rtl8139 (); System.spec_sata () ];
+  Alcotest.(check bool) "rtl8139 up" true (Reincarnation.service_up t.System.rs "eth.rtl8139");
+  Alcotest.(check bool) "sata up" true (Reincarnation.service_up t.System.rs "blk.sata")
+
+let test_wget_clean () =
+  let t, size = boot_with_net () in
+  System.start_services t [ System.spec_rtl8139 () ];
+  let result = Wget.fresh_result () in
+  ignore
+    (System.spawn_app t ~name:"wget"
+       (Wget.make ~server:Hwmap.rtl_peer_ip ~port:80 ~file:"big.bin" result));
+  let finished = System.run_until t ~timeout:120_000_000 (fun () -> result.Wget.finished) in
+  Alcotest.(check bool) "transfer finished" true finished;
+  Alcotest.(check bool) "transfer ok" true result.Wget.ok;
+  Alcotest.(check int) "all bytes" size result.Wget.bytes;
+  Alcotest.(check string) "digest matches the served file"
+    (Filegen.fnv_digest ~seed:file_seed ~size)
+    result.Wget.fnv
+
+let test_wget_with_driver_kills () =
+  let t, size = boot_with_net () in
+  System.start_services t [ System.spec_rtl8139 () ];
+  let result = Wget.fresh_result () in
+  ignore
+    (System.spawn_app t ~name:"wget"
+       (Wget.make ~server:Hwmap.rtl_peer_ip ~port:80 ~file:"big.bin" result));
+  (* Kill the Ethernet driver twice mid-transfer (Sec. 7.1). *)
+  ignore
+    (Engine.schedule t.System.engine ~after:100_000 (fun () ->
+         ignore (System.kill_service_once t ~target:"eth.rtl8139")));
+  ignore
+    (Engine.schedule t.System.engine ~after:450_000 (fun () ->
+         ignore (System.kill_service_once t ~target:"eth.rtl8139")));
+  let finished = System.run_until t ~timeout:300_000_000 (fun () -> result.Wget.finished) in
+  Alcotest.(check bool) "transfer finished despite kills" true finished;
+  Alcotest.(check bool) "transfer ok" true result.Wget.ok;
+  Alcotest.(check int) "no data lost or duplicated" size result.Wget.bytes;
+  Alcotest.(check string) "data integrity preserved (checksum comparison)"
+    (Filegen.fnv_digest ~seed:file_seed ~size)
+    result.Wget.fnv;
+  Alcotest.(check int) "driver was recovered twice" 2
+    (Reincarnation.restarts_of t.System.rs "eth.rtl8139");
+  Alcotest.(check bool) "driver reintegrated by INET" true
+    (Resilix_net.Inet.driver_generation t.System.inet >= 3)
+
+let run_dd t result =
+  ignore (System.spawn_app t ~name:"dd" (Dd.make ~path:"/data.bin" result));
+  System.run_until t ~timeout:300_000_000 (fun () -> result.Dd.finished)
+
+let test_dd_clean () =
+  let t, _ = boot_with_net () in
+  System.start_services t [ System.spec_sata () ];
+  let result = Dd.fresh_result () in
+  let finished = run_dd t result in
+  Alcotest.(check bool) "dd finished" true finished;
+  Alcotest.(check bool) "dd ok" true result.Dd.ok;
+  Alcotest.(check int) "all bytes read" (2 * 1024 * 1024) result.Dd.bytes;
+  Alcotest.(check bool) "digest nonempty" true (String.length result.Dd.fnv > 0)
+
+let test_dd_with_driver_kills () =
+  (* Run the same read twice — once clean, once with two driver kills.
+     The checksums must agree (the paper's SHA-1 comparison). *)
+  let clean = Dd.fresh_result () in
+  let t1, _ = boot_with_net () in
+  System.start_services t1 [ System.spec_sata () ];
+  ignore (run_dd t1 clean);
+  let crashed = Dd.fresh_result () in
+  let t2, _ = boot_with_net () in
+  System.start_services t2 [ System.spec_sata () ];
+  ignore
+    (Engine.schedule t2.System.engine ~after:20_000 (fun () ->
+         ignore (System.kill_service_once t2 ~target:"blk.sata")));
+  ignore
+    (Engine.schedule t2.System.engine ~after:60_000 (fun () ->
+         ignore (System.kill_service_once t2 ~target:"blk.sata")));
+  let finished = run_dd t2 crashed in
+  Alcotest.(check bool) "dd finished despite kills" true finished;
+  Alcotest.(check bool) "dd ok" true crashed.Dd.ok;
+  Alcotest.(check int) "same byte count" clean.Dd.bytes crashed.Dd.bytes;
+  Alcotest.(check string) "identical checksum across crashes" clean.Dd.fnv crashed.Dd.fnv;
+  Alcotest.(check int) "disk driver recovered twice" 2
+    (Reincarnation.restarts_of t2.System.rs "blk.sata");
+  Alcotest.(check bool) "pending I/O was reissued" true
+    (Resilix_fs.Mfs.reissued_ios t2.System.mfs >= 1)
+
+let test_file_write_read_roundtrip () =
+  let t, _ = boot_with_net () in
+  System.start_services t [ System.spec_sata () ];
+  let done_flag = ref false in
+  let read_back = ref "" in
+  ignore
+    (System.spawn_app t ~name:"editor" (fun () ->
+         let module Fslib = Resilix_apps.Fslib in
+         (match Fslib.open_file "/notes.txt" ~wr:true ~create:true with
+         | Ok fd ->
+             ignore (Fslib.write fd (Bytes.of_string "failure resilience for device drivers"));
+             ignore (Fslib.close fd)
+         | Error _ -> ());
+         (match Fslib.open_file "/notes.txt" with
+         | Ok fd -> (
+             match Fslib.read fd ~len:100 with
+             | Ok data ->
+                 read_back := Bytes.to_string data;
+                 ignore (Fslib.close fd)
+             | Error _ -> ())
+         | Error _ -> ());
+         done_flag := true));
+  let finished = System.run_until t ~timeout:60_000_000 (fun () -> !done_flag) in
+  Alcotest.(check bool) "roundtrip finished" true finished;
+  Alcotest.(check string) "file contents survive" "failure resilience for device drivers"
+    !read_back
+
+(* Inbound TCP: an in-system echo server behind INET's listen/accept,
+   exercised by a TCP client at the remote peer. *)
+let test_inbound_tcp_accept () =
+  let t, _ = boot_with_net () in
+  System.start_services t [ System.spec_rtl8139 () ];
+  let module Sockets = Resilix_apps.Sockets in
+  let module Message = Resilix_proto.Message in
+  let serving = ref false in
+  ignore
+    (System.spawn_app t ~name:"echo-server" (fun () ->
+         match Sockets.socket Message.Tcp with
+         | Error _ -> ()
+         | Ok lsock ->
+             ignore (Sockets.listen lsock ~port:2000);
+             serving := true;
+             let rec accept_loop () =
+               match Sockets.accept lsock with
+               | Error _ -> ()
+               | Ok sock ->
+                   let rec serve () =
+                     match Sockets.recv sock ~len:4096 with
+                     | Ok data when Bytes.length data > 0 ->
+                         ignore (Sockets.send_all sock (Bytes.uppercase_ascii data));
+                         serve ()
+                     | _ -> ignore (Sockets.close sock)
+                   in
+                   serve ();
+                   accept_loop ()
+             in
+             accept_loop ()));
+  ignore (System.run_until t ~timeout:10_000_000 (fun () -> !serving));
+  let client =
+    Peer.start_tcp_client t.System.rtl_peer ~dst_ip:Hwmap.local_ip ~dst_mac:Hwmap.rtl8139_mac
+      ~dst_port:2000 ~payload:"shout this back"
+  in
+  let got_reply =
+    System.run_until t ~timeout:60_000_000 (fun () ->
+        String.length client.Peer.response >= String.length "shout this back")
+  in
+  Alcotest.(check bool) "client connected" true client.Peer.connected;
+  Alcotest.(check bool) "reply received" true got_reply;
+  Alcotest.(check string) "echo uppercased" "SHOUT THIS BACK" client.Peer.response
+
+(* A second block device: raw sector I/O against the floppy driver. *)
+let test_floppy_raw_io () =
+  let t, _ = boot_with_net () in
+  System.start_services t [ System.spec_floppy () ];
+  let module Api = Resilix_kernel.Sysif.Api in
+  let module Sysif = Resilix_kernel.Sysif in
+  let module Message = Resilix_proto.Message in
+  let module Memory = Resilix_kernel.Memory in
+  let module Privilege = Resilix_proto.Privilege in
+  let ok = ref false in
+  ignore
+    (System.spawn_app t ~name:"rawio"
+       ~priv:{ Resilix_proto.Privilege.app with Privilege.ipc_to = Privilege.All }
+       (fun () ->
+         match Resilix_core.Service.lookup "blk.floppy" with
+         | Error _ -> ()
+         | Ok (drv, _) -> (
+             ignore (Api.sendrec drv (Message.Dev_open { minor = 0 }));
+             let mem = Api.memory () in
+             Memory.write mem ~addr:0x2000 (Bytes.make 512 'F');
+             match Api.grant_create ~for_:drv ~base:0x2000 ~len:512 ~access:Sysif.Read_only with
+             | Error _ -> ()
+             | Ok g -> (
+                 (match
+                    Api.sendrec drv (Message.Dev_write { minor = 0; pos = 0; grant = g; len = 512 })
+                  with
+                 | Ok (Sysif.Rx_msg { body = Message.Dev_reply { result = Ok 512 }; _ }) -> ()
+                 | _ -> failwith "floppy write failed");
+                 ignore (Api.grant_revoke g);
+                 match
+                   Api.grant_create ~for_:drv ~base:0x3000 ~len:512 ~access:Sysif.Write_only
+                 with
+                 | Error _ -> ()
+                 | Ok g2 -> (
+                     match
+                       Api.sendrec drv
+                         (Message.Dev_read { minor = 0; pos = 0; grant = g2; len = 512 })
+                     with
+                     | Ok (Sysif.Rx_msg { body = Message.Dev_reply { result = Ok 512 }; _ }) ->
+                         let back = Memory.read mem ~addr:0x3000 ~len:512 in
+                         ok := Bytes.equal back (Bytes.make 512 'F')
+                     | _ -> failwith "floppy read failed")))));
+  ignore (System.run_until t ~timeout:60_000_000 (fun () -> !ok));
+  Alcotest.(check bool) "floppy write/read roundtrip" true !ok
+
+(* Service utility lifecycle: duplicate up is EBUSY; down stops
+   monitoring for good. *)
+let test_service_down_and_duplicate_up () =
+  let t, _ = boot_with_net () in
+  System.start_services t [ System.spec_sata () ];
+  let module Service = Resilix_core.Service in
+  let module Errno = Resilix_proto.Errno in
+  let dup = ref None and down = ref None in
+  ignore
+    (System.spawn_app t ~name:"admin" (fun () ->
+         dup := Some (Service.up (System.spec_sata ()));
+         down := Some (Service.down "blk.sata");
+         (* Give RS a moment; the service must stay down. *)
+         Resilix_kernel.Sysif.Api.sleep 2_000_000));
+  System.run t ~until:(Engine.now t.System.engine + 5_000_000);
+  (match !dup with
+  | Some (Error Errno.E_busy) -> ()
+  | _ -> Alcotest.fail "duplicate service up must be EBUSY");
+  (match !down with
+  | Some (Ok ()) -> ()
+  | _ -> Alcotest.fail "service down failed");
+  Alcotest.(check bool) "service stays down (no recovery)" false
+    (Reincarnation.service_up t.System.rs "blk.sata");
+  Alcotest.(check int) "no recovery event for a deliberate stop" 0
+    (List.length (Reincarnation.events t.System.rs))
+
+let tests =
+  [
+    Alcotest.test_case "boot and start services" `Quick test_boot_and_services;
+    Alcotest.test_case "inbound TCP listen/accept" `Quick test_inbound_tcp_accept;
+    Alcotest.test_case "floppy raw sector I/O" `Quick test_floppy_raw_io;
+    Alcotest.test_case "service down / duplicate up" `Quick test_service_down_and_duplicate_up;
+    Alcotest.test_case "wget (no faults)" `Quick test_wget_clean;
+    Alcotest.test_case "wget with driver kills" `Quick test_wget_with_driver_kills;
+    Alcotest.test_case "dd (no faults)" `Quick test_dd_clean;
+    Alcotest.test_case "dd with driver kills" `Quick test_dd_with_driver_kills;
+    Alcotest.test_case "file write/read roundtrip" `Quick test_file_write_read_roundtrip;
+  ]

@@ -1,0 +1,293 @@
+(* Tests for the driver VM: assembler/decoder, interpreter semantics,
+   failure surface (panic / SIGILL / SIGSEGV / runaway loop), and the
+   seven fault types of the injector. *)
+
+module Engine = Resilix_sim.Engine
+module Trace = Resilix_sim.Trace
+module Rng = Resilix_sim.Rng
+module Kernel = Resilix_kernel.Kernel
+module Memory = Resilix_kernel.Memory
+module Sysif = Resilix_kernel.Sysif
+module Api = Resilix_kernel.Sysif.Api
+module Privilege = Resilix_proto.Privilege
+module Isa = Resilix_vm.Isa
+module Interp = Resilix_vm.Interp
+module Fault = Resilix_vm.Fault
+
+let all_priv =
+  {
+    Privilege.none with
+    Privilege.ipc_to = Privilege.All;
+    kcalls = Privilege.All;
+    io_ports = [ (0, 0xFFFF) ];
+    irqs = [ 1 ];
+  }
+
+let make_kernel () =
+  let engine = Engine.create () in
+  let kernel =
+    Kernel.create ~engine ~trace:(Trace.create ()) ~rng:(Rng.create ~seed:3) ()
+  in
+  (engine, kernel)
+
+(* Run [body] inside a process fiber and return its result. *)
+let in_fiber ?(mem_kb = 64) body =
+  let engine, kernel = make_kernel () in
+  let result = ref None in
+  Kernel.register_program kernel "t" (fun () -> result := Some (body ()));
+  (match Kernel.spawn_dynamic kernel ~name:"t" ~program:"t" ~args:[] ~priv:all_priv ~mem_kb with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "spawn");
+  Engine.run engine ~until:60_000_000;
+  (!result, kernel)
+
+let run_program ?regs code =
+  let regs = match regs with Some r -> r | None -> Array.make 8 0 in
+  let result, _ =
+    in_fiber (fun () ->
+        let program = Interp.load ~base:0x1000 (Isa.assemble code) in
+        let r0 = Interp.run program ~regs in
+        (r0, Array.copy regs))
+  in
+  match result with Some r -> r | None -> Alcotest.fail "program did not finish"
+
+let test_arithmetic () =
+  (* sum 1..10 with a countdown loop *)
+  let code =
+    Isa.
+      [
+        Movi (R1, 10);
+        Movi (R0, 0);
+        Label "loop";
+        Jz (R1, "done");
+        Add (R0, R1);
+        Addi (R1, -1);
+        Jmp "loop";
+        Label "done";
+        Ret;
+      ]
+  in
+  let r0, _ = run_program code in
+  Alcotest.(check int) "sum 1..10" 55 r0
+
+let test_memory_ops () =
+  let code =
+    Isa.
+      [
+        Movi (R1, 0x4000);
+        Movi (R2, 0xDEAD);
+        Store (R1, 0, R2);
+        Load (R3, R1, 0);
+        Mov (R0, R3);
+        Storeb (R1, 8, R2);
+        Loadb (R4, R1, 8);
+        Ret;
+      ]
+  in
+  let r0, regs = run_program code in
+  Alcotest.(check int) "word store/load" 0xDEAD r0;
+  Alcotest.(check int) "byte store/load truncates" 0xAD regs.(4)
+
+let test_shifts_and_masks () =
+  let code =
+    Isa.[ Movi (R1, 0xF0F0); Shr (R1, 4); Andi (R1, 0xFF); Shl (R1, 8); Mov (R0, R1); Ret ]
+  in
+  let r0, _ = run_program code in
+  Alcotest.(check int) "shr/andi/shl pipeline" 0x0F00 r0
+
+let test_check_failure_is_catchable () =
+  let result, _ =
+    in_fiber (fun () ->
+        let program = Interp.load ~base:0x1000 (Isa.assemble Isa.[ Movi (R0, 5); Chkeq (R0, 6); Ret ]) in
+        match Interp.run program ~regs:(Array.make 8 0) with
+        | _ -> "no trap"
+        | exception Interp.Check_failed _ -> "check failed")
+  in
+  Alcotest.(check (option string)) "Chk failure raises Check_failed" (Some "check failed") result
+
+let test_illegal_opcode_kills_sigill () =
+  let _, kernel =
+    in_fiber (fun () ->
+        let image = Isa.assemble Isa.[ Nop; Ret ] in
+        Bytes.set image 0 '\xEE' (* junk opcode *);
+        let program = Interp.load ~base:0x1000 image in
+        ignore (Interp.run program ~regs:(Array.make 8 0)))
+  in
+  Alcotest.(check bool) "killed by SIGILL" true
+    (Trace.find (Kernel.trace kernel) ~subsystem:"kernel" ~contains:"killed(SIGILL)" <> None)
+
+let test_wild_pointer_kills_sigsegv () =
+  let _, kernel =
+    in_fiber (fun () ->
+        let code = Isa.[ Movi (R1, 0x7FFFFFF); Load (R0, R1, 0); Ret ] in
+        let program = Interp.load ~base:0x1000 (Isa.assemble code) in
+        ignore (Interp.run program ~regs:(Array.make 8 0)))
+  in
+  Alcotest.(check bool) "killed by SIGSEGV" true
+    (Trace.find (Kernel.trace kernel) ~subsystem:"kernel" ~contains:"killed(SIGSEGV)" <> None)
+
+let test_runaway_loop_consumes_time_not_host () =
+  (* An infinite VM loop must keep yielding virtual time (so heartbeat
+     detection can catch it) rather than hanging the simulator. *)
+  let engine, kernel = make_kernel () in
+  Kernel.register_program kernel "spin" (fun () ->
+      let code = Isa.[ Label "x"; Jmp "x" ] in
+      let program = Interp.load ~base:0x1000 (Isa.assemble code) in
+      ignore (Interp.run program ~regs:(Array.make 8 0)));
+  (match
+     Kernel.spawn_dynamic kernel ~name:"spin" ~program:"spin" ~args:[] ~priv:all_priv ~mem_kb:64
+   with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "spawn");
+  Engine.run engine ~until:2_000_000 ~max_events:10_000_000;
+  Alcotest.(check bool) "virtual clock advanced past 1s" true (Engine.now engine >= 1_000_000);
+  Alcotest.(check bool) "process still alive (stuck)" true
+    (Kernel.find_by_name kernel "spin" <> None)
+
+let test_out_of_range_port_is_io_failure () =
+  let result, _ =
+    in_fiber (fun () ->
+        (* No I/O handler installed and the port is inside our
+           privilege range, so devio returns E_io -> Io_failed. *)
+        let code = Isa.[ In (R0, 0x123); Ret ] in
+        let program = Interp.load ~base:0x1000 (Isa.assemble code) in
+        match Interp.run program ~regs:(Array.make 8 0) with
+        | _ -> "no trap"
+        | exception Interp.Io_failed _ -> "io failed")
+  in
+  Alcotest.(check (option string)) "port failure raises Io_failed" (Some "io failed") result
+
+(* --- fault injector --- *)
+
+let demo_code =
+  Isa.
+    [
+      Movi (R1, 16);
+      Movi (R2, 0x4000);
+      Label "loop";
+      Jz (R1, "end");
+      Load (R3, R2, 0);
+      Store (R2, 4, R3);
+      Addi (R2, 8);
+      Addi (R1, -1);
+      Jmp "loop";
+      Label "end";
+      Chkeq (R1, 0);
+      Ret;
+    ]
+
+let with_image f =
+  let result, _ =
+    in_fiber (fun () ->
+        let image = Isa.assemble demo_code in
+        let program = Interp.load ~base:0x1000 image in
+        let mem = Api.memory () in
+        f mem program (Bytes.length image / Isa.instr_size))
+  in
+  match result with Some r -> r | None -> Alcotest.fail "fiber died"
+
+let test_each_fault_type_mutates_image () =
+  Array.iter
+    (fun ft ->
+      let changed =
+        with_image (fun mem program insn_count ->
+            let before = Memory.read mem ~addr:program.Interp.base ~len:(insn_count * 8) in
+            let rng = Rng.create ~seed:11 in
+            match Fault.inject rng mem ~base:program.Interp.base ~insn_count ft with
+            | None -> false
+            | Some _ ->
+                let after = Memory.read mem ~addr:program.Interp.base ~len:(insn_count * 8) in
+                not (Bytes.equal before after))
+      in
+      Alcotest.(check bool) (Fault.to_string ft ^ " mutates the image") true changed)
+    Fault.all
+
+let test_invert_loop_flips_conditional () =
+  let ok =
+    with_image (fun mem program insn_count ->
+        let rng = Rng.create ~seed:5 in
+        match Fault.inject rng mem ~base:program.Interp.base ~insn_count Fault.Invert_loop with
+        | None -> false
+        | Some desc ->
+            (* Find the mutated instruction: it must decode as Jz or
+               Jnz still (the condition flipped, not destroyed). *)
+            ignore desc;
+            let image = Memory.read mem ~addr:program.Interp.base ~len:(insn_count * 8) in
+            let rec any_cond i =
+              if i >= insn_count then false
+              else
+                match Isa.decode image ~index:i with
+                | Isa.D_jnz _ -> true (* original had only one Jz; a Jnz proves the flip *)
+                | _ -> any_cond (i + 1)
+                | exception Isa.Illegal_instruction _ -> any_cond (i + 1)
+            in
+            any_cond 0)
+  in
+  Alcotest.(check bool) "Jz became Jnz" true ok
+
+let test_elide_becomes_nop () =
+  let ok =
+    with_image (fun mem program insn_count ->
+        let rng = Rng.create ~seed:9 in
+        let before = Memory.read mem ~addr:program.Interp.base ~len:(insn_count * 8) in
+        match Fault.inject rng mem ~base:program.Interp.base ~insn_count Fault.Elide with
+        | None -> false
+        | Some _ ->
+            let after = Memory.read mem ~addr:program.Interp.base ~len:(insn_count * 8) in
+            (* exactly one opcode byte changed, to NOP (0x01) *)
+            let diffs = ref [] in
+            for i = 0 to insn_count - 1 do
+              if Bytes.get before (i * 8) <> Bytes.get after (i * 8) then diffs := i :: !diffs
+            done;
+            (match !diffs with
+            | [ i ] -> Char.code (Bytes.get after (i * 8)) = 0x01
+            | _ -> false))
+  in
+  Alcotest.(check bool) "elide rewrites one opcode to NOP" true ok
+
+let prop_assemble_length =
+  QCheck.Test.make ~name:"assemble emits 8 bytes per real instruction" ~count:100
+    QCheck.(int_range 0 50)
+    (fun n ->
+      let code = List.concat (List.init n (fun i -> Isa.[ Movi (R1, i); Label (string_of_int i) ])) in
+      Bytes.length (Isa.assemble code) = n * Isa.instr_size)
+
+let prop_corrupted_image_never_hangs_decode =
+  (* Decoding arbitrary bytes either yields an instruction or raises
+     Illegal_instruction — never loops or crashes the host. *)
+  QCheck.Test.make ~name:"decode is total on junk" ~count:500
+    QCheck.(string_of_size (QCheck.Gen.return 8))
+    (fun junk ->
+      let b = Bytes.of_string junk in
+      match Isa.decode b ~index:0 with
+      | _ -> true
+      | exception Isa.Illegal_instruction _ -> true)
+
+let test_disassembler () =
+  let image =
+    Isa.assemble Isa.[ Movi (R1, 7); Load (R2, R1, 4); Out (0x305, R2); Jz (R1, "end"); Label "end"; Ret ]
+  in
+  Alcotest.(check (list string))
+    "disassembly"
+    [ "movi r1, 7"; "load r2, [r1+4]"; "out 0x305, r2"; "jz r1, 4"; "ret" ]
+    (Isa.disassemble image);
+  Bytes.set image 0 '\xEE';
+  Alcotest.(check string) "illegal rendering" "<illegal 0xEE>" (Isa.disassemble_one image ~index:0)
+
+let tests =
+  [
+    Alcotest.test_case "arithmetic loop" `Quick test_arithmetic;
+    Alcotest.test_case "disassembler" `Quick test_disassembler;
+    Alcotest.test_case "memory ops" `Quick test_memory_ops;
+    Alcotest.test_case "shifts and masks" `Quick test_shifts_and_masks;
+    Alcotest.test_case "consistency check raises" `Quick test_check_failure_is_catchable;
+    Alcotest.test_case "illegal opcode kills with SIGILL" `Quick test_illegal_opcode_kills_sigill;
+    Alcotest.test_case "wild pointer kills with SIGSEGV" `Quick test_wild_pointer_kills_sigsegv;
+    Alcotest.test_case "runaway loop yields virtual time" `Quick test_runaway_loop_consumes_time_not_host;
+    Alcotest.test_case "bad port access raises Io_failed" `Quick test_out_of_range_port_is_io_failure;
+    Alcotest.test_case "all fault types mutate the image" `Quick test_each_fault_type_mutates_image;
+    Alcotest.test_case "invert-loop flips Jz/Jnz" `Quick test_invert_loop_flips_conditional;
+    Alcotest.test_case "elide rewrites to NOP" `Quick test_elide_becomes_nop;
+    QCheck_alcotest.to_alcotest prop_assemble_length;
+    QCheck_alcotest.to_alcotest prop_corrupted_image_never_hangs_decode;
+  ]
