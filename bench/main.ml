@@ -12,7 +12,12 @@
       scale) and one per hot primitive of the simulator.
 
    Absolute throughput numbers are in *virtual* time and calibrated to
-   the paper's hardware; the Bechamel numbers are host wall-clock. *)
+   the paper's hardware; the Bechamel numbers are host wall-clock.
+
+   Flags:
+     --smoke             reduced scale + skip Bechamel (CI-friendly)
+     --metrics-out FILE  write JSONL metrics, spans and MTTR reports
+                         from the fig7/fig8 runs to FILE *)
 
 module E = Resilix_experiments
 module Md5 = Resilix_checksum.Md5
@@ -28,17 +33,25 @@ let mb = 1024 * 1024
 (* Part 1: regenerate the paper's tables                               *)
 (* ------------------------------------------------------------------ *)
 
-let regenerate_tables () =
-  E.Fig3.print (E.Fig3.run ());
-  E.Fig7.print (E.Fig7.run ~size:(64 * mb) ~intervals:[ 1; 2; 4; 8; 15 ] ());
-  E.Fig8.print (E.Fig8.run ~size:(256 * mb) ~intervals:[ 1; 2; 4; 8; 15 ] ());
-  E.Sec72.print "emulator variant" (E.Sec72.run ~faults:2000 ());
-  E.Sec72.print "real-hardware variant: wedgeable NIC"
-    (E.Sec72.run ~faults:2000 ~wedge_prob:1.0 ~has_master_reset:false ());
-  E.Fig9.print (E.Fig9.run ());
-  E.Ablations.print_heartbeat (E.Ablations.heartbeat_sweep ());
-  E.Ablations.print_policy (E.Ablations.policy_comparison ());
-  E.Ablations.print_ipc (E.Ablations.ipc_microbench ())
+let regenerate_tables ~smoke ~obs () =
+  if smoke then begin
+    (* Reduced scale: enough virtual traffic for a few recoveries per
+       interval, fast enough for the test suite. *)
+    E.Fig7.print (E.Fig7.run ~size:(8 * mb) ~intervals:[ 1; 2 ] ?obs ());
+    E.Fig8.print (E.Fig8.run ~size:(32 * mb) ~intervals:[ 1; 2 ] ?obs ())
+  end
+  else begin
+    E.Fig3.print (E.Fig3.run ());
+    E.Fig7.print (E.Fig7.run ~size:(64 * mb) ~intervals:[ 1; 2; 4; 8; 15 ] ?obs ());
+    E.Fig8.print (E.Fig8.run ~size:(256 * mb) ~intervals:[ 1; 2; 4; 8; 15 ] ?obs ());
+    E.Sec72.print "emulator variant" (E.Sec72.run ~faults:2000 ());
+    E.Sec72.print "real-hardware variant: wedgeable NIC"
+      (E.Sec72.run ~faults:2000 ~wedge_prob:1.0 ~has_master_reset:false ());
+    E.Fig9.print (E.Fig9.run ());
+    E.Ablations.print_heartbeat (E.Ablations.heartbeat_sweep ());
+    E.Ablations.print_policy (E.Ablations.policy_comparison ());
+    E.Ablations.print_ipc (E.Ablations.ipc_microbench ())
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel benchmarks                                         *)
@@ -142,6 +155,35 @@ let run_bechamel () =
       | _ -> Printf.printf "%-45s %16s\n" name "n/a")
     (List.sort compare !rows)
 
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let parse_args () =
+  let smoke = ref false in
+  let metrics_out = ref None in
+  let rec go = function
+    | [] -> ()
+    | "--smoke" :: rest -> smoke := true; go rest
+    | "--metrics-out" :: file :: rest -> metrics_out := Some file; go rest
+    | arg :: _ ->
+        Printf.eprintf "usage: %s [--smoke] [--metrics-out FILE]\n(unknown argument %S)\n"
+          Sys.executable_name arg;
+        exit 2
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (!smoke, !metrics_out)
+
 let () =
-  regenerate_tables ();
-  run_bechamel ()
+  let smoke, metrics_out = parse_args () in
+  match metrics_out with
+  | None ->
+      regenerate_tables ~smoke ~obs:None ();
+      if not smoke then run_bechamel ()
+  | Some file ->
+      let oc = open_out file in
+      let sink line = output_string oc line; output_char oc '\n' in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> regenerate_tables ~smoke ~obs:(Some sink) ());
+      if not smoke then run_bechamel ()

@@ -7,11 +7,23 @@ let mb = 1024 * 1024
 
 let run_fig3 seed = E.Fig3.print (E.Fig3.run ~seed ())
 
-let run_fig7 seed size_mb intervals =
-  E.Fig7.print (E.Fig7.run ~size:(size_mb * mb) ~intervals ~seed ())
+(* [--metrics-out FILE]: run [f] with a JSONL sink writing to FILE
+   (metrics snapshots, recovery spans and MTTR reports per run). *)
+let with_obs metrics_out f =
+  match metrics_out with
+  | None -> f None
+  | Some file ->
+      let oc = open_out file in
+      let sink line = output_string oc line; output_char oc '\n' in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f (Some sink))
 
-let run_fig8 seed size_mb intervals =
-  E.Fig8.print (E.Fig8.run ~size:(size_mb * mb) ~intervals ~seed ())
+let run_fig7 seed size_mb intervals metrics_out =
+  with_obs metrics_out (fun obs ->
+      E.Fig7.print (E.Fig7.run ~size:(size_mb * mb) ~intervals ~seed ?obs ()))
+
+let run_fig8 seed size_mb intervals metrics_out =
+  with_obs metrics_out (fun obs ->
+      E.Fig8.print (E.Fig8.run ~size:(size_mb * mb) ~intervals ~seed ?obs ()))
 
 let run_sec72 seed faults hw =
   if hw then
@@ -46,17 +58,24 @@ let faults_t =
 let hw_t =
   Arg.(value & flag & info [ "hw" ] ~doc:"Real-hardware variant: the NIC can wedge.")
 
+let metrics_out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Write JSONL observability output (metric snapshots, recovery spans, MTTR reports).")
+
 let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
 
 let fig3_cmd = cmd "fig3" "Recovery-scheme matrix (Fig. 3)" Term.(const run_fig3 $ seed_t)
 
 let fig7_cmd =
   cmd "fig7" "wget throughput vs Ethernet-driver kill interval (Fig. 7)"
-    Term.(const run_fig7 $ seed_t $ size_t 128 $ intervals_t)
+    Term.(const run_fig7 $ seed_t $ size_t 128 $ intervals_t $ metrics_out_t)
 
 let fig8_cmd =
   cmd "fig8" "dd throughput vs disk-driver kill interval (Fig. 8)"
-    Term.(const run_fig8 $ seed_t $ size_t 1024 $ intervals_t)
+    Term.(const run_fig8 $ seed_t $ size_t 1024 $ intervals_t $ metrics_out_t)
 
 let sec72_cmd =
   cmd "sec72" "Fault-injection campaign on the DP8390 driver (Sec. 7.2)"
@@ -69,15 +88,16 @@ let ablations_cmd = cmd "ablations" "Design-choice ablations" Term.(const run_ab
 let all_cmd =
   cmd "all" "Run every experiment with default parameters"
     Term.(
-      const (fun seed size7 size8 intervals faults ->
+      const (fun seed size7 size8 intervals faults metrics_out ->
           run_fig3 seed;
-          run_fig7 seed size7 intervals;
-          run_fig8 seed size8 intervals;
+          with_obs metrics_out (fun obs ->
+              E.Fig7.print (E.Fig7.run ~size:(size7 * mb) ~intervals ~seed ?obs ());
+              E.Fig8.print (E.Fig8.run ~size:(size8 * mb) ~intervals ~seed ?obs ()));
           run_sec72 seed faults false;
           run_sec72 seed faults true;
           run_fig9 ();
           run_ablations seed)
-      $ seed_t $ size_t 128 $ size_t 512 $ intervals_t $ faults_t)
+      $ seed_t $ size_t 128 $ size_t 512 $ intervals_t $ faults_t $ metrics_out_t)
 
 let () =
   let info =

@@ -4,6 +4,7 @@ module Sysif = Resilix_kernel.Sysif
 module Message = Resilix_proto.Message
 module Status = Resilix_proto.Status
 module Wellknown = Resilix_proto.Wellknown
+module Event = Resilix_obs.Event
 
 type action =
   | Backoff of { cap_sec : int }
@@ -37,7 +38,9 @@ let request_restart ctx =
   match Api.sendrec Wellknown.rs (Message.Rs_service_restart { name = ctx.component }) with
   | Ok (Sysif.Rx_msg { body = Message.Rs_reply { result = Ok () }; _ }) -> true
   | Ok _ | Error _ ->
-      Api.trace "policy" "restart of %s failed" ctx.component;
+      Api.emit ~level:Event.Warn "policy"
+        (Event.Policy_decision
+           { component = ctx.component; policy = "script"; decision = "restart request failed" });
       false
 
 let publish_alert ctx addr status =
@@ -75,12 +78,26 @@ let run ctx t =
             publish_alert ctx addr !restart_status;
             go rest
         | Log note ->
-            Api.trace "policy" "%s failed (reason %d, repetition %d): %s" ctx.component
-              (Status.defect_number ctx.reason) ctx.repetition note;
+            Api.emit "policy"
+              (Event.Policy_decision
+                 {
+                   component = ctx.component;
+                   policy = "script";
+                   decision =
+                     Printf.sprintf "log: failed (reason %d, repetition %d): %s"
+                       (Status.defect_number ctx.reason) ctx.repetition note;
+                 });
             go rest
         | Give_up_after { max_failures } ->
             if ctx.repetition > max_failures then begin
-              Api.trace "policy" "%s failed %d times; giving up" ctx.component ctx.repetition;
+              Api.emit ~level:Event.Warn "policy"
+                (Event.Policy_decision
+                   {
+                     component = ctx.component;
+                     policy = "script";
+                     decision =
+                       Printf.sprintf "failed %d times; giving up" ctx.repetition;
+                   });
               ignore (Api.sendrec Wellknown.rs (Message.Rs_down { name = ctx.component }));
               publish_alert ctx "root" "gave-up"
             end
@@ -92,8 +109,14 @@ let run ctx t =
             go rest
         | Reboot_after { max_failures } ->
             if ctx.repetition > max_failures then begin
-              Api.trace "policy" "%s failed %d times; rebooting the system" ctx.component
-                ctx.repetition;
+              Api.emit ~level:Event.Warn "policy"
+                (Event.Policy_decision
+                   {
+                     component = ctx.component;
+                     policy = "script";
+                     decision =
+                       Printf.sprintf "failed %d times; rebooting the system" ctx.repetition;
+                   });
               ignore (Api.sendrec Wellknown.rs Message.Rs_reboot)
             end
             else go rest)

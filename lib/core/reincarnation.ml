@@ -8,6 +8,8 @@ module Signal = Resilix_proto.Signal
 module Spec = Resilix_proto.Spec
 module Status = Resilix_proto.Status
 module Wellknown = Resilix_proto.Wellknown
+module Event = Resilix_obs.Event
+module Span = Resilix_obs.Span
 
 (*@recovery-begin*)
 type recovery_event = {
@@ -57,10 +59,11 @@ type t = {
   mutable event_log : recovery_event list; (* newest first *)
   mutable script_counter : int;
   mutable reboots : int;
+  spans : Span.t;
 }
 
 let create ~register_program ?(policies = []) ?(complainers = []) ?(heartbeat_tick = 100_000)
-    ?(term_grace = 2_000_000) () =
+    ?(term_grace = 2_000_000) ?spans () =
   let table = Hashtbl.create 8 in
   List.iter (fun (name, p) -> Hashtbl.replace table name p) policies;
   {
@@ -73,10 +76,12 @@ let create ~register_program ?(policies = []) ?(complainers = []) ?(heartbeat_ti
     event_log = [];
     script_counter = 0;
     reboots = 0;
+    spans = (match spans with Some s -> s | None -> Span.create ());
   }
 
 let events t = List.rev t.event_log
 let reboots t = t.reboots
+let spans t = t.spans
 
 let service_up t name =
   match Hashtbl.find_opt t.services name with Some s -> s.status = Up | None -> false
@@ -146,22 +151,28 @@ let start_process t service ~program =
       service.hb_misses <- 0;
       service.hb_last_request <- Api.now ();
       service.term_deadline <- None;
+      Span.mark_component t.spans spec.Spec.name Span.Respawn ~now:(Api.now ());
       (* Publication is what triggers dependent recovery. *)
       ds_publish spec.Spec.name (Message.V_endpoint ep);
-      log "service %s up as %s (pid %d)" spec.Spec.name (Endpoint.to_string ep) pid;
+      Span.mark_component t.spans spec.Spec.name Span.Republish ~now:(Api.now ());
+      Api.emit "rs" (Event.Restart { component = spec.Spec.name; ep; pid });
       Ok (ep, pid)
 
 (*@recovery-begin*)
 let complete_recovery t service =
   (match List.find_opt (fun e -> String.equal e.component service.spec.Spec.name) t.event_log with
   | Some event when event.recovered_at = None -> event.recovered_at <- Some (Api.now ())
-  | Some _ | None -> ())
+  | Some _ | None -> ());
+  Span.close_component t.spans service.spec.Spec.name ~now:(Api.now ())
 
 let restart_now t service =
   let program =
     match service.pending_program with Some p -> p | None -> service.spec.Spec.program
   in
   service.pending_program <- None;
+  (* The policy phase ends the moment the restart is actually ordered
+     (directly or via the policy script's Rs_service_restart). *)
+  Span.mark_component t.spans service.spec.Spec.name Span.Policy ~now:(Api.now ());
   match start_process t service ~program with
   | Ok _ ->
       complete_recovery t service;
@@ -196,8 +207,15 @@ let run_policy_script t service policy ~reason =
   | Error e ->
       (* Cannot run the script (out of slots?): recover directly rather
          than leaving the system headless. *)
-      log "policy script for %s failed to start (%s); restarting directly" spec.Spec.name
-        (Errno.to_string e);
+      Api.emit ~level:Event.Warn "rs"
+        (Event.Policy_decision
+           {
+             component = spec.Spec.name;
+             policy = spec.Spec.policy;
+             decision =
+               Printf.sprintf "script failed to start (%s); restarting directly"
+                 (Errno.to_string e);
+           });
       ignore (restart_now t service)
 
 (* A defect was detected: record it and initiate policy-driven
@@ -221,13 +239,23 @@ let initiate_recovery t service ~defect =
       recovered_at = None;
     }
     :: t.event_log;
-  log "defect in %s: %s (failure #%d)" spec.Spec.name (Status.defect_name defect) service.failures;
+  ignore
+    (Span.open_span t.spans ~component:spec.Spec.name ~defect ~repetition:service.failures
+       ~now:(Api.now ()));
+  Api.emit ~level:Event.Warn "rs"
+    (Event.Defect { component = spec.Spec.name; defect; repetition = service.failures });
   if String.equal spec.Spec.policy "" then ignore (restart_now t service)
   else
     match Hashtbl.find_opt t.policies spec.Spec.policy with
     | Some policy -> run_policy_script t service policy ~reason:defect
     | None ->
-        log "unknown policy %s for %s; restarting directly" spec.Spec.policy spec.Spec.name;
+        Api.emit ~level:Event.Warn "rs"
+          (Event.Policy_decision
+             {
+               component = spec.Spec.name;
+               policy = spec.Spec.policy;
+               decision = "unknown policy; restarting directly";
+             });
         ignore (restart_now t service)
 
 (*@recovery-end*)
@@ -276,7 +304,13 @@ let handle_tick t =
       (* Escalate dynamic updates that ignored SIGTERM. *)
       (match service.term_deadline with
       | Some deadline when now >= deadline && service.status = Up ->
-          log "%s ignored SIGTERM; escalating to SIGKILL" service.spec.Spec.name;
+          Api.emit ~level:Event.Warn "rs"
+            (Event.Policy_decision
+               {
+                 component = service.spec.Spec.name;
+                 policy = "update";
+                 decision = "ignored SIGTERM; escalating to SIGKILL";
+               });
           service.term_deadline <- None;
           ignore (pm_kill ~pid:service.pid ~signal:Signal.Sig_kill)
       | Some _ | None -> ());
@@ -285,6 +319,9 @@ let handle_tick t =
       if service.status = Up && period > 0 && now - service.hb_last_request >= period then begin
         if service.hb_outstanding then begin
           service.hb_misses <- service.hb_misses + 1;
+          Api.emit ~level:Event.Warn "rs"
+            (Event.Heartbeat_miss
+               { component = service.spec.Spec.name; misses = service.hb_misses });
           if service.hb_misses >= service.spec.Spec.max_heartbeat_misses then begin
             log "%s missed %d heartbeats; killing for recovery" service.spec.Spec.name
               service.hb_misses;

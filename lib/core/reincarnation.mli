@@ -40,6 +40,7 @@ val create :
   ?complainers:Endpoint.t list ->
   ?heartbeat_tick:int ->
   ?term_grace:int ->
+  ?spans:Resilix_obs.Span.t ->
   unit ->
   t
 (** [register_program] installs policy-script bodies in the system's
@@ -48,13 +49,21 @@ val create :
     [complainers] are the endpoints allowed to use defect class 5
     (typically VFS, MFS, INET).  [heartbeat_tick] is RS's internal
     polling period (default 100 ms); [term_grace] how long a SIGTERMed
-    component gets before SIGKILL (default 2 s). *)
+    component gets before SIGKILL (default 2 s).  [spans] is the span
+    collector recoveries are recorded into (fresh by default; pass a
+    shared one so dependents can mark their re-open phase). *)
 
 val body : t -> unit -> unit
 (** The process body; boot runs this at the well-known RS slot. *)
 
 val events : t -> recovery_event list
 (** All recoveries so far, oldest first. *)
+
+val spans : t -> Resilix_obs.Span.t
+(** The recovery span collector: one span per recovery, opened at
+    defect detection, phase-marked through policy / respawn /
+    republish, closed when the service is back up.  The MTTR data the
+    experiments consume. *)
 
 val service_up : t -> string -> bool
 (** Whether the named service is currently believed up. *)

@@ -45,6 +45,8 @@ let stable_name_of t ep =
 
 let publish t key value =
   Hashtbl.replace t.registry key value;
+  Api.metric_incr "ds.publishes";
+  Api.emit "ds" (Resilix_obs.Event.Ds_publish { key });
   (* Fan out to matching subscribers; dead ones are pruned when the
      notification bounces. *)
   t.subscribers <-

@@ -1,6 +1,6 @@
 module System = Resilix_system.System
 module Hwmap = Resilix_system.Hwmap
-module Reincarnation = Resilix_core.Reincarnation
+module Span = Resilix_obs.Span
 module Filegen = Resilix_net.Filegen
 module Wget = Resilix_apps.Wget
 
@@ -17,7 +17,17 @@ type row = {
 
 let file_seed = 77
 
-let one_transfer ~size ~seed ~kill_interval =
+(* Recovery latency now comes from the typed spans RS records (opened
+   at defect detection, closed at reintegration) rather than ad-hoc
+   detected_at/recovered_at pairs. *)
+let recovery_stats t =
+  let closed =
+    List.filter_map (fun s -> Span.total_us s) (Span.spans t.System.spans)
+  in
+  let n = List.length closed in
+  (n, if n = 0 then 0 else List.fold_left ( + ) 0 closed / n)
+
+let one_transfer ~size ~seed ~kill_interval ~obs =
   let opts =
     {
       System.default_opts with
@@ -36,24 +46,23 @@ let one_transfer ~size ~seed ~kill_interval =
   | Some interval -> System.start_crash_script t ~target:"eth.rtl8139" ~interval ()
   | None -> ());
   let finished = System.run_until t ~timeout:3_600_000_000 (fun () -> result.Wget.finished) in
-  let events = Reincarnation.events t.System.rs in
-  let completed = List.filter (fun e -> e.Reincarnation.recovered_at <> None) events in
-  let mean_restart =
-    match completed with
-    | [] -> 0
-    | es ->
-        List.fold_left
-          (fun acc e -> acc + (Option.get e.Reincarnation.recovered_at - e.Reincarnation.detected_at))
-          0 es
-        / List.length es
-  in
+  let recoveries, mean_restart = recovery_stats t in
+  (match obs with
+  | None -> ()
+  | Some sink ->
+      let label =
+        match kill_interval with
+        | None -> "fig7/baseline"
+        | Some i -> Printf.sprintf "fig7/kill-%ds" (i / 1_000_000)
+      in
+      List.iter sink (System.obs_lines ~label t));
   let duration = result.Wget.finished_at - result.Wget.started_at in
   {
     kill_interval_s = Option.map (fun i -> i / 1_000_000) kill_interval;
     bytes = result.Wget.bytes;
     duration_us = duration;
     throughput_mbs = (if duration > 0 then float_of_int result.Wget.bytes /. float_of_int duration else 0.);
-    recoveries = List.length completed;
+    recoveries;
     mean_restart_us = mean_restart;
     overhead_pct = 0.;
     integrity_ok =
@@ -61,12 +70,12 @@ let one_transfer ~size ~seed ~kill_interval =
       && String.equal result.Wget.fnv (Filegen.fnv_digest ~seed:file_seed ~size);
   }
 
-let run ?(size = 64 * 1024 * 1024) ?(intervals = [ 1; 2; 4; 8; 15 ]) ?(seed = 42) () =
-  let baseline = one_transfer ~size ~seed ~kill_interval:None in
+let run ?(size = 64 * 1024 * 1024) ?(intervals = [ 1; 2; 4; 8; 15 ]) ?(seed = 42) ?obs () =
+  let baseline = one_transfer ~size ~seed ~kill_interval:None ~obs in
   let rows =
     List.map
       (fun s ->
-        let r = one_transfer ~size ~seed:(seed + s) ~kill_interval:(Some (s * 1_000_000)) in
+        let r = one_transfer ~size ~seed:(seed + s) ~kill_interval:(Some (s * 1_000_000)) ~obs in
         {
           r with
           overhead_pct =

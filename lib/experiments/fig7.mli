@@ -18,11 +18,15 @@ type row = {
   integrity_ok : bool;  (** digest matches the served file *)
 }
 
-val run : ?size:int -> ?intervals:int list -> ?seed:int -> unit -> row list
+val run :
+  ?size:int -> ?intervals:int list -> ?seed:int -> ?obs:(string -> unit) -> unit -> row list
 (** Default: a 64-MB transfer (scaled from the paper's 512 MB; the
     per-crash dead time is scale-independent, so the overhead shape is
     preserved), kill intervals 1,2,4,8,15 s.  The first row is the
-    uninterrupted baseline. *)
+    uninterrupted baseline.  Recovery counts and mean restart time are
+    computed from the closed recovery spans ({!Resilix_obs.Span}).
+    [obs] receives one JSONL observability line at a time for each
+    transfer (labelled ["fig7/baseline"], ["fig7/kill-4s"], ...). *)
 
 val print : row list -> unit
 (** Print the series next to the paper's anchor numbers. *)

@@ -1,5 +1,5 @@
 module System = Resilix_system.System
-module Reincarnation = Resilix_core.Reincarnation
+module Span = Resilix_obs.Span
 module Mfs = Resilix_fs.Mfs
 module Dd = Resilix_apps.Dd
 
@@ -15,7 +15,15 @@ type row = {
   integrity_ok : bool;
 }
 
-let one_run ~size ~seed ~kill_interval =
+(* Same span-based recovery accounting as Fig. 7. *)
+let recovery_stats t =
+  let closed =
+    List.filter_map (fun s -> Span.total_us s) (Span.spans t.System.spans)
+  in
+  let n = List.length closed in
+  (n, if n = 0 then 0 else List.fold_left ( + ) 0 closed / n)
+
+let one_run ~size ~seed ~kill_interval ~obs =
   let disk_mb = (size / 1024 / 1024) + 8 in
   let opts =
     {
@@ -33,17 +41,16 @@ let one_run ~size ~seed ~kill_interval =
   | Some interval -> System.start_crash_script t ~target:"blk.sata" ~interval ()
   | None -> ());
   let finished = System.run_until t ~timeout:3_600_000_000 (fun () -> result.Dd.finished) in
-  let events = Reincarnation.events t.System.rs in
-  let completed = List.filter (fun e -> e.Reincarnation.recovered_at <> None) events in
-  let mean_restart =
-    match completed with
-    | [] -> 0
-    | es ->
-        List.fold_left
-          (fun acc e -> acc + (Option.get e.Reincarnation.recovered_at - e.Reincarnation.detected_at))
-          0 es
-        / List.length es
-  in
+  let recoveries, mean_restart = recovery_stats t in
+  (match obs with
+  | None -> ()
+  | Some sink ->
+      let label =
+        match kill_interval with
+        | None -> "fig8/baseline"
+        | Some i -> Printf.sprintf "fig8/kill-%ds" (i / 1_000_000)
+      in
+      List.iter sink (System.obs_lines ~label t));
   let duration = result.Dd.finished_at - result.Dd.started_at in
   ( {
       kill_interval_s = Option.map (fun i -> i / 1_000_000) kill_interval;
@@ -51,7 +58,7 @@ let one_run ~size ~seed ~kill_interval =
       duration_us = duration;
       throughput_mbs =
         (if duration > 0 then float_of_int result.Dd.bytes /. float_of_int duration else 0.);
-      recoveries = List.length completed;
+      recoveries;
       reissued_ios = Mfs.reissued_ios t.System.mfs;
       mean_restart_us = mean_restart;
       overhead_pct = 0.;
@@ -59,12 +66,12 @@ let one_run ~size ~seed ~kill_interval =
     },
     result.Dd.fnv )
 
-let run ?(size = 128 * 1024 * 1024) ?(intervals = [ 1; 2; 4; 8; 15 ]) ?(seed = 42) () =
-  let baseline, reference_digest = one_run ~size ~seed ~kill_interval:None in
+let run ?(size = 128 * 1024 * 1024) ?(intervals = [ 1; 2; 4; 8; 15 ]) ?(seed = 42) ?obs () =
+  let baseline, reference_digest = one_run ~size ~seed ~kill_interval:None ~obs in
   let rows =
     List.map
       (fun s ->
-        let r, digest = one_run ~size ~seed ~kill_interval:(Some (s * 1_000_000)) in
+        let r, digest = one_run ~size ~seed ~kill_interval:(Some (s * 1_000_000)) ~obs in
         {
           r with
           overhead_pct = 100. *. (1. -. (r.throughput_mbs /. max 0.001 baseline.throughput_mbs));

@@ -20,9 +20,12 @@ type row = {
   integrity_ok : bool;  (** checksum equals the uninterrupted run's *)
 }
 
-val run : ?size:int -> ?intervals:int list -> ?seed:int -> unit -> row list
+val run :
+  ?size:int -> ?intervals:int list -> ?seed:int -> ?obs:(string -> unit) -> unit -> row list
 (** Default: a 128-MB file (scaled from 1 GB), kill intervals
-    1,2,4,8,15 s; first row is the uninterrupted baseline. *)
+    1,2,4,8,15 s; first row is the uninterrupted baseline.  Recovery
+    latencies come from the closed recovery spans; [obs] receives
+    JSONL observability lines per run (labels ["fig8/..."]). *)
 
 val print : row list -> unit
 (** Print the series next to the paper's anchor numbers. *)

@@ -17,10 +17,18 @@ type t = {
   mutable cache : Cache.t option; (* set once the body is running *)
   parked : (Endpoint.t * Message.t) Queue.t;
       (* requests that arrived while we were stalled on a dead driver *)
+  spans : Resilix_obs.Span.t;
 }
 
-let create ~driver_key ?(minor = 0) ?(cache_slots = default_cache_slots) () =
-  { driver_key; minor; cache_slots; cache = None; parked = Queue.create () }
+let create ~driver_key ?(minor = 0) ?(cache_slots = default_cache_slots) ?spans () =
+  {
+    driver_key;
+    minor;
+    cache_slots;
+    cache = None;
+    parked = Queue.create ();
+    spans = (match spans with Some s -> s | None -> Resilix_obs.Span.create ());
+  }
 
 let reissued_ios t = match t.cache with Some c -> Cache.reissued c | None -> 0
 
@@ -75,9 +83,14 @@ let wait_new_driver t dead_ep =
         | Ok (Sysif.Rx_notify _) | Error _ -> wait ())
   in
   Api.trace "mfs" "disk driver %s died; waiting for reincarnation" t.driver_key;
+  Api.metric_incr "mfs.driver.outages";
   let ep = wait () in
   Api.trace "mfs" "disk driver %s is back as %s; redoing pending I/O" t.driver_key
     (Endpoint.to_string ep);
+  Resilix_obs.Span.mark_component t.spans t.driver_key Resilix_obs.Span.Reopen ~now:(Api.now ());
+  Api.emit "mfs"
+    (Resilix_obs.Event.Retry
+       { component = t.driver_key; operation = "redo-io"; count = Queue.length t.parked });
   ep
 
 (*@recovery-end*)

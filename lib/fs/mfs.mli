@@ -12,7 +12,8 @@
 type t
 (** Shared handle for introspection. *)
 
-val create : driver_key:string -> ?minor:int -> ?cache_slots:int -> unit -> t
+val create :
+  driver_key:string -> ?minor:int -> ?cache_slots:int -> ?spans:Resilix_obs.Span.t -> unit -> t
 (** [driver_key] is the stable service name of the block driver
     (e.g. ["blk.sata"]). *)
 

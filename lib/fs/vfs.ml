@@ -71,10 +71,14 @@ let chardev_request t key msg =
       | Ok _ -> Error Errno.E_io
       | Error (Errno.E_dead_src_dst | Errno.E_bad_endpoint) -> (
           t.chardev_errors <- t.chardev_errors + 1;
+          Api.metric_incr "vfs.chardev.stale_endpoints";
           (* Refresh the endpoint for the *next* operation; this one
              fails upward. *)
           match resolve_driver t key ~fresh:true with
-          | Some fresh_ep when not (Endpoint.equal fresh_ep ep) -> Error Errno.E_io
+          | Some fresh_ep when not (Endpoint.equal fresh_ep ep) ->
+              Api.emit "vfs"
+                (Resilix_obs.Event.Retry { component = key; operation = "rebind"; count = 1 });
+              Error Errno.E_io
           | _ -> Error Errno.E_io)
       | Error e -> Error e)
 

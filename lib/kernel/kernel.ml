@@ -8,6 +8,8 @@ module Status = Resilix_proto.Status
 module Signal = Resilix_proto.Signal
 module Privilege = Resilix_proto.Privilege
 module Wellknown = Resilix_proto.Wellknown
+module Event = Resilix_obs.Event
+module Metrics = Resilix_obs.Metrics
 
 type costs = {
   syscall : int;
@@ -22,17 +24,21 @@ type costs = {
 let default_costs =
   { syscall = 1; ipc = 2; notify = 1; copy_base = 1; copy_bytes_per_us = 2000; devio = 2; spawn = 3000 }
 
-type stats = {
-  mutable messages : int;
-  mutable notifications : int;
-  mutable async_messages : int;
-  mutable safecopies : int;
-  mutable safecopy_bytes : int;
-  mutable devios : int;
-  mutable irqs : int;
-  mutable spawns : int;
-  mutable kills : int;
-  mutable exits : int;
+(* Hot-path handles into the metric registry: the kernel bumps these
+   on every IPC/copy/interrupt, so it resolves each counter once at
+   creation instead of by name per operation. *)
+type counters = {
+  c_messages : Metrics.counter;
+  c_notifications : Metrics.counter;
+  c_async_messages : Metrics.counter;
+  c_safecopies : Metrics.counter;
+  c_safecopy_bytes : Metrics.counter;
+  c_devios : Metrics.counter;
+  c_irqs : Metrics.counter;
+  c_irqs_dropped : Metrics.counter;
+  c_spawns : Metrics.counter;
+  c_kills : Metrics.counter;
+  c_exits : Metrics.counter;
 }
 
 module String_set = Set.Make (String)
@@ -99,10 +105,12 @@ type t = {
   iommu : (int, iommu_entry) Hashtbl.t;
   mutable next_dma_handle : int;
   exit_queue : (Endpoint.t * string * Status.exit_status) Queue.t;
-  stats : stats;
+  metrics : Metrics.t;
+  ctr : counters;
 }
 
-let create ~engine ~trace ~rng ?(costs = default_costs) () =
+let create ~engine ~trace ~rng ?(costs = default_costs) ?metrics () =
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   {
     engine;
     trace;
@@ -116,30 +124,32 @@ let create ~engine ~trace ~rng ?(costs = default_costs) () =
     iommu = Hashtbl.create 16;
     next_dma_handle = 1;
     exit_queue = Queue.create ();
-    stats =
+    metrics;
+    ctr =
       {
-        messages = 0;
-        notifications = 0;
-        async_messages = 0;
-        safecopies = 0;
-        safecopy_bytes = 0;
-        devios = 0;
-        irqs = 0;
-        spawns = 0;
-        kills = 0;
-        exits = 0;
+        c_messages = Metrics.counter metrics "kernel.ipc.messages";
+        c_notifications = Metrics.counter metrics "kernel.ipc.notifications";
+        c_async_messages = Metrics.counter metrics "kernel.ipc.async_messages";
+        c_safecopies = Metrics.counter metrics "kernel.safecopy.calls";
+        c_safecopy_bytes = Metrics.counter metrics "kernel.safecopy.bytes";
+        c_devios = Metrics.counter metrics "kernel.devio.calls";
+        c_irqs = Metrics.counter metrics "kernel.irq.raised";
+        c_irqs_dropped = Metrics.counter metrics "kernel.irq.dropped";
+        c_spawns = Metrics.counter metrics "kernel.proc.spawns";
+        c_kills = Metrics.counter metrics "kernel.proc.kills";
+        c_exits = Metrics.counter metrics "kernel.proc.exits";
       };
   }
 
 let engine t = t.engine
 let trace t = t.trace
-let stats t = t.stats
+let metrics t = t.metrics
 let set_io_handler t handler = t.io_handler <- handler
 let register_program t key main = Hashtbl.replace t.programs key main
 let has_program t key = Hashtbl.mem t.programs key
 
 let log t fmt = Trace.emit t.trace ~now:(Engine.now t.engine) Trace.Debug "kernel" fmt
-let log_info t fmt = Trace.emit t.trace ~now:(Engine.now t.engine) Trace.Info "kernel" fmt
+let kemit t ?level payload = Trace.emit_event t.trace ~now:(Engine.now t.engine) ?level "kernel" payload
 
 let proc_of_slot t slot =
   if slot < 0 || slot >= Array.length t.procs then None else t.procs.(slot)
@@ -215,15 +225,10 @@ let filter_accepts filter (src : Endpoint.t) =
 (* Process death                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let pp_status ppf = function
-  | Status.Exited code -> Format.fprintf ppf "exited(%d)" code
-  | Status.Panicked msg -> Format.fprintf ppf "panicked(%s)" msg
-  | Status.Killed signal -> Format.fprintf ppf "killed(%a)" Signal.pp signal
-
 (* Deliver a notification; queues (with dedup) if the target is not
    receiving.  Never blocks. *)
 let rec deliver_notify t ~src ~(dst : proc) kind =
-  t.stats.notifications <- t.stats.notifications + 1;
+  Metrics.incr t.ctr.c_notifications;
   match dst.state with
   | Recv_wait { filter; for_reply = false; _ } when filter_accepts filter src ->
       wake_receiver t dst ~cost:t.costs.notify (Ok (Sysif.Rx_notify { src; kind }))
@@ -241,9 +246,9 @@ let rec deliver_notify t ~src ~(dst : proc) kind =
 and finalize t proc status =
   if proc.state <> Dead then begin
     proc.state <- Dead;
-    t.stats.exits <- t.stats.exits + 1;
+    Metrics.incr t.ctr.c_exits;
     let ep = ep_of_proc proc in
-    log_info t "process %s (%a) terminated: %a" proc.p_name Endpoint.pp ep pp_status status;
+    kemit t (Event.Exit { ep; name = proc.p_name; status });
     (* Cancel timers. *)
     (match proc.alarm with Some h -> Engine.cancel h | None -> ());
     proc.alarm <- None;
@@ -294,7 +299,7 @@ let status_of_exn = function
 
 (* Kill a process from kernel context. *)
 let do_kill t proc status =
-  t.stats.kills <- t.stats.kills + 1;
+  Metrics.incr t.ctr.c_kills;
   match proc.state with
   | Dead -> ()
   | Running ->
@@ -326,7 +331,7 @@ let try_deliver t ~(src_proc : proc) ~(dst : proc) ?(async = false) msg =
       (* An async message never stands in for a sendrec reply. *)
       false
   | Recv_wait { filter; _ } when filter_accepts filter (ep_of_proc src_proc) ->
-      t.stats.messages <- t.stats.messages + 1;
+      Metrics.incr t.ctr.c_messages;
       dst.peers <- String_set.add src_proc.p_name dst.peers;
       wake_receiver t dst ~cost:t.costs.ipc
         (Ok (Sysif.Rx_msg { src = ep_of_proc src_proc; body = msg }));
@@ -394,7 +399,7 @@ let try_complete_receive t (receiver : proc) filter =
   | None -> (
       match pop_matching_sender t receiver filter with
       | Some (sender, sw) ->
-          t.stats.messages <- t.stats.messages + 1;
+          Metrics.incr t.ctr.c_messages;
           receiver.peers <- String_set.add sender.p_name receiver.peers;
           let sender_ep = ep_of_proc sender in
           (match sw.completion with
@@ -414,7 +419,7 @@ let try_complete_receive t (receiver : proc) filter =
       | None -> (
           match take_async receiver filter with
           | Some (src, msg) ->
-              t.stats.async_messages <- t.stats.async_messages + 1;
+              Metrics.incr t.ctr.c_async_messages;
               receiver.peers <-
                 (match proc_of_slot t src.Endpoint.slot with
                 | Some p when p.gen = src.Endpoint.gen -> String_set.add p.p_name receiver.peers
@@ -424,7 +429,11 @@ let try_complete_receive t (receiver : proc) filter =
 
 let do_safecopy t (caller : proc) ~dir ~owner ~grant_id ~grant_off ~local_addr ~len =
   match lookup_ep t owner with
-  | Lookup_stale -> Error Errno.E_dead_src_dst
+  | Lookup_stale ->
+      kemit t ~level:Trace.Warn
+        (Event.Safecopy
+           { caller = ep_of_proc caller; owner; bytes = len; errno = Some Errno.E_dead_src_dst });
+      Error Errno.E_dead_src_dst
   | Lookup_bad -> Error Errno.E_bad_endpoint
   | Lookup_ok owner_proc -> (
       match Hashtbl.find_opt owner_proc.grants grant_id with
@@ -443,8 +452,8 @@ let do_safecopy t (caller : proc) ~dir ~owner ~grant_id ~grant_off ~local_addr ~
             if not access_ok then Error Errno.E_no_perm
             else
               try
-                t.stats.safecopies <- t.stats.safecopies + 1;
-                t.stats.safecopy_bytes <- t.stats.safecopy_bytes + len;
+                Metrics.incr t.ctr.c_safecopies;
+                Metrics.add t.ctr.c_safecopy_bytes len;
                 (match dir with
                 | `Read ->
                     Memory.copy ~src:owner_proc.memory ~src_addr:(g.base + grant_off)
@@ -502,8 +511,14 @@ and handle_syscall : type a. t -> proc -> a Sysif.syscall -> (a, unit) Effect.De
   | Sysif.My_args -> ret_now proc.p_args
   | Sysif.My_name -> ret_now proc.p_name
   | Sysif.Random n -> ret_now (Rng.int t.rng n)
-  | Sysif.Trace_emit (subsystem, message) ->
-      Trace.emit t.trace ~now:(Engine.now t.engine) Trace.Info subsystem "%s" message;
+  | Sysif.Obs_emit (level, subsystem, payload) ->
+      Trace.emit_event t.trace ~now:(Engine.now t.engine) ~level subsystem payload;
+      ret_now ()
+  | Sysif.Metric_add (name, n) ->
+      Metrics.add_named t.metrics name n;
+      ret_now ()
+  | Sysif.Metric_observe (name, v) ->
+      Metrics.observe_named t.metrics name v;
       ret_now ()
   | Sysif.Yield cost -> ret ~cost ()
   | Sysif.Sleep d ->
@@ -522,7 +537,11 @@ and handle_syscall : type a. t -> proc -> a Sysif.syscall -> (a, unit) Effect.De
   | Sysif.Exit status -> discontinue k (Sysif.Killed_exn status)
   | Sysif.Send (dst, msg) -> begin
       match lookup_ep t dst with
-      | Lookup_stale -> ret (Error Errno.E_dead_src_dst)
+      | Lookup_stale ->
+          kemit t ~level:Trace.Warn
+            (Event.Ipc
+               { kind = Event.Send; src = self_ep; dst; errno = Some Errno.E_dead_src_dst });
+          ret (Error Errno.E_dead_src_dst)
       | Lookup_bad -> ret (Error Errno.E_bad_endpoint)
       | Lookup_ok dst_proc ->
           if dst_proc.slot = proc.slot then ret (Error Errno.E_inval)
@@ -542,7 +561,11 @@ and handle_syscall : type a. t -> proc -> a Sysif.syscall -> (a, unit) Effect.De
     end
   | Sysif.Sendrec (dst, msg) -> begin
       match lookup_ep t dst with
-      | Lookup_stale -> ret (Error Errno.E_dead_src_dst)
+      | Lookup_stale ->
+          kemit t ~level:Trace.Warn
+            (Event.Ipc
+               { kind = Event.Sendrec; src = self_ep; dst; errno = Some Errno.E_dead_src_dst });
+          ret (Error Errno.E_dead_src_dst)
       | Lookup_bad -> ret (Error Errno.E_bad_endpoint)
       | Lookup_ok dst_proc ->
           if dst_proc.slot = proc.slot then ret (Error Errno.E_inval)
@@ -571,13 +594,17 @@ and handle_syscall : type a. t -> proc -> a Sysif.syscall -> (a, unit) Effect.De
     end
   | Sysif.Asend (dst, msg) -> begin
       match lookup_ep t dst with
-      | Lookup_stale -> ret (Error Errno.E_dead_src_dst)
+      | Lookup_stale ->
+          kemit t ~level:Trace.Warn
+            (Event.Ipc
+               { kind = Event.Async_send; src = self_ep; dst; errno = Some Errno.E_dead_src_dst });
+          ret (Error Errno.E_dead_src_dst)
       | Lookup_bad -> ret (Error Errno.E_bad_endpoint)
       | Lookup_ok dst_proc ->
           if not (ipc_allowed t proc dst_proc) then ret (Error Errno.E_no_perm)
           else if try_deliver t ~src_proc:proc ~dst:dst_proc msg then ret ~cost:t.costs.ipc (Ok ())
           else begin
-            t.stats.async_messages <- t.stats.async_messages + 1;
+            Metrics.incr t.ctr.c_async_messages;
             Queue.push (self_ep, msg) dst_proc.async_in;
             ret (Ok ())
           end
@@ -642,14 +669,14 @@ and handle_syscall : type a. t -> proc -> a Sysif.syscall -> (a, unit) Effect.De
       if kcall_denied () then ret (Error Errno.E_no_perm)
       else if not (Privilege.allows_port proc.priv port) then ret (Error Errno.E_no_perm)
       else begin
-        t.stats.devios <- t.stats.devios + 1;
+        Metrics.incr t.ctr.c_devios;
         ret ~cost:t.costs.devio (t.io_handler (`In port))
       end
   | Sysif.Devio_out (port, value) ->
       if kcall_denied () then ret (Error Errno.E_no_perm)
       else if not (Privilege.allows_port proc.priv port) then ret (Error Errno.E_no_perm)
       else begin
-        t.stats.devios <- t.stats.devios + 1;
+        Metrics.incr t.ctr.c_devios;
         match t.io_handler (`Out (port, value)) with
         | Ok _ -> ret ~cost:t.costs.devio (Ok ())
         | Error e -> ret ~cost:t.costs.devio (Error e)
@@ -792,10 +819,10 @@ and spawn_dynamic :
   | None -> Error Errno.E_noent
   | Some main ->
       incr spawn_counter;
-      t.stats.spawns <- t.stats.spawns + 1;
+      Metrics.incr t.ctr.c_spawns;
       let slot = alloc_slot t in
       let proc = make_proc t ~slot ~name ~args ~priv ~mem_kb in
-      log t "spawn %s slot=%d gen=%d program=%s" name slot proc.gen program;
+      kemit t ~level:Trace.Debug (Event.Spawn { ep = ep_of_proc proc; name; program });
       (* The creating kernel call itself costs [spawn]; the child's
          first instruction runs strictly after that work finished, so
          the creator (and RS's endpoint publication) wins the race. *)
@@ -804,13 +831,15 @@ and spawn_dynamic :
 
 let spawn_wellknown t ~ep ~name ~priv ?(args = []) ?(mem_kb = 1024) body =
   let slot = ep.Endpoint.slot in
+  if slot < 0 || slot >= Array.length t.procs then
+    invalid_arg "spawn_wellknown: slot out of range";
   (match proc_of_slot t slot with
   | Some p when p.state <> Dead -> invalid_arg "spawn_wellknown: slot in use"
   | Some _ | None -> ());
   t.slot_gen.(slot) <- ep.Endpoint.gen - 1;
   let proc = make_proc t ~slot ~name ~args ~priv ~mem_kb in
-  t.stats.spawns <- t.stats.spawns + 1;
-  log t "boot %s at slot %d" name slot;
+  Metrics.incr t.ctr.c_spawns;
+  kemit t ~level:Trace.Debug (Event.Spawn { ep = ep_of_proc proc; name; program = "<boot>" });
   start_fiber t proc ~delay:0 body
 
 let kill t ep status =
@@ -818,7 +847,7 @@ let kill t ep status =
   | Lookup_stale -> Error Errno.E_dead_src_dst
   | Lookup_bad -> Error Errno.E_bad_endpoint
   | Lookup_ok proc ->
-      t.stats.kills <- t.stats.kills + 1;
+      Metrics.incr t.ctr.c_kills;
       do_kill t proc status;
       Ok ()
 
@@ -835,14 +864,20 @@ let deliver_signal t ep signal =
 (* ------------------------------------------------------------------ *)
 
 let raise_irq t line =
-  t.stats.irqs <- t.stats.irqs + 1;
+  Metrics.incr t.ctr.c_irqs;
+  (* An interrupt with no live handler is lost — exactly the window a
+     crashed driver leaves open, so it is worth an event. *)
+  let dropped () =
+    Metrics.incr t.ctr.c_irqs_dropped;
+    kemit t ~level:Trace.Warn (Event.Irq { line; delivered = false })
+  in
   match Hashtbl.find_opt t.irq_table line with
-  | None -> () (* no registered handler: interrupt is lost *)
+  | None -> dropped ()
   | Some slot -> (
       match proc_of_slot t slot with
       | Some proc when proc.state <> Dead ->
           deliver_notify t ~src:Wellknown.hardware ~dst:proc (Message.N_irq line)
-      | Some _ | None -> ())
+      | Some _ | None -> dropped ())
 
 let dma t ~handle ~off ~op =
   match Hashtbl.find_opt t.iommu handle with
@@ -864,3 +899,63 @@ let dma t ~handle ~off ~op =
                       Ok Bytes.empty
                 with Memory.Fault _ -> Error Errno.E_range))
       | Some _ | None -> Error Errno.E_no_perm)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Stats = struct
+  type snapshot = {
+    at : int;
+    messages : int;
+    notifications : int;
+    async_messages : int;
+    safecopies : int;
+    safecopy_bytes : int;
+    devios : int;
+    irqs : int;
+    irqs_dropped : int;
+    spawns : int;
+    kills : int;
+    exits : int;
+  }
+
+  let snapshot t =
+    let v c = Metrics.value c in
+    {
+      at = Engine.now t.engine;
+      messages = v t.ctr.c_messages;
+      notifications = v t.ctr.c_notifications;
+      async_messages = v t.ctr.c_async_messages;
+      safecopies = v t.ctr.c_safecopies;
+      safecopy_bytes = v t.ctr.c_safecopy_bytes;
+      devios = v t.ctr.c_devios;
+      irqs = v t.ctr.c_irqs;
+      irqs_dropped = v t.ctr.c_irqs_dropped;
+      spawns = v t.ctr.c_spawns;
+      kills = v t.ctr.c_kills;
+      exits = v t.ctr.c_exits;
+    }
+
+  let diff before after =
+    {
+      at = after.at;
+      messages = after.messages - before.messages;
+      notifications = after.notifications - before.notifications;
+      async_messages = after.async_messages - before.async_messages;
+      safecopies = after.safecopies - before.safecopies;
+      safecopy_bytes = after.safecopy_bytes - before.safecopy_bytes;
+      devios = after.devios - before.devios;
+      irqs = after.irqs - before.irqs;
+      irqs_dropped = after.irqs_dropped - before.irqs_dropped;
+      spawns = after.spawns - before.spawns;
+      kills = after.kills - before.kills;
+      exits = after.exits - before.exits;
+    }
+
+  let pp ppf s =
+    Format.fprintf ppf
+      "@[<v>messages=%d notifications=%d async=%d@,safecopies=%d (%d bytes) devios=%d@,irqs=%d (%d dropped) spawns=%d kills=%d exits=%d@]"
+      s.messages s.notifications s.async_messages s.safecopies s.safecopy_bytes s.devios s.irqs
+      s.irqs_dropped s.spawns s.kills s.exits
+end

@@ -10,7 +10,18 @@
 
     All activity is driven by a {!Resilix_sim.Engine}; each kernel
     operation advances virtual time by a configurable cost, which is
-    what the performance experiments measure. *)
+    what the performance experiments measure.
+
+    {2 Error conventions}
+
+    Every run-time fallible operation returns a [result] (typically
+    [(_, Errno.t) result]): IPC, kernel calls, process management —
+    including everything reachable from process code through
+    {!Sysif}.  The only raising paths are boot-time wiring errors
+    that indicate a mis-built system image rather than a run-time
+    condition: {!spawn_wellknown} raises [Invalid_argument] for an
+    out-of-range or occupied slot.  Nothing else in this interface
+    raises. *)
 
 module Endpoint := Resilix_proto.Endpoint
 module Errno := Resilix_proto.Errno
@@ -32,20 +43,6 @@ type costs = {
 val default_costs : costs
 (** 1 us syscalls, 2 us IPC, 2 GB/s copies, 3 ms spawn. *)
 
-(** Live counters, exposed for benchmarks. *)
-type stats = {
-  mutable messages : int;  (** rendezvous messages delivered *)
-  mutable notifications : int;
-  mutable async_messages : int;
-  mutable safecopies : int;
-  mutable safecopy_bytes : int;
-  mutable devios : int;
-  mutable irqs : int;
-  mutable spawns : int;
-  mutable kills : int;
-  mutable exits : int;
-}
-
 type t
 (** A kernel instance. *)
 
@@ -54,9 +51,13 @@ val create :
   trace:Resilix_sim.Trace.t ->
   rng:Resilix_sim.Rng.t ->
   ?costs:costs ->
+  ?metrics:Resilix_obs.Metrics.t ->
   unit ->
   t
-(** Create a kernel bound to a simulation engine. *)
+(** Create a kernel bound to a simulation engine.  [metrics] is the
+    registry the kernel's counters live in (fresh by default); pass a
+    shared registry so servers and drivers report into the same
+    place. *)
 
 val engine : t -> Resilix_sim.Engine.t
 (** The engine driving this kernel. *)
@@ -64,8 +65,38 @@ val engine : t -> Resilix_sim.Engine.t
 val trace : t -> Resilix_sim.Trace.t
 (** The shared trace log. *)
 
-val stats : t -> stats
-(** Live counters. *)
+val metrics : t -> Resilix_obs.Metrics.t
+(** The metric registry (kernel counters live under ["kernel.*"]). *)
+
+(** Immutable views of the kernel's counters, for benchmarks and
+    tests.  Replaces the old mutable [stats] record: read a
+    {!Stats.snapshot} before and after the interval of interest and
+    {!Stats.diff} them. *)
+module Stats : sig
+  type snapshot = {
+    at : int;  (** virtual time of the snapshot *)
+    messages : int;  (** rendezvous messages delivered *)
+    notifications : int;
+    async_messages : int;
+    safecopies : int;
+    safecopy_bytes : int;
+    devios : int;
+    irqs : int;
+    irqs_dropped : int;  (** raised with no live handler registered *)
+    spawns : int;
+    kills : int;
+    exits : int;
+  }
+
+  val snapshot : t -> snapshot
+  (** Current counter values. *)
+
+  val diff : snapshot -> snapshot -> snapshot
+  (** [diff before after]: activity between two snapshots
+      (fields subtract; [at] is [after.at]). *)
+
+  val pp : Format.formatter -> snapshot -> unit
+end
 
 (** {1 Programs and processes} *)
 
@@ -88,7 +119,9 @@ val spawn_wellknown :
   (unit -> unit) ->
   unit
 (** Boot-time creation of a trusted server at a fixed slot.  Raises
-    [Invalid_argument] if the slot is taken. *)
+    [Invalid_argument] if the slot is out of range or taken — the one
+    raising path in this interface (see the error conventions
+    above). *)
 
 val spawn_dynamic :
   t ->

@@ -14,6 +14,7 @@ module Message = Resilix_proto.Message
 module Status = Resilix_proto.Status
 module Signal = Resilix_proto.Signal
 module Privilege = Resilix_proto.Privilege
+module Event = Resilix_obs.Event
 
 (* What [receive] returns: a rendezvous message or a pending
    notification. *)
@@ -43,7 +44,10 @@ type 'a syscall =
   | My_name : string syscall
   | Random : int -> int syscall
   | Exit : Status.exit_status -> unit syscall
-  | Trace_emit : string * string -> unit syscall (* subsystem, message *)
+  (* --- observability --- *)
+  | Obs_emit : Event.level * string * Event.payload -> unit syscall (* level, subsystem, payload *)
+  | Metric_add : string * int -> unit syscall (* named counter += n *)
+  | Metric_observe : string * int -> unit syscall (* named histogram sample *)
   (* --- kernel calls --- *)
   | Safecopy : {
       dir : [ `Read | `Write ];
@@ -105,7 +109,8 @@ let kcall_name : type a. a syscall -> string option = function
   | Reap_exit -> Some "reap_exit"
   | Privctl _ -> Some "privctl"
   | Send _ | Asend _ | Receive _ | Sendrec _ | Notify _ | Sleep _ | Yield _ | Now | Self
-  | My_memory | My_args | My_name | Random _ | Exit _ | Trace_emit _ ->
+  | My_memory | My_args | My_name | Random _ | Exit _ | Obs_emit _ | Metric_add _
+  | Metric_observe _ ->
       None
 
 (* Convenience wrappers used by all process code. *)
@@ -131,7 +136,14 @@ module Api = struct
     assert false
 
   let panic msg : 'a = raise (Panic_exn msg)
-  let trace subsystem fmt = Format.kasprintf (fun m -> perform (Trace_emit (subsystem, m))) fmt
+  let emit ?(level = Event.Info) subsystem payload = perform (Obs_emit (level, subsystem, payload))
+
+  let trace subsystem fmt =
+    Format.kasprintf (fun text -> emit subsystem (Event.Log { text })) fmt
+
+  let metric_add name n = perform (Metric_add (name, n))
+  let metric_incr name = metric_add name 1
+  let metric_observe name v = perform (Metric_observe (name, v))
 
   let safecopy_from ~owner ~grant ~grant_off ~local_addr ~len =
     perform (Safecopy { dir = `Read; owner; grant; grant_off; local_addr; len })

@@ -18,6 +18,7 @@ module Message := Resilix_proto.Message
 module Status := Resilix_proto.Status
 module Signal := Resilix_proto.Signal
 module Privilege := Resilix_proto.Privilege
+module Event := Resilix_obs.Event
 
 (** What {!Api.receive} yields: a rendezvous message or a pending
     notification. *)
@@ -48,7 +49,9 @@ type 'a syscall =
   | My_name : string syscall
   | Random : int -> int syscall
   | Exit : Status.exit_status -> unit syscall
-  | Trace_emit : string * string -> unit syscall
+  | Obs_emit : Event.level * string * Event.payload -> unit syscall
+  | Metric_add : string * int -> unit syscall
+  | Metric_observe : string * int -> unit syscall
   | Safecopy : {
       dir : [ `Read | `Write ];
       owner : Endpoint.t;
@@ -154,8 +157,22 @@ module Api : sig
   (** Terminate with a panic status — what a driver does when it
       detects an internal inconsistency (defect class 1). *)
 
+  val emit : ?level:Event.level -> string -> Event.payload -> unit
+  (** Emit a typed observability event into the system trace under a
+      subsystem tag ([level] defaults to [Info]). *)
+
   val trace : string -> ('a, Format.formatter, unit, unit) format4 -> 'a
-  (** Emit a line into the system trace under a subsystem tag. *)
+  (** Emit a free-form [Log] line into the system trace under a
+      subsystem tag. *)
+
+  val metric_add : string -> int -> unit
+  (** Bump the named counter in the system-wide metric registry. *)
+
+  val metric_incr : string -> unit
+  (** [metric_add name 1]. *)
+
+  val metric_observe : string -> int -> unit
+  (** Record a sample in the named histogram. *)
 
   val safecopy_from :
     owner:Endpoint.t -> grant:int -> grant_off:int -> local_addr:int -> len:int ->

@@ -68,11 +68,12 @@ type t = {
   drv : driver;
   mutable next_ephemeral : int;
   mutable outage_queued : int;
+  spans : Resilix_obs.Span.t;
 }
 
 let tx_queue_cap = 256
 
-let create ~local_ip ~gateway_mac ~driver_key () =
+let create ~local_ip ~gateway_mac ~driver_key ?spans () =
   {
     local_ip;
     gateway_mac;
@@ -95,6 +96,7 @@ let create ~local_ip ~gateway_mac ~driver_key () =
       };
     next_ephemeral = 40000;
     outage_queued = 0;
+    spans = (match spans with Some s -> s | None -> Resilix_obs.Span.create ());
   }
 
 let driver_generation t = t.drv.generation
@@ -126,6 +128,7 @@ let rec pump_tx t =
               t.drv.tx_grant <- None;
               t.drv.up <- false;
               t.outage_queued <- t.outage_queued + 1;
+              Api.metric_incr "inet.tx.postponed";
               Queue.push frame t.drv.tx_queue)
     end
   | Some _ | None -> ()
@@ -416,6 +419,15 @@ let handle_conf_reply t ~src ~mac result =
       | Ok () ->
           t.drv.mac <- mac;
           t.drv.up <- true;
+          (* The driver answered its (re)configuration: reintegration
+             is complete from our side. *)
+          Resilix_obs.Span.mark_component t.spans t.driver_key Resilix_obs.Span.Reopen
+            ~now:(Api.now ());
+          let parked = Queue.length t.drv.tx_queue in
+          if parked > 0 then
+            Api.emit "inet"
+              (Resilix_obs.Event.Retry
+                 { component = t.driver_key; operation = "tx-flush"; count = parked });
           (match Api.grant_create ~for_:ep ~base:rx_frame_buf ~len:frame_buf_size ~access:Sysif.Read_write with
           | Ok g -> t.drv.rx_grant <- Some g
           | Error _ -> ());

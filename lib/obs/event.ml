@@ -1,0 +1,114 @@
+module Endpoint = Resilix_proto.Endpoint
+module Errno = Resilix_proto.Errno
+module Signal = Resilix_proto.Signal
+module Status = Resilix_proto.Status
+
+type level = Debug | Info | Warn | Error
+
+type ipc_kind = Send | Sendrec | Async_send | Notify
+
+type payload =
+  | Ipc of { kind : ipc_kind; src : Endpoint.t; dst : Endpoint.t; errno : Errno.t option }
+  | Safecopy of { caller : Endpoint.t; owner : Endpoint.t; bytes : int; errno : Errno.t option }
+  | Irq of { line : int; delivered : bool }
+  | Spawn of { ep : Endpoint.t; name : string; program : string }
+  | Exit of { ep : Endpoint.t; name : string; status : Status.exit_status }
+  | Defect of { component : string; defect : Status.defect; repetition : int }
+  | Policy_decision of { component : string; policy : string; decision : string }
+  | Restart of { component : string; ep : Endpoint.t; pid : int }
+  | Ds_publish of { key : string }
+  | Retry of { component : string; operation : string; count : int }
+  | Heartbeat_miss of { component : string; misses : int }
+  | Log of { text : string }
+
+type t = { time : int; level : level; subsystem : string; payload : payload }
+
+let level_tag = function Debug -> "DBG" | Info -> "INF" | Warn -> "WRN" | Error -> "ERR"
+
+let kind_name = function
+  | Send -> "send"
+  | Sendrec -> "sendrec"
+  | Async_send -> "asend"
+  | Notify -> "notify"
+
+let status_string = function
+  | Status.Exited code -> Printf.sprintf "exited(%d)" code
+  | Status.Panicked msg -> Printf.sprintf "panicked(%s)" msg
+  | Status.Killed signal -> Printf.sprintf "killed(%s)" (Signal.to_string signal)
+
+let errno_suffix = function
+  | None -> "ok"
+  | Some e -> Errno.to_string e
+
+let message = function
+  | Ipc { kind; src; dst; errno } ->
+      Printf.sprintf "ipc %s %s -> %s: %s" (kind_name kind) (Endpoint.to_string src)
+        (Endpoint.to_string dst) (errno_suffix errno)
+  | Safecopy { caller; owner; bytes; errno } ->
+      Printf.sprintf "safecopy %s <-> %s (%d bytes): %s" (Endpoint.to_string caller)
+        (Endpoint.to_string owner) bytes (errno_suffix errno)
+  | Irq { line; delivered } ->
+      Printf.sprintf "irq %d %s" line (if delivered then "delivered" else "dropped")
+  | Spawn { ep; name; program } ->
+      Printf.sprintf "spawn %s as %s program=%s" name (Endpoint.to_string ep) program
+  | Exit { ep; name; status } ->
+      Printf.sprintf "process %s (%s) terminated: %s" name (Endpoint.to_string ep)
+        (status_string status)
+  | Defect { component; defect; repetition } ->
+      Printf.sprintf "defect in %s: %s (failure #%d)" component (Status.defect_name defect)
+        repetition
+  | Policy_decision { component; policy; decision } ->
+      Printf.sprintf "policy %s for %s: %s" policy component decision
+  | Restart { component; ep; pid } ->
+      Printf.sprintf "service %s up as %s (pid %d)" component (Endpoint.to_string ep) pid
+  | Ds_publish { key } -> Printf.sprintf "ds publish %s" key
+  | Retry { component; operation; count } ->
+      Printf.sprintf "retry %s after %s reincarnation (%d pending)" operation component count
+  | Heartbeat_miss { component; misses } ->
+      Printf.sprintf "%s missed %d heartbeats" component misses
+  | Log { text } -> text
+
+let pp ppf e =
+  let time_pp ppf t =
+    if t >= 1_000_000 || t <= -1_000_000 then
+      Format.fprintf ppf "%.6fs" (float_of_int t /. 1_000_000.)
+    else if t >= 1_000 || t <= -1_000 then Format.fprintf ppf "%.3fms" (float_of_int t /. 1_000.)
+    else Format.fprintf ppf "%dus" t
+  in
+  Format.fprintf ppf "[%a] %s %-8s %s" time_pp e.time (level_tag e.level) e.subsystem
+    (message e.payload)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let payload_kind = function
+  | Ipc _ -> "ipc"
+  | Safecopy _ -> "safecopy"
+  | Irq _ -> "irq"
+  | Spawn _ -> "spawn"
+  | Exit _ -> "exit"
+  | Defect _ -> "defect"
+  | Policy_decision _ -> "policy_decision"
+  | Restart _ -> "restart"
+  | Ds_publish _ -> "ds_publish"
+  | Retry _ -> "retry"
+  | Heartbeat_miss _ -> "heartbeat_miss"
+  | Log _ -> "log"
+
+let to_json e =
+  Printf.sprintf
+    "{\"type\":\"event\",\"at_us\":%d,\"level\":\"%s\",\"subsystem\":\"%s\",\"kind\":\"%s\",\"message\":\"%s\"}"
+    e.time (level_tag e.level) (json_escape e.subsystem)
+    (payload_kind e.payload)
+    (json_escape (message e.payload))

@@ -1,0 +1,61 @@
+module Status = Resilix_proto.Status
+
+let esc = Event.json_escape
+
+let metric_lines ?(label = "run") (snap : Metrics.snapshot) =
+  let meta =
+    Printf.sprintf "{\"type\":\"meta\",\"label\":\"%s\",\"at_us\":%d}" (esc label) snap.taken_at
+  in
+  let counters =
+    List.map
+      (fun (name, v) ->
+        Printf.sprintf "{\"type\":\"counter\",\"label\":\"%s\",\"name\":\"%s\",\"value\":%d}"
+          (esc label) (esc name) v)
+      snap.counters
+  in
+  let gauges =
+    List.map
+      (fun (name, v) ->
+        Printf.sprintf "{\"type\":\"gauge\",\"label\":\"%s\",\"name\":\"%s\",\"value\":%d}"
+          (esc label) (esc name) v)
+      snap.gauges
+  in
+  let histograms =
+    List.map
+      (fun (name, (h : Metrics.hist_snapshot)) ->
+        let buckets =
+          String.concat "," (List.map (fun (i, c) -> Printf.sprintf "[%d,%d]" i c) h.buckets)
+        in
+        Printf.sprintf
+          "{\"type\":\"histogram\",\"label\":\"%s\",\"name\":\"%s\",\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d,\"buckets\":[%s]}"
+          (esc label) (esc name) h.count h.sum
+          (if h.count = 0 then 0 else h.min_v)
+          (if h.count = 0 then 0 else h.max_v)
+          buckets)
+      snap.histograms
+  in
+  (meta :: counters) @ gauges @ histograms
+
+let phase_obj deltas =
+  String.concat ","
+    (List.map (fun (p, d) -> Printf.sprintf "\"%s\":%d" (Span.phase_name p) d) deltas)
+
+let span_lines ?(label = "run") spans =
+  let span_line (s : Span.span) =
+    let total =
+      match Span.total_us s with None -> "null" | Some u -> string_of_int u
+    in
+    Printf.sprintf
+      "{\"type\":\"span\",\"label\":\"%s\",\"id\":%d,\"component\":\"%s\",\"defect\":\"%s\",\"repetition\":%d,\"opened_at_us\":%d,\"total_us\":%s,\"phases\":{%s}}"
+      (esc label) s.id (esc s.component)
+      (esc (Status.defect_name s.defect))
+      s.repetition s.opened_at total
+      (phase_obj (Span.phases s))
+  in
+  let mttr_line (m : Span.mttr) =
+    Printf.sprintf
+      "{\"type\":\"mttr\",\"label\":\"%s\",\"component\":\"%s\",\"n\":%d,\"mean_us\":%d,\"min_us\":%d,\"max_us\":%d,\"p95_us\":%d,\"phase_mean_us\":{%s}}"
+      (esc label) (esc m.m_component) m.n m.mean_us m.min_us m.max_us m.p95_us
+      (phase_obj m.phase_mean_us)
+  in
+  List.map span_line (Span.spans spans) @ List.map mttr_line (Span.report spans)

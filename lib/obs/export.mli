@@ -1,0 +1,25 @@
+(** JSONL export of metrics and spans.
+
+    Each function renders one JSON object per line — the format
+    consumed by [--metrics-out] on the bench and the CLI.  Line
+    shapes ("type" discriminates):
+
+    - [{"type":"meta","label":L,"at_us":T}]
+    - [{"type":"counter","label":L,"name":N,"value":V}]
+    - [{"type":"gauge","label":L,"name":N,"value":V}]
+    - [{"type":"histogram","label":L,"name":N,"count":C,"sum":S,
+        "min":M,"max":X,"buckets":[[i,c],...]}]
+    - [{"type":"span","label":L,"id":I,"component":C,"defect":D,
+        "repetition":R,"opened_at_us":T,"total_us":U|null,
+        "phases":{"detect":d,...}}]
+    - [{"type":"mttr","label":L,"component":C,"n":N,"mean_us":U,
+        "min_us":..,"max_us":..,"p95_us":..,
+        "phase_mean_us":{"policy":..,...}}] *)
+
+val metric_lines : ?label:string -> Metrics.snapshot -> string list
+(** A ["meta"] line followed by one line per counter, gauge and
+    histogram in the snapshot. *)
+
+val span_lines : ?label:string -> Span.t -> string list
+(** One ["span"] line per span (open spans have ["total_us":null]),
+    then one ["mttr"] line per component with closed spans. *)

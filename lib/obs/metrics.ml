@@ -1,0 +1,182 @@
+type counter = { mutable c_value : int }
+type gauge = { mutable g_value : int }
+
+(* 63 buckets cover every non-negative OCaml int: bucket 0 for <= 0,
+   bucket i for [2^(i-1), 2^i - 1], up to bucket 62 for values with 62
+   significant bits (max_int = 2^62 - 1 on 64-bit). *)
+let bucket_count = 63
+
+type histogram = {
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+  h_buckets : int array;
+}
+
+type t = {
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create () =
+  { counters = Hashtbl.create 32; gauges = Hashtbl.create 8; histograms = Hashtbl.create 8 }
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> c
+  | None ->
+      let c = { c_value = 0 } in
+      Hashtbl.replace t.counters name c;
+      c
+
+let add c by = c.c_value <- c.c_value + by
+let incr c = add c 1
+let value c = c.c_value
+
+let gauge t name =
+  match Hashtbl.find_opt t.gauges name with
+  | Some g -> g
+  | None ->
+      let g = { g_value = 0 } in
+      Hashtbl.replace t.gauges name g;
+      g
+
+let set g v = g.g_value <- v
+
+let histogram t name =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h -> h
+  | None ->
+      let h =
+        { h_count = 0; h_sum = 0; h_min = max_int; h_max = min_int; h_buckets = Array.make bucket_count 0 }
+      in
+      Hashtbl.replace t.histograms name h;
+      h
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let i = ref 0 and x = ref v in
+    while !x > 0 do
+      Stdlib.incr i;
+      x := !x lsr 1
+    done;
+    min !i (bucket_count - 1)
+  end
+
+let bucket_upper i =
+  if i <= 0 then 0
+  else if i >= 62 then max_int
+  else (1 lsl i) - 1
+
+let observe h v =
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  let b = bucket_of v in
+  h.h_buckets.(b) <- h.h_buckets.(b) + 1
+
+let add_named t name by = add (counter t name) by
+let set_named t name v = set (gauge t name) v
+let observe_named t name v = observe (histogram t name) v
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type hist_snapshot = {
+  count : int;
+  sum : int;
+  min_v : int;
+  max_v : int;
+  buckets : (int * int) list;
+}
+
+type snapshot = {
+  taken_at : int;
+  counters : (string * int) list;
+  gauges : (string * int) list;
+  histograms : (string * hist_snapshot) list;
+}
+
+let sorted_bindings tbl f =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl [])
+
+let snapshot ?(at = 0) (t : t) =
+  {
+    taken_at = at;
+    counters = sorted_bindings t.counters (fun c -> c.c_value);
+    gauges = sorted_bindings t.gauges (fun g -> g.g_value);
+    histograms =
+      sorted_bindings t.histograms (fun h ->
+          let buckets = ref [] in
+          for i = bucket_count - 1 downto 0 do
+            if h.h_buckets.(i) > 0 then buckets := (i, h.h_buckets.(i)) :: !buckets
+          done;
+          { count = h.h_count; sum = h.h_sum; min_v = h.h_min; max_v = h.h_max; buckets = !buckets });
+  }
+
+(* Merge two sorted association lists with a per-key combiner. *)
+let assoc_diff ~combine before after =
+  let rec go b a acc =
+    match (b, a) with
+    | [], rest -> List.rev_append acc (List.map (fun (k, v) -> (k, combine None (Some v))) rest)
+    | rest, [] ->
+        List.rev_append acc (List.map (fun (k, v) -> (k, combine (Some v) None)) rest)
+    | (kb, vb) :: tb, (ka, va) :: ta ->
+        let c = String.compare kb ka in
+        if c = 0 then go tb ta ((kb, combine (Some vb) (Some va)) :: acc)
+        else if c < 0 then go tb a ((kb, combine (Some vb) None) :: acc)
+        else go b ta ((ka, combine None (Some va)) :: acc)
+  in
+  go before after []
+
+let diff before after =
+  let sub b a = max 0 (Option.value a ~default:0 - Option.value b ~default:0) in
+  let hist_sub b a =
+    let b = Option.value b ~default:{ count = 0; sum = 0; min_v = max_int; max_v = min_int; buckets = [] } in
+    let a = Option.value a ~default:{ count = 0; sum = 0; min_v = max_int; max_v = min_int; buckets = [] } in
+    let buckets =
+      List.filter
+        (fun (_, n) -> n > 0)
+        (List.map
+           (fun (i, n) ->
+             let prev = Option.value (List.assoc_opt i b.buckets) ~default:0 in
+             (i, max 0 (n - prev)))
+           a.buckets)
+    in
+    {
+      count = max 0 (a.count - b.count);
+      sum = a.sum - b.sum;
+      (* min/max are not recoverable for the interval; report the
+         newer snapshot's whole-run extremes. *)
+      min_v = a.min_v;
+      max_v = a.max_v;
+      buckets;
+    }
+  in
+  {
+    taken_at = after.taken_at;
+    counters = assoc_diff ~combine:sub before.counters after.counters;
+    gauges =
+      assoc_diff ~combine:(fun _ a -> Option.value a ~default:0) before.gauges after.gauges;
+    histograms = assoc_diff ~combine:hist_sub before.histograms after.histograms;
+  }
+
+let counter_value snap name = Option.value (List.assoc_opt name snap.counters) ~default:0
+
+let pp ppf snap =
+  Format.fprintf ppf "@[<v>metrics at t=%dus" snap.taken_at;
+  List.iter (fun (name, v) -> Format.fprintf ppf "@,  %-40s %d" name v) snap.counters;
+  List.iter (fun (name, v) -> Format.fprintf ppf "@,  %-40s %d (gauge)" name v) snap.gauges;
+  List.iter
+    (fun (name, h) ->
+      Format.fprintf ppf "@,  %-40s n=%d sum=%d%s" name h.count h.sum
+        (if h.count > 0 then Printf.sprintf " min=%d max=%d" h.min_v h.max_v else ""))
+    snap.histograms;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,93 @@
+(** Metric registry: named counters, gauges and log-bucketed
+    virtual-time histograms.
+
+    The kernel, the servers and the drivers register instruments by
+    name (get-or-create, so concurrent registrants share one
+    instrument) and bump them on hot paths; consumers read the
+    registry only through immutable {!snapshot}s, and compare two
+    snapshots with {!diff}.  All values are integers — counts, bytes,
+    or virtual microseconds. *)
+
+type t
+(** A registry. *)
+
+type counter
+(** Monotonically increasing value. *)
+
+type gauge
+(** Point-in-time value (set, not accumulated). *)
+
+type histogram
+(** Distribution of non-negative integers in base-2 log buckets:
+    bucket 0 holds values [<= 0], bucket [i >= 1] holds values in
+    [[2^(i-1), 2^i - 1]].  [max_int] lands in the last bucket. *)
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Get-or-create the named counter. *)
+
+val add : counter -> int -> unit
+val incr : counter -> unit
+
+val value : counter -> int
+(** Current count. *)
+
+val gauge : t -> string -> gauge
+val set : gauge -> int -> unit
+
+val histogram : t -> string -> histogram
+
+val observe : histogram -> int -> unit
+(** Record one sample.  Negative samples land in bucket 0; any
+    [int] (including [max_int]) is accepted. *)
+
+val add_named : t -> string -> int -> unit
+(** Get-or-create + {!add}; the by-name path used by the
+    [Metric_add] syscall. *)
+
+val set_named : t -> string -> int -> unit
+(** Get-or-create + {!set} on a gauge. *)
+
+val observe_named : t -> string -> int -> unit
+(** Get-or-create + {!observe}. *)
+
+(** {1 Snapshots} *)
+
+type hist_snapshot = {
+  count : int;
+  sum : int;
+  min_v : int;  (** meaningless when [count = 0] *)
+  max_v : int;
+  buckets : (int * int) list;  (** (bucket index, count), non-empty buckets only, ascending *)
+}
+
+type snapshot = {
+  taken_at : int;  (** virtual time the snapshot was taken (caller-supplied) *)
+  counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * int) list;
+  histograms : (string * hist_snapshot) list;
+}
+
+val snapshot : ?at:int -> t -> snapshot
+(** Immutable copy of every instrument ([at] defaults to 0). *)
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff before after] is the activity between the two snapshots:
+    counters and histogram buckets subtract ([after - before], clamped
+    at 0 for instruments that vanished); gauges take [after]'s value;
+    [taken_at] is [after.taken_at]. *)
+
+val counter_value : snapshot -> string -> int
+(** Value of a counter in a snapshot; 0 when absent. *)
+
+val bucket_of : int -> int
+(** The bucket index {!observe} files a sample under (exposed for
+    tests: [bucket_of 0 = 0], [bucket_of max_int = 62]). *)
+
+val bucket_upper : int -> int
+(** Inclusive upper bound of a bucket: [bucket_upper 0 = 0],
+    [bucket_upper i = 2^i - 1] (saturating at [max_int]). *)
+
+val pp : Format.formatter -> snapshot -> unit
+(** Multi-line human-readable rendering. *)

@@ -1,0 +1,136 @@
+module Status = Resilix_proto.Status
+
+type phase = Detect | Policy | Respawn | Republish | Reopen
+
+let phase_name = function
+  | Detect -> "detect"
+  | Policy -> "policy"
+  | Respawn -> "respawn"
+  | Republish -> "republish"
+  | Reopen -> "reopen"
+
+let phase_rank = function
+  | Detect -> 0
+  | Policy -> 1
+  | Respawn -> 2
+  | Republish -> 3
+  | Reopen -> 4
+
+type span = {
+  id : int;
+  component : string;
+  defect : Status.defect;
+  repetition : int;
+  opened_at : int;
+  mutable marks : (phase * int) list;
+  mutable closed_at : int option;
+}
+
+type t = { mutable next_id : int; mutable all : span list (* newest first *) }
+
+let create () = { next_id = 0; all = [] }
+
+let open_span t ~component ~defect ~repetition ~now =
+  let s =
+    {
+      id = t.next_id;
+      component;
+      defect;
+      repetition;
+      opened_at = now;
+      marks = [ (Detect, now) ];
+      closed_at = None;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  t.all <- s :: t.all;
+  s
+
+let mark s phase ~now =
+  if not (List.mem_assoc phase s.marks) then s.marks <- (phase, now) :: s.marks
+
+let latest t component =
+  List.find_opt (fun s -> String.equal s.component component) t.all
+
+let current t component =
+  match latest t component with
+  | Some s when s.closed_at = None -> Some s
+  | _ -> None
+
+let mark_component t component phase ~now =
+  match latest t component with
+  | None -> ()
+  | Some s ->
+      if s.closed_at = None then mark s phase ~now
+      else if phase = Reopen then
+        (* Dependents re-bind after RS has already declared the
+           recovery complete; accept one Reopen mark post-close. *)
+        mark s Reopen ~now
+
+let close s ~now = if s.closed_at = None then s.closed_at <- Some now
+
+let close_component t component ~now =
+  match current t component with None -> () | Some s -> close s ~now
+
+let spans t = List.rev t.all
+
+let total_us s = Option.map (fun c -> c - s.opened_at) s.closed_at
+
+let phases s =
+  List.sort
+    (fun (a, _) (b, _) -> compare (phase_rank a) (phase_rank b))
+    (List.map (fun (p, at) -> (p, at - s.opened_at)) s.marks)
+
+type mttr = {
+  m_component : string;
+  n : int;
+  mean_us : int;
+  min_us : int;
+  max_us : int;
+  p95_us : int;
+  phase_mean_us : (phase * int) list;
+}
+
+let report t =
+  let by_component = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      match total_us s with
+      | None -> ()
+      | Some _ ->
+          let prev = Option.value (Hashtbl.find_opt by_component s.component) ~default:[] in
+          Hashtbl.replace by_component s.component (s :: prev))
+    t.all;
+  Hashtbl.fold
+    (fun component closed acc ->
+      let totals = List.sort compare (List.filter_map total_us closed) in
+      let n = List.length totals in
+      let sum = List.fold_left ( + ) 0 totals in
+      let p95 =
+        (* index of the 95th percentile in the sorted list (nearest-rank) *)
+        let rank = max 0 (((n * 95) + 99) / 100 - 1) in
+        List.nth totals (min rank (n - 1))
+      in
+      let phase_mean_us =
+        List.filter_map
+          (fun p ->
+            let deltas =
+              List.filter_map (fun s -> List.assoc_opt p (phases s)) closed
+            in
+            match deltas with
+            | [] -> None
+            | ds -> Some (p, List.fold_left ( + ) 0 ds / List.length ds))
+          [ Detect; Policy; Respawn; Republish; Reopen ]
+      in
+      {
+        m_component = component;
+        n;
+        mean_us = sum / n;
+        min_us = List.hd totals;
+        max_us = List.nth totals (n - 1);
+        p95_us = p95;
+        phase_mean_us;
+      }
+      :: acc)
+    by_component []
+  |> List.sort (fun a b -> String.compare a.m_component b.m_component)

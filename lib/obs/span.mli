@@ -1,0 +1,82 @@
+(** Causal recovery spans.
+
+    A span is opened by the reincarnation server the instant a defect
+    is detected and closed when the component has been respawned and
+    republished; in between, each recovery phase is marked with its
+    virtual timestamp.  The closed spans of a run give per-component
+    MTTR distributions, broken down by phase — this is the data behind
+    the paper's recovery-latency figures, replacing the hand-rolled
+    [detected_at]/[recovered_at] pairs. *)
+
+module Status := Resilix_proto.Status
+
+(** Recovery phases, in causal order. *)
+type phase =
+  | Detect  (** RS learned of the failure (exit status, missed heartbeat, complaint). *)
+  | Policy  (** The recovery policy decided what to do. *)
+  | Respawn  (** A fresh process incarnation exists. *)
+  | Republish  (** The new endpoint reached the data store. *)
+  | Reopen  (** A dependent re-bound to the new incarnation. *)
+
+val phase_name : phase -> string
+
+type span = {
+  id : int;
+  component : string;
+  defect : Status.defect;
+  repetition : int;  (** how many failures this component has had, 1-based *)
+  opened_at : int;  (** virtual time of detection *)
+  mutable marks : (phase * int) list;  (** newest first *)
+  mutable closed_at : int option;
+}
+
+type t
+(** A collector accumulating spans for a whole run. *)
+
+val create : unit -> t
+
+val open_span : t -> component:string -> defect:Status.defect -> repetition:int -> now:int -> span
+(** Start a recovery span (records a [Detect] mark at [now]). *)
+
+val mark : span -> phase -> now:int -> unit
+(** Timestamp a phase.  Re-marking a phase keeps the first mark. *)
+
+val mark_component : t -> string -> phase -> now:int -> unit
+(** Mark the component's most recent span.  Only open spans accept
+    marks — except [Reopen], which may also be recorded once on a
+    closed span (dependents re-bind after RS declares recovery
+    complete).  No-op when the component has no eligible span. *)
+
+val close : span -> now:int -> unit
+(** Recovery complete.  Closing twice keeps the first close. *)
+
+val close_component : t -> string -> now:int -> unit
+(** Close the component's most recent span, if open. *)
+
+val current : t -> string -> span option
+(** The component's most recent still-open span. *)
+
+val spans : t -> span list
+(** Every span ever opened, oldest first. *)
+
+val total_us : span -> int option
+(** [closed_at - opened_at]; [None] while the span is open. *)
+
+val phases : span -> (phase * int) list
+(** Marks as deltas from [opened_at], in causal phase order. *)
+
+(** Per-component MTTR summary over the closed spans. *)
+type mttr = {
+  m_component : string;
+  n : int;  (** closed spans *)
+  mean_us : int;
+  min_us : int;
+  max_us : int;
+  p95_us : int;
+  phase_mean_us : (phase * int) list;
+      (** mean delta from detection for each phase that was ever marked *)
+}
+
+val report : t -> mttr list
+(** One entry per component with at least one closed span, sorted by
+    component name. *)

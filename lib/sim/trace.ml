@@ -1,6 +1,13 @@
-type level = Debug | Info | Warn | Error
+module Event = Resilix_obs.Event
 
-type event = { time : Time.t; level : level; subsystem : string; message : string }
+type level = Event.level = Debug | Info | Warn | Error
+
+type event = Event.t = {
+  time : Time.t;
+  level : level;
+  subsystem : string;
+  payload : Event.payload;
+}
 
 type t = {
   capacity : int;
@@ -11,28 +18,35 @@ type t = {
 let create ?(capacity = 65536) ?(echo = false) () = { capacity; echo; queue = Queue.create () }
 let set_echo t echo = t.echo <- echo
 
-let level_tag = function Debug -> "DBG" | Info -> "INF" | Warn -> "WRN" | Error -> "ERR"
-
-let pp_event ppf e =
-  Format.fprintf ppf "[%a] %s %-8s %s" Time.pp e.time (level_tag e.level) e.subsystem e.message
+let pp_event = Event.pp
 
 let record t e =
   if Queue.length t.queue >= t.capacity then ignore (Queue.pop t.queue);
   Queue.push e t.queue;
   if t.echo then Format.eprintf "%a@." pp_event e
 
+let emit_event t ~now ?(level = Info) subsystem payload =
+  record t { time = now; level; subsystem; payload }
+
 let emit t ~now level subsystem fmt =
-  Format.kasprintf (fun message -> record t { time = now; level; subsystem; message }) fmt
+  Format.kasprintf
+    (fun text -> record t { time = now; level; subsystem; payload = Event.Log { text } })
+    fmt
 
 let events t = List.of_seq (Queue.to_seq t.queue)
+
+let message e = Event.message e.payload
+
+let query t ~pred = List.filter pred (events t)
 
 let matches ~subsystem ~contains e =
   String.equal e.subsystem subsystem
   &&
-  let sub_len = String.length contains and msg_len = String.length e.message in
+  let msg = message e in
+  let sub_len = String.length contains and msg_len = String.length msg in
   let rec scan i =
     if i + sub_len > msg_len then false
-    else if String.sub e.message i sub_len = contains then true
+    else if String.sub msg i sub_len = contains then true
     else scan (i + 1)
   in
   sub_len = 0 || scan 0

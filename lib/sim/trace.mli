@@ -1,16 +1,23 @@
 (** Structured trace log for the simulated system.
 
-    The kernel, servers, drivers and experiments all emit events here;
-    tests assert on the recorded history, and [echo] mirrors events to
-    stderr for interactive runs. *)
+    The trace is a bounded ring of typed {!Resilix_obs.Event.t}
+    events: the kernel, servers, drivers and experiments emit either a
+    typed payload ({!emit_event}) or a free-form message ({!emit},
+    which wraps it in [Event.Log]).  Tests assert on the recorded
+    history — structurally via {!query}, or by substring via the
+    legacy {!find}/{!count} helpers, which match against the rendered
+    {!message}.  [echo] mirrors events to stderr for interactive
+    runs. *)
 
-type level = Debug | Info | Warn | Error
+(** Re-exported so existing [Trace.Info] / [e.Trace.time] code keeps
+    working; a trace event {e is} an observability event. *)
+type level = Resilix_obs.Event.level = Debug | Info | Warn | Error
 
-type event = {
+type event = Resilix_obs.Event.t = {
   time : Time.t;  (** virtual time at which the event was emitted *)
   level : level;
   subsystem : string;  (** e.g. ["kernel"], ["rs"], ["inet"] *)
-  message : string;
+  payload : Resilix_obs.Event.payload;
 }
 
 type t
@@ -25,14 +32,28 @@ val set_echo : t -> bool -> unit
 (** Toggle mirroring to stderr. *)
 
 val emit : t -> now:Time.t -> level -> string -> ('a, Format.formatter, unit, unit) format4 -> 'a
-(** [emit t ~now level subsystem fmt ...] records one event. *)
+(** [emit t ~now level subsystem fmt ...] records one free-form
+    [Log] event. *)
+
+val emit_event : t -> now:Time.t -> ?level:level -> string -> Resilix_obs.Event.payload -> unit
+(** [emit_event t ~now subsystem payload] records one typed event
+    ([level] defaults to [Info]). *)
 
 val events : t -> event list
 (** All retained events, oldest first. *)
 
+val message : event -> string
+(** The event's one-line rendering (typed payloads render via
+    {!Resilix_obs.Event.message}). *)
+
+val query : t -> pred:(event -> bool) -> event list
+(** Retained events satisfying [pred], oldest first.  The structural
+    replacement for substring matching:
+    [query t ~pred:(fun e -> match e.payload with Defect d -> ... )]. *)
+
 val find : t -> subsystem:string -> contains:string -> event option
-(** First retained event from [subsystem] whose message contains
-    [contains] as a substring. *)
+(** First retained event from [subsystem] whose rendered message
+    contains [contains] as a substring. *)
 
 val count : t -> subsystem:string -> contains:string -> int
 (** Number of retained matching events. *)

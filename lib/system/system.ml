@@ -74,6 +74,8 @@ type t = {
   vfs : Resilix_fs.Vfs.t;
   mfs : Resilix_fs.Mfs.t;
   inet : Resilix_net.Inet.t;
+  metrics : Resilix_obs.Metrics.t;
+  spans : Resilix_obs.Span.t;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -173,7 +175,13 @@ let boot ?(opts = default_opts) () =
   let rng_hw = Rng.split master_rng in
   let rng_links = Rng.split master_rng in
   let rng_peers = Rng.split master_rng in
-  let kernel = Kernel.create ~engine ~trace ~rng:rng_kernel () in
+  (* One metric registry and one span collector for the whole machine:
+     the kernel registers its counters in the former, RS records
+     recoveries in the latter, and dependents (MFS, INET) mark their
+     re-open phase on the same spans. *)
+  let metrics = Resilix_obs.Metrics.create () in
+  let spans = Resilix_obs.Span.create () in
+  let kernel = Kernel.create ~engine ~trace ~rng:rng_kernel ~metrics () in
   (* --- hardware --- *)
   let bus = Resilix_hw.Bus.create () in
   Resilix_hw.Bus.attach bus kernel;
@@ -261,7 +269,7 @@ let boot ?(opts = default_opts) () =
       ~register_program:(Kernel.register_program kernel)
       ~policies:opts.policies
       ~complainers:[ Wellknown.vfs; Wellknown.mfs; Wellknown.inet ]
-      ~heartbeat_tick:opts.heartbeat_tick ()
+      ~heartbeat_tick:opts.heartbeat_tick ~spans ()
   in
   let vfs =
     Resilix_fs.Vfs.create
@@ -273,12 +281,13 @@ let boot ?(opts = default_opts) () =
         ]
       ()
   in
-  let mfs = Resilix_fs.Mfs.create ~driver_key:"blk.sata" () in
+  let mfs = Resilix_fs.Mfs.create ~driver_key:"blk.sata" ~spans () in
   let gateway_mac =
     if String.equal opts.inet_driver "eth.dp8390" then Hwmap.dp_peer_mac else Hwmap.rtl_peer_mac
   in
   let inet =
-    Resilix_net.Inet.create ~local_ip:Hwmap.local_ip ~gateway_mac ~driver_key:opts.inet_driver ()
+    Resilix_net.Inet.create ~local_ip:Hwmap.local_ip ~gateway_mac ~driver_key:opts.inet_driver
+      ~spans ()
   in
   Kernel.spawn_wellknown kernel ~ep:Wellknown.pm ~name:Wellknown.name_pm
     ~priv:
@@ -323,7 +332,14 @@ let boot ?(opts = default_opts) () =
     vfs;
     mfs;
     inet;
+    metrics;
+    spans;
   }
+
+let obs_lines ?label t =
+  let snapshot = Resilix_obs.Metrics.snapshot ~at:(Engine.now t.engine) t.metrics in
+  Resilix_obs.Export.metric_lines ?label snapshot
+  @ Resilix_obs.Export.span_lines ?label t.spans
 
 (* ------------------------------------------------------------------ *)
 (* Workloads                                                           *)

@@ -55,11 +55,20 @@ type t = {
   vfs : Resilix_fs.Vfs.t;
   mfs : Resilix_fs.Mfs.t;
   inet : Resilix_net.Inet.t;
+  metrics : Resilix_obs.Metrics.t;
+      (** system-wide metric registry (kernel counters, server/driver counters) *)
+  spans : Resilix_obs.Span.t;  (** system-wide recovery span collector *)
 }
 
 val boot : ?opts:opts -> unit -> t
 (** Build the machine.  No virtual time has elapsed yet; run the
     engine to let the servers initialize. *)
+
+val obs_lines : ?label:string -> t -> string list
+(** JSONL observability dump of the machine so far: one line per
+    metric (counters, gauges, histograms), one per recovery span, and
+    one MTTR report line per recovered component — see
+    {!Resilix_obs.Export}. *)
 
 (** {1 Canned service specs}
 

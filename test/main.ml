@@ -2,6 +2,7 @@ let () =
   Alcotest.run "resilix"
     [
       ("sim", Test_sim.tests);
+      ("obs", Test_obs.tests);
       ("proto", Test_proto.tests);
       ("checksum", Test_checksum.tests);
       ("kernel", Test_kernel.tests);

@@ -400,7 +400,12 @@ let test_mmu_fault_kills () =
   let trace = Kernel.trace kernel in
   Alcotest.(check bool)
     "killed by SIGSEGV recorded" true
-    (Trace.find trace ~subsystem:"kernel" ~contains:"killed(SIGSEGV)" <> None)
+    (Trace.query trace ~pred:(fun e ->
+         match e.Trace.payload with
+         | Resilix_obs.Event.Exit { name = "victim"; status = Status.Killed Signal.Sig_segv; _ }
+           -> true
+         | _ -> false)
+    <> [])
 
 let test_exit_status_panic () =
   let engine, kernel = make_kernel () in
@@ -409,7 +414,11 @@ let test_exit_status_panic () =
   let trace = Kernel.trace kernel in
   Alcotest.(check bool)
     "panic recorded" true
-    (Trace.find trace ~subsystem:"kernel" ~contains:"panicked(inconsistent state)" <> None)
+    (Trace.query trace ~pred:(fun e ->
+         match e.Trace.payload with
+         | Resilix_obs.Event.Exit { status = Status.Panicked "inconsistent state"; _ } -> true
+         | _ -> false)
+    <> [])
 
 let test_alarm_notification () =
   let engine, kernel = make_kernel () in
@@ -559,8 +568,10 @@ let test_exit_queue_for_pm () =
      server tests; here just check the kernel records exits. *)
   let engine, kernel = make_kernel () in
   let _p = spawn kernel "transient" (fun () -> Api.exit (Status.Exited 3)) in
+  let before = Kernel.Stats.snapshot kernel in
   Engine.run engine;
-  Alcotest.(check int) "one exit recorded" 1 (Kernel.stats kernel).Kernel.exits
+  let delta = Kernel.Stats.diff before (Kernel.Stats.snapshot kernel) in
+  Alcotest.(check int) "one exit recorded" 1 delta.Kernel.Stats.exits
 
 let prop_many_processes_all_messages_delivered =
   QCheck.Test.make ~name:"N senders, one receiver: all delivered exactly once" ~count:30

@@ -1,0 +1,224 @@
+(* Tests for the observability layer: metric registry (counters,
+   gauges, log-bucketed histograms), snapshot/diff, trace-ring
+   overflow, recovery spans + MTTR reports, and the JSONL export. *)
+
+module Event = Resilix_obs.Event
+module Metrics = Resilix_obs.Metrics
+module Span = Resilix_obs.Span
+module Export = Resilix_obs.Export
+module Trace = Resilix_sim.Trace
+module Time = Resilix_sim.Time
+module Status = Resilix_proto.Status
+module Signal = Resilix_proto.Signal
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_counters_and_gauges () =
+  let m = Metrics.create () in
+  Metrics.add_named m "ipc" 3;
+  Metrics.add_named m "ipc" 4;
+  Metrics.set_named m "queue_depth" 9;
+  Metrics.set_named m "queue_depth" 2;
+  Alcotest.(check int) "counter accumulates" 7 (Metrics.value (Metrics.counter m "ipc"));
+  let snap = Metrics.snapshot ~at:123 m in
+  Alcotest.(check int) "snapshot at" 123 snap.Metrics.taken_at;
+  Alcotest.(check (list (pair string int))) "counters" [ ("ipc", 7) ] snap.Metrics.counters;
+  Alcotest.(check (list (pair string int)))
+    "gauge keeps last value"
+    [ ("queue_depth", 2) ]
+    snap.Metrics.gauges
+
+let test_counter_handles_are_shared () =
+  let m = Metrics.create () in
+  let a = Metrics.counter m "x" in
+  let b = Metrics.counter m "x" in
+  Metrics.incr a;
+  Metrics.add b 2;
+  Alcotest.(check int) "one underlying counter" 3
+    (Metrics.counter_value (Metrics.snapshot m) "x")
+
+let test_snapshot_diff () =
+  let m = Metrics.create () in
+  Metrics.add_named m "calls" 10;
+  let before = Metrics.snapshot ~at:100 m in
+  Metrics.add_named m "calls" 5;
+  Metrics.add_named m "fresh" 1;
+  let after = Metrics.snapshot ~at:200 m in
+  let d = Metrics.diff before after in
+  Alcotest.(check int) "diff timestamp is the end" 200 d.Metrics.taken_at;
+  Alcotest.(check (list (pair string int)))
+    "per-interval deltas"
+    [ ("calls", 5); ("fresh", 1) ]
+    d.Metrics.counters
+
+(* ------------------------------------------------------------------ *)
+(* Histogram bucketing edge cases                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_bucket_edges () =
+  Alcotest.(check int) "zero in bucket 0" 0 (Metrics.bucket_of 0);
+  Alcotest.(check int) "negative clamps to bucket 0" 0 (Metrics.bucket_of (-5));
+  Alcotest.(check int) "one in bucket 1" 1 (Metrics.bucket_of 1);
+  Alcotest.(check int) "boundary 2^k-1 vs 2^k" 3 (Metrics.bucket_of 7);
+  Alcotest.(check int) "8 starts bucket 4" 4 (Metrics.bucket_of 8);
+  Alcotest.(check int) "max_int clamps to the last bucket" 62 (Metrics.bucket_of max_int);
+  Alcotest.(check int) "upper of bucket 3 is 7" 7 (Metrics.bucket_upper 3);
+  Alcotest.(check bool) "last upper saturates" true (Metrics.bucket_upper 62 > 0)
+
+let test_histogram_observe () =
+  let m = Metrics.create () in
+  List.iter (Metrics.observe_named m "latency") [ 0; 1; 7; 8; max_int ];
+  let snap = Metrics.snapshot m in
+  match snap.Metrics.histograms with
+  | [ ("latency", h) ] ->
+      Alcotest.(check int) "count" 5 h.Metrics.count;
+      Alcotest.(check int) "min" 0 h.Metrics.min_v;
+      Alcotest.(check int) "max" max_int h.Metrics.max_v;
+      Alcotest.(check (list (pair int int)))
+        "non-empty buckets only"
+        [ (0, 1); (1, 1); (3, 1); (4, 1); (62, 1) ]
+        h.Metrics.buckets
+  | hs -> Alcotest.failf "expected one histogram, got %d" (List.length hs)
+
+(* ------------------------------------------------------------------ *)
+(* Trace ring                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_ring_overflow () =
+  let trace = Trace.create ~capacity:4 () in
+  for i = 1 to 10 do
+    Trace.emit trace ~now:(Time.usec i) Trace.Debug "x" "event %d" i
+  done;
+  let evs = Trace.events trace in
+  Alcotest.(check int) "capacity enforced" 4 (List.length evs);
+  Alcotest.(check (list int)) "oldest evicted first, order kept" [ 7; 8; 9; 10 ]
+    (List.map (fun e -> e.Trace.time) evs)
+
+let test_trace_typed_query () =
+  let trace = Trace.create () in
+  Trace.emit_event trace ~now:(Time.usec 1) "kernel"
+    (Event.Exit { ep = Resilix_proto.Endpoint.make ~slot:3 ~gen:1; name = "drv";
+                  status = Status.Killed Signal.Sig_segv });
+  Trace.emit trace ~now:(Time.usec 2) Trace.Info "kernel" "plain log";
+  let hits =
+    Trace.query trace ~pred:(fun e ->
+        match e.Trace.payload with
+        | Event.Exit { status = Status.Killed Signal.Sig_segv; _ } -> true
+        | _ -> false)
+  in
+  Alcotest.(check int) "typed query finds the exit" 1 (List.length hits);
+  (* The compat renderer still supports substring search. *)
+  Alcotest.(check bool) "legacy find still works" true
+    (Trace.find trace ~subsystem:"kernel" ~contains:"killed(SIGSEGV)" <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_lifecycle () =
+  let c = Span.create () in
+  let s = Span.open_span c ~component:"eth" ~defect:Status.D_killed_by_user ~repetition:1 ~now:100 in
+  Span.mark s Span.Policy ~now:150;
+  Span.mark s Span.Policy ~now:999 (* re-mark keeps the first *);
+  Span.mark_component c "eth" Span.Respawn ~now:200;
+  Span.mark_component c "eth" Span.Republish ~now:250;
+  Span.close_component c "eth" ~now:300;
+  Alcotest.(check (option int)) "total" (Some 200) (Span.total_us s);
+  Alcotest.(check (list (pair string int)))
+    "phase deltas in causal order"
+    [ ("detect", 0); ("policy", 50); ("respawn", 100); ("republish", 150) ]
+    (List.map (fun (p, d) -> (Span.phase_name p, d)) (Span.phases s))
+
+let test_span_reopen_after_close () =
+  let c = Span.create () in
+  let s = Span.open_span c ~component:"blk" ~defect:Status.D_exit ~repetition:1 ~now:0 in
+  Span.close_component c "blk" ~now:50;
+  (* Dependents re-bind after RS declares recovery complete: Reopen is
+     the one phase accepted on a closed span — once. *)
+  Span.mark_component c "blk" Span.Reopen ~now:80;
+  Span.mark_component c "blk" Span.Reopen ~now:999;
+  Span.mark_component c "blk" Span.Respawn ~now:999 (* other phases refused *);
+  Alcotest.(check (list (pair string int)))
+    "reopen recorded once, respawn refused"
+    [ ("detect", 0); ("reopen", 80) ]
+    (List.map (fun (p, d) -> (Span.phase_name p, d)) (Span.phases s));
+  Alcotest.(check (option int)) "close kept" (Some 50) (Span.total_us s)
+
+let test_mttr_report () =
+  let c = Span.create () in
+  let close ~component ~opened ~total =
+    ignore
+      (Span.open_span c ~component ~defect:Status.D_killed_by_user ~repetition:1 ~now:opened);
+    Span.close_component c component ~now:(opened + total)
+  in
+  close ~component:"eth" ~opened:0 ~total:100;
+  close ~component:"eth" ~opened:1000 ~total:300;
+  close ~component:"blk" ~opened:2000 ~total:40;
+  ignore (Span.open_span c ~component:"eth" ~defect:Status.D_exit ~repetition:3 ~now:5000);
+  (* still open: excluded *)
+  match Span.report c with
+  | [ blk; eth ] ->
+      Alcotest.(check string) "sorted by component" "blk" blk.Span.m_component;
+      Alcotest.(check int) "blk n" 1 blk.Span.n;
+      Alcotest.(check int) "eth n (open span excluded)" 2 eth.Span.n;
+      Alcotest.(check int) "eth mean" 200 eth.Span.mean_us;
+      Alcotest.(check int) "eth min" 100 eth.Span.min_us;
+      Alcotest.(check int) "eth max" 300 eth.Span.max_us;
+      Alcotest.(check int) "eth p95 (nearest rank of 2)" 300 eth.Span.p95_us
+  | rs -> Alcotest.failf "expected two components, got %d" (List.length rs)
+
+(* ------------------------------------------------------------------ *)
+(* JSONL export                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_export_jsonl () =
+  let m = Metrics.create () in
+  Metrics.add_named m "kernel.ipc.messages" 5;
+  Metrics.observe_named m "mttr_us" 100;
+  let c = Span.create () in
+  ignore (Span.open_span c ~component:"eth" ~defect:Status.D_heartbeat ~repetition:2 ~now:10);
+  Span.close_component c "eth" ~now:60;
+  let lines = Export.metric_lines ~label:"t" (Metrics.snapshot ~at:99 m) @ Export.span_lines ~label:"t" c in
+  let has needle =
+    List.exists (fun l ->
+      let rec find i =
+        i + String.length needle <= String.length l
+        && (String.sub l i (String.length needle) = needle || find (i + 1))
+      in
+      find 0) lines
+  in
+  Alcotest.(check bool) "meta line" true (has {|"type":"meta"|});
+  Alcotest.(check bool) "counter line" true (has {|"name":"kernel.ipc.messages","value":5|});
+  Alcotest.(check bool) "histogram line" true (has {|"type":"histogram"|});
+  Alcotest.(check bool) "span line" true (has {|"type":"span"|});
+  Alcotest.(check bool) "span total" true (has {|"total_us":50|});
+  Alcotest.(check bool) "mttr line" true (has {|"type":"mttr"|});
+  Alcotest.(check bool) "mttr component" true (has {|"component":"eth"|});
+  (* every line must be minimally well-formed JSON object syntax *)
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "line is an object" true
+        (String.length l > 1 && l.[0] = '{' && l.[String.length l - 1] = '}'))
+    lines
+
+let test_json_escape () =
+  Alcotest.(check string) "quotes and backslashes" {|a\"b\\c|} (Event.json_escape {|a"b\c|});
+  Alcotest.(check string) "control chars" {|x\ny|} (Event.json_escape "x\ny")
+
+let tests =
+  [
+    Alcotest.test_case "counters and gauges" `Quick test_counters_and_gauges;
+    Alcotest.test_case "counter handles share state" `Quick test_counter_handles_are_shared;
+    Alcotest.test_case "snapshot diff" `Quick test_snapshot_diff;
+    Alcotest.test_case "histogram bucket edges (0, max_int)" `Quick test_bucket_edges;
+    Alcotest.test_case "histogram observe" `Quick test_histogram_observe;
+    Alcotest.test_case "trace ring overflow" `Quick test_trace_ring_overflow;
+    Alcotest.test_case "typed trace query" `Quick test_trace_typed_query;
+    Alcotest.test_case "span lifecycle and phases" `Quick test_span_lifecycle;
+    Alcotest.test_case "reopen allowed once after close" `Quick test_span_reopen_after_close;
+    Alcotest.test_case "MTTR report" `Quick test_mttr_report;
+    Alcotest.test_case "JSONL export" `Quick test_export_jsonl;
+    Alcotest.test_case "json escaping" `Quick test_json_escape;
+  ]

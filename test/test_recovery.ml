@@ -299,10 +299,19 @@ let test_sigterm_escalates_to_sigkill () =
   let events = Reincarnation.events t.System.rs in
   Alcotest.(check bool) "exactly one update recovery" true
     (match events with [ e ] -> e.Reincarnation.defect = Status.D_update | _ -> false);
-  (* The escalation is visible in the trace. *)
+  (* The escalation is visible as a typed policy decision. *)
   Alcotest.(check bool) "SIGKILL escalation recorded" true
-    (Resilix_sim.Trace.find t.System.trace ~subsystem:"rs" ~contains:"escalating to SIGKILL"
-    <> None)
+    (Resilix_sim.Trace.query t.System.trace ~pred:(fun e ->
+         match e.Resilix_sim.Trace.payload with
+         | Resilix_obs.Event.Policy_decision
+             {
+               component = "svc.stubborn";
+               policy = "update";
+               decision = "ignored SIGTERM; escalating to SIGKILL";
+             } ->
+             true
+         | _ -> false)
+    <> [])
 
 (* A dedicated policy script that also restarts dependent services —
    the paper's network-server example ("recovery requires restarting

@@ -101,7 +101,7 @@ let test_trace_capacity () =
   done;
   let evs = Trace.events trace in
   Alcotest.(check int) "bounded retention" 3 (List.length evs);
-  Alcotest.(check string) "oldest dropped" "event 3" (List.hd evs).Trace.message
+  Alcotest.(check string) "oldest dropped" "event 3" (Trace.message (List.hd evs))
 
 (* Property: popping the heap yields keys in nondecreasing order, with
    FIFO sequence order inside equal keys. *)

@@ -114,7 +114,13 @@ let test_illegal_opcode_kills_sigill () =
         ignore (Interp.run program ~regs:(Array.make 8 0)))
   in
   Alcotest.(check bool) "killed by SIGILL" true
-    (Trace.find (Kernel.trace kernel) ~subsystem:"kernel" ~contains:"killed(SIGILL)" <> None)
+    (Trace.query (Kernel.trace kernel) ~pred:(fun e ->
+         match e.Trace.payload with
+         | Resilix_obs.Event.Exit
+             { status = Resilix_proto.Status.Killed Resilix_proto.Signal.Sig_ill; _ } ->
+             true
+         | _ -> false)
+    <> [])
 
 let test_wild_pointer_kills_sigsegv () =
   let _, kernel =
@@ -124,7 +130,13 @@ let test_wild_pointer_kills_sigsegv () =
         ignore (Interp.run program ~regs:(Array.make 8 0)))
   in
   Alcotest.(check bool) "killed by SIGSEGV" true
-    (Trace.find (Kernel.trace kernel) ~subsystem:"kernel" ~contains:"killed(SIGSEGV)" <> None)
+    (Trace.query (Kernel.trace kernel) ~pred:(fun e ->
+         match e.Trace.payload with
+         | Resilix_obs.Event.Exit
+             { status = Resilix_proto.Status.Killed Resilix_proto.Signal.Sig_segv; _ } ->
+             true
+         | _ -> false)
+    <> [])
 
 let test_runaway_loop_consumes_time_not_host () =
   (* An infinite VM loop must keep yielding virtual time (so heartbeat
