@@ -6,6 +6,8 @@
       benchmark scale (Fig. 3, Fig. 7, Fig. 8, Sec. 7.2 in both the
       emulator and wedgeable-hardware variants, Fig. 9) plus the
       ablations — printed as tables with the paper's anchor numbers.
+      Sweeps run as trial campaigns on a domain pool (see
+      lib/harness); the output is byte-identical for any --jobs.
 
    2. Runs Bechamel micro/macro benchmarks: one Test.make per paper
       table (measuring the wall-clock cost of regenerating it at small
@@ -16,10 +18,19 @@
 
    Flags:
      --smoke             reduced scale + skip Bechamel (CI-friendly)
+     --jobs N            worker-domain count for the trial campaigns
+                         (default: all cores)
      --metrics-out FILE  write JSONL metrics, spans and MTTR reports
-                         from the fig7/fig8 runs to FILE *)
+                         from the fig7/fig8 runs to FILE
+     --speedup-out FILE  run the smoke sweep sequentially and on the
+                         domain pool, record wall-clock + speedup as
+                         JSON to FILE (the BENCH_PR2.json artifact)
+
+   Exit status is non-zero when any experiment's internal integrity
+   check fails (digest mismatch, crash-class split inconsistency). *)
 
 module E = Resilix_experiments
+module Campaign = Resilix_harness.Campaign
 module Md5 = Resilix_checksum.Md5
 module Sha1 = Resilix_checksum.Sha1
 module Crc32 = Resilix_checksum.Crc32
@@ -33,25 +44,82 @@ let mb = 1024 * 1024
 (* Part 1: regenerate the paper's tables                               *)
 (* ------------------------------------------------------------------ *)
 
-let regenerate_tables ~smoke ~obs () =
+(* Returns the names of experiments whose internal integrity check
+   failed (empty = all clean). *)
+let regenerate_tables ~smoke ~jobs ~obs () =
+  let failed = ref [] in
+  let check name ok = if not ok then failed := name :: !failed in
   if smoke then begin
     (* Reduced scale: enough virtual traffic for a few recoveries per
        interval, fast enough for the test suite. *)
-    E.Fig7.print (E.Fig7.run ~size:(8 * mb) ~intervals:[ 1; 2 ] ?obs ());
-    E.Fig8.print (E.Fig8.run ~size:(32 * mb) ~intervals:[ 1; 2 ] ?obs ())
+    let r7 = E.Fig7.run ?jobs ~size:(8 * mb) ~intervals:[ 1; 2 ] ?obs () in
+    E.Fig7.print r7;
+    check "fig7 integrity (fnv digest)" (E.Fig7.ok r7);
+    let r8 = E.Fig8.run ?jobs ~size:(32 * mb) ~intervals:[ 1; 2 ] ?obs () in
+    E.Fig8.print r8;
+    check "fig8 integrity (fnv digest)" (E.Fig8.ok r8)
   end
   else begin
-    E.Fig3.print (E.Fig3.run ());
-    E.Fig7.print (E.Fig7.run ~size:(64 * mb) ~intervals:[ 1; 2; 4; 8; 15 ] ?obs ());
-    E.Fig8.print (E.Fig8.run ~size:(256 * mb) ~intervals:[ 1; 2; 4; 8; 15 ] ?obs ());
-    E.Sec72.print "emulator variant" (E.Sec72.run ~faults:2000 ());
-    E.Sec72.print "real-hardware variant: wedgeable NIC"
-      (E.Sec72.run ~faults:2000 ~wedge_prob:1.0 ~has_master_reset:false ());
-    E.Fig9.print (E.Fig9.run ());
-    E.Ablations.print_heartbeat (E.Ablations.heartbeat_sweep ());
-    E.Ablations.print_policy (E.Ablations.policy_comparison ());
-    E.Ablations.print_ipc (E.Ablations.ipc_microbench ())
-  end
+    E.Fig3.print (E.Fig3.run ?jobs ());
+    let r7 = E.Fig7.run ?jobs ~size:(64 * mb) ~intervals:[ 1; 2; 4; 8; 15 ] ?obs () in
+    E.Fig7.print r7;
+    check "fig7 integrity (fnv digest)" (E.Fig7.ok r7);
+    let r8 = E.Fig8.run ?jobs ~size:(256 * mb) ~intervals:[ 1; 2; 4; 8; 15 ] ?obs () in
+    E.Fig8.print r8;
+    check "fig8 integrity (fnv digest)" (E.Fig8.ok r8);
+    (* The paper's full 12,500-fault campaign (the shard/default). *)
+    let o_emu = E.Sec72.run ?jobs () in
+    E.Sec72.print "emulator variant" o_emu;
+    check "sec7.2 emulator crash-class split" (E.Sec72.ok o_emu);
+    let o_hw = E.Sec72.run ?jobs ~wedge_prob:1.0 ~has_master_reset:false () in
+    E.Sec72.print "real-hardware variant: wedgeable NIC" o_hw;
+    check "sec7.2 hw crash-class split" (E.Sec72.ok o_hw);
+    E.Fig9.print (E.Fig9.run ?jobs ());
+    E.Ablations.print_heartbeat (E.Ablations.heartbeat_sweep ?jobs ());
+    E.Ablations.print_policy (E.Ablations.policy_comparison ?jobs ());
+    E.Ablations.print_ipc (E.Ablations.ipc_microbench ?jobs ())
+  end;
+  List.rev !failed
+
+(* ------------------------------------------------------------------ *)
+(* Campaign-runner speedup measurement (BENCH_PR2.json)                *)
+(* ------------------------------------------------------------------ *)
+
+let measure_speedup ~jobs file =
+  let trials () = E.Fig7.trials ~size:(8 * mb) ~intervals:[ 1; 2 ] () in
+  let n_trials = List.length (trials ()) in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let jobs = match jobs with Some j -> j | None -> Campaign.default_jobs () in
+  let seq_s, seq = time (fun () -> Campaign.run ~jobs:1 (trials ())) in
+  let par_s, par = time (fun () -> Campaign.run ~jobs (trials ())) in
+  let identical = E.Fig7.reduce seq = E.Fig7.reduce par in
+  let speedup = if par_s > 0. then seq_s /. par_s else 0. in
+  let oc = open_out file in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"campaign runner, fig7 smoke sweep (8 MB, baseline + 2 kill intervals)\",\n\
+    \  \"trials\": %d,\n\
+    \  \"jobs\": %d,\n\
+    \  \"cores\": %d,\n\
+    \  \"sequential_s\": %.3f,\n\
+    \  \"parallel_s\": %.3f,\n\
+    \  \"speedup\": %.3f,\n\
+    \  \"identical_output\": %b\n\
+     }\n"
+    n_trials jobs
+    (Campaign.default_jobs ())
+    seq_s par_s speedup identical;
+  close_out oc;
+  Printf.printf
+    "\ncampaign speedup: %d trials, jobs=%d: %.2fs sequential, %.2fs parallel (%.2fx, output %s) -> %s\n"
+    n_trials jobs seq_s par_s speedup
+    (if identical then "identical" else "DIVERGED")
+    file;
+  identical
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel benchmarks                                         *)
@@ -162,28 +230,47 @@ let run_bechamel () =
 let parse_args () =
   let smoke = ref false in
   let metrics_out = ref None in
+  let speedup_out = ref None in
+  let jobs = ref None in
+  let usage arg =
+    Printf.eprintf
+      "usage: %s [--smoke] [--jobs N] [--metrics-out FILE] [--speedup-out FILE]\n\
+       (unknown argument %S)\n"
+      Sys.executable_name arg;
+    exit 2
+  in
   let rec go = function
     | [] -> ()
     | "--smoke" :: rest -> smoke := true; go rest
     | "--metrics-out" :: file :: rest -> metrics_out := Some file; go rest
-    | arg :: _ ->
-        Printf.eprintf "usage: %s [--smoke] [--metrics-out FILE]\n(unknown argument %S)\n"
-          Sys.executable_name arg;
-        exit 2
+    | "--speedup-out" :: file :: rest -> speedup_out := Some file; go rest
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 -> jobs := Some j; go rest
+        | _ -> usage n)
+    | arg :: _ -> usage arg
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!smoke, !metrics_out)
+  (!smoke, !jobs, !metrics_out, !speedup_out)
 
 let () =
-  let smoke, metrics_out = parse_args () in
-  match metrics_out with
-  | None ->
-      regenerate_tables ~smoke ~obs:None ();
-      if not smoke then run_bechamel ()
-  | Some file ->
-      let oc = open_out file in
-      let sink line = output_string oc line; output_char oc '\n' in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () -> regenerate_tables ~smoke ~obs:(Some sink) ());
-      if not smoke then run_bechamel ()
+  let smoke, jobs, metrics_out, speedup_out = parse_args () in
+  let failed =
+    match metrics_out with
+    | None -> regenerate_tables ~smoke ~jobs ~obs:None ()
+    | Some file ->
+        let oc = open_out file in
+        let sink line = output_string oc line; output_char oc '\n' in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> regenerate_tables ~smoke ~jobs ~obs:(Some sink) ())
+  in
+  let speedup_ok =
+    match speedup_out with None -> true | Some file -> measure_speedup ~jobs file
+  in
+  if not smoke then run_bechamel ();
+  match failed with
+  | [] -> if not speedup_ok then exit 1
+  | names ->
+      List.iter (Printf.eprintf "INTEGRITY FAILURE: %s\n") names;
+      exit 1

@@ -1,11 +1,15 @@
 (* The resilix command-line harness: regenerate every table and figure
-   of the paper's evaluation, plus the ablations. *)
+   of the paper's evaluation, plus the ablations.
+
+   Every subcommand takes --jobs: sweeps are hermetic trial campaigns
+   (lib/harness) executed on a pool of OCaml domains, and the printed
+   tables are byte-identical for any job count.  The exit status is
+   non-zero when an experiment's internal integrity check fails
+   (fig7/fig8 digest mismatch, sec7_2 crash-class split mismatch). *)
 
 module E = Resilix_experiments
 
 let mb = 1024 * 1024
-
-let run_fig3 seed = E.Fig3.print (E.Fig3.run ~seed ())
 
 (* [--metrics-out FILE]: run [f] with a JSONL sink writing to FILE
    (metrics snapshots, recovery spans and MTTR reports per run). *)
@@ -17,31 +21,60 @@ let with_obs metrics_out f =
       let sink line = output_string oc line; output_char oc '\n' in
       Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f (Some sink))
 
-let run_fig7 seed size_mb intervals metrics_out =
+(* Exit-code plumbing: a failed integrity check is a real failure,
+   not just a red cell in a table. *)
+let checked name ok = if ok then 0 else (Printf.eprintf "INTEGRITY FAILURE: %s\n" name; 1)
+
+let run_fig3 jobs seed =
+  E.Fig3.print (E.Fig3.run ?jobs ~seed ());
+  0
+
+let run_fig7 jobs seed size_mb intervals metrics_out =
   with_obs metrics_out (fun obs ->
-      E.Fig7.print (E.Fig7.run ~size:(size_mb * mb) ~intervals ~seed ?obs ()))
+      let rows = E.Fig7.run ?jobs ~size:(size_mb * mb) ~intervals ~seed ?obs () in
+      E.Fig7.print rows;
+      checked "fig7 fnv digest" (E.Fig7.ok rows))
 
-let run_fig8 seed size_mb intervals metrics_out =
+let run_fig8 jobs seed size_mb intervals metrics_out =
   with_obs metrics_out (fun obs ->
-      E.Fig8.print (E.Fig8.run ~size:(size_mb * mb) ~intervals ~seed ?obs ()))
+      let rows = E.Fig8.run ?jobs ~size:(size_mb * mb) ~intervals ~seed ?obs () in
+      E.Fig8.print rows;
+      checked "fig8 digest vs baseline" (E.Fig8.ok rows))
 
-let run_sec72 seed faults hw =
-  if hw then
-    E.Sec72.print "real-hardware variant: wedgeable NIC"
-      (E.Sec72.run ~faults ~seed ~wedge_prob:1.0 ~has_master_reset:false ())
-  else E.Sec72.print "emulator variant" (E.Sec72.run ~faults ~seed ())
+let run_sec72 jobs seed faults shard_size hw metrics_out =
+  with_obs metrics_out (fun obs ->
+      let label, wedge_prob =
+        if hw then ("real-hardware variant: wedgeable NIC", 1.0) else ("emulator variant", 0.)
+      in
+      let o =
+        E.Sec72.run ?jobs ~faults ~seed ~wedge_prob ~has_master_reset:false ?shard_size ?obs ()
+      in
+      E.Sec72.print label o;
+      checked "sec7_2 crash-class split" (E.Sec72.ok o))
 
-let run_fig9 () = E.Fig9.print (E.Fig9.run ())
+let run_fig9 jobs () =
+  E.Fig9.print (E.Fig9.run ?jobs ());
+  0
 
-let run_ablations seed =
-  E.Ablations.print_heartbeat (E.Ablations.heartbeat_sweep ~seed ());
-  E.Ablations.print_policy (E.Ablations.policy_comparison ~seed ());
-  E.Ablations.print_ipc (E.Ablations.ipc_microbench ())
+let run_ablations jobs seed =
+  E.Ablations.print_heartbeat (E.Ablations.heartbeat_sweep ?jobs ~seed ());
+  E.Ablations.print_policy (E.Ablations.policy_comparison ?jobs ~seed ());
+  E.Ablations.print_ipc (E.Ablations.ipc_microbench ?jobs ());
+  0
 
 open Cmdliner
 
 let seed_t =
   Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Master RNG seed (runs are deterministic).")
+
+let jobs_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the trial campaign (default: all cores). Output is identical \
+           for any value.")
 
 let size_t default =
   Arg.(value & opt int default & info [ "size-mb" ] ~doc:"Transfer size in MB.")
@@ -53,7 +86,14 @@ let intervals_t =
     & info [ "intervals" ] ~doc:"Kill intervals in seconds (comma separated).")
 
 let faults_t =
-  Arg.(value & opt int 2000 & info [ "faults" ] ~doc:"Number of faults to inject.")
+  Arg.(value & opt int 12_500 & info [ "faults" ] ~doc:"Number of faults to inject.")
+
+let shard_size_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shard-size" ]
+        ~doc:"Faults per campaign shard (default 500; layout is independent of --jobs).")
 
 let hw_t =
   Arg.(value & flag & info [ "hw" ] ~doc:"Real-hardware variant: the NIC can wedge.")
@@ -67,37 +107,46 @@ let metrics_out_t =
 
 let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
 
-let fig3_cmd = cmd "fig3" "Recovery-scheme matrix (Fig. 3)" Term.(const run_fig3 $ seed_t)
+let fig3_cmd =
+  cmd "fig3" "Recovery-scheme matrix (Fig. 3)" Term.(const run_fig3 $ jobs_t $ seed_t)
 
 let fig7_cmd =
   cmd "fig7" "wget throughput vs Ethernet-driver kill interval (Fig. 7)"
-    Term.(const run_fig7 $ seed_t $ size_t 128 $ intervals_t $ metrics_out_t)
+    Term.(const run_fig7 $ jobs_t $ seed_t $ size_t 128 $ intervals_t $ metrics_out_t)
 
 let fig8_cmd =
   cmd "fig8" "dd throughput vs disk-driver kill interval (Fig. 8)"
-    Term.(const run_fig8 $ seed_t $ size_t 1024 $ intervals_t $ metrics_out_t)
+    Term.(const run_fig8 $ jobs_t $ seed_t $ size_t 1024 $ intervals_t $ metrics_out_t)
 
 let sec72_cmd =
   cmd "sec72" "Fault-injection campaign on the DP8390 driver (Sec. 7.2)"
-    Term.(const run_sec72 $ seed_t $ faults_t $ hw_t)
+    Term.(const run_sec72 $ jobs_t $ seed_t $ faults_t $ shard_size_t $ hw_t $ metrics_out_t)
 
-let fig9_cmd = cmd "fig9" "Source-code statistics (Fig. 9)" Term.(const run_fig9 $ const ())
+let fig9_cmd =
+  cmd "fig9" "Source-code statistics (Fig. 9)" Term.(const run_fig9 $ jobs_t $ const ())
 
-let ablations_cmd = cmd "ablations" "Design-choice ablations" Term.(const run_ablations $ seed_t)
+let ablations_cmd =
+  cmd "ablations" "Design-choice ablations" Term.(const run_ablations $ jobs_t $ seed_t)
 
 let all_cmd =
   cmd "all" "Run every experiment with default parameters"
     Term.(
-      const (fun seed size7 size8 intervals faults metrics_out ->
-          run_fig3 seed;
+      const (fun jobs seed size7 size8 intervals faults metrics_out ->
+          let rc = ref (run_fig3 jobs seed) in
+          let track n = rc := max !rc n in
           with_obs metrics_out (fun obs ->
-              E.Fig7.print (E.Fig7.run ~size:(size7 * mb) ~intervals ~seed ?obs ());
-              E.Fig8.print (E.Fig8.run ~size:(size8 * mb) ~intervals ~seed ?obs ()));
-          run_sec72 seed faults false;
-          run_sec72 seed faults true;
-          run_fig9 ();
-          run_ablations seed)
-      $ seed_t $ size_t 128 $ size_t 512 $ intervals_t $ faults_t $ metrics_out_t)
+              let r7 = E.Fig7.run ?jobs ~size:(size7 * mb) ~intervals ~seed ?obs () in
+              E.Fig7.print r7;
+              track (checked "fig7 fnv digest" (E.Fig7.ok r7));
+              let r8 = E.Fig8.run ?jobs ~size:(size8 * mb) ~intervals ~seed ?obs () in
+              E.Fig8.print r8;
+              track (checked "fig8 digest vs baseline" (E.Fig8.ok r8)));
+          track (run_sec72 jobs seed faults None false None);
+          track (run_sec72 jobs seed faults None true None);
+          track (run_fig9 jobs ());
+          track (run_ablations jobs seed);
+          !rc)
+      $ jobs_t $ seed_t $ size_t 128 $ size_t 512 $ intervals_t $ faults_t $ metrics_out_t)
 
 let () =
   let info =
@@ -105,6 +154,6 @@ let () =
       ~doc:"Failure resilience for device drivers — experiment harness"
   in
   exit
-    (Cmd.eval
+    (Cmd.eval'
        (Cmd.group info
           [ fig3_cmd; fig7_cmd; fig8_cmd; sec72_cmd; fig9_cmd; ablations_cmd; all_cmd ]))

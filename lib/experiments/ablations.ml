@@ -5,6 +5,8 @@ module Sysif = Resilix_kernel.Sysif
 module Api = Resilix_kernel.Sysif.Api
 module Trace = Resilix_sim.Trace
 module Rng = Resilix_sim.Rng
+module Trial = Resilix_harness.Trial
+module Campaign = Resilix_harness.Campaign
 module Privilege = Resilix_proto.Privilege
 module Spec = Resilix_proto.Spec
 module Policy = Resilix_core.Policy
@@ -18,9 +20,11 @@ type heartbeat_row = { period_us : int; detection_us : int }
 
 let svc_priv = Privilege.driver ~ipc_to:[ "rs"; "ds" ] ~io_ports:[] ~irqs:[]
 
-let heartbeat_sweep ?(periods = [ 50_000; 100_000; 250_000; 500_000; 1_000_000 ]) ?(seed = 42) () =
-  List.map
-    (fun period ->
+let heartbeat_trial ~seed ~period =
+  Trial.make
+    ~name:(Printf.sprintf "ablation/heartbeat-%dus" period)
+    ~seed
+    (fun () ->
       let t = System.boot ~opts:{ System.default_opts with System.seed; disk_mb = 8 } () in
       Kernel.register_program t.System.kernel "stuck" (fun () ->
           let rec spin () =
@@ -44,7 +48,12 @@ let heartbeat_sweep ?(periods = [ 50_000; 100_000; 250_000; 500_000; 1_000_000 ]
         | [] -> -1
       in
       { period_us = period; detection_us = detection })
-    periods
+
+let heartbeat_trials ?(periods = [ 50_000; 100_000; 250_000; 500_000; 1_000_000 ]) ?(seed = 42) ()
+    =
+  List.mapi (fun i period -> heartbeat_trial ~seed:(Rng.derive ~seed ~index:i) ~period) periods
+
+let heartbeat_sweep ?jobs ?periods ?seed () = Campaign.run ?jobs (heartbeat_trials ?periods ?seed ())
 
 let print_heartbeat rows =
   Table.section "Ablation — heartbeat period vs. stuck-driver detection latency";
@@ -69,9 +78,8 @@ let print_heartbeat rows =
 
 type policy_row = { policy : string; restarts : int; state : string }
 
-let policy_comparison ?(window_us = 25_000_000) ?(seed = 42) () =
-  List.map
-    (fun (label, policy_key, policies) ->
+let policy_trial ~window_us ~seed (label, policy_key, policies) =
+  Trial.make ~name:("ablation/policy-" ^ policy_key) ~seed (fun () ->
       let opts =
         {
           System.default_opts with
@@ -102,11 +110,18 @@ let policy_comparison ?(window_us = 25_000_000) ?(seed = 42) () =
           | `Down -> "taken down (gave up)"
           | `Unknown -> "unknown");
       })
+
+let policy_trials ?(window_us = 25_000_000) ?(seed = 42) () =
+  List.mapi
+    (fun i scenario -> policy_trial ~window_us ~seed:(Rng.derive ~seed ~index:i) scenario)
     [
       ("direct (no backoff)", "direct", []);
       ("generic (exponential backoff)", "generic", []);
       ("guarded (give up after 3)", "guard3", [ ("guard3", Policy.guarded ~max_failures:3 ()) ]);
     ]
+
+let policy_comparison ?jobs ?window_us ?seed () =
+  Campaign.run ?jobs (policy_trials ?window_us ?seed ())
 
 let print_policy rows =
   Table.section "Ablation — recovery policies under a crash-storming service (25 s window)";
@@ -123,96 +138,119 @@ let print_policy rows =
 
 type ipc_row = { operation : string; cost_us : float }
 
-let ipc_microbench ?(rounds = 1000) () =
-  let engine = Engine.create () in
-  let trace = Trace.create () in
-  let rng = Rng.create ~seed:7 in
-  let kernel = Kernel.create ~engine ~trace ~rng () in
-  let all =
-    {
-      Privilege.none with
-      Privilege.ipc_to = Privilege.All;
-      kcalls = Privilege.All;
-    }
-  in
-  let results = ref [] in
-  let record name duration count =
-    results := (name, float_of_int duration /. float_of_int count) :: !results
-  in
-  (* Rendezvous round trip (sendrec + reply), like a device request. *)
-  Kernel.register_program kernel "echo" (fun () ->
-      let rec loop () =
-        (match Api.receive Sysif.Any with
-        | Ok (Sysif.Rx_msg { src; _ }) ->
-            ignore (Api.send src Resilix_proto.Message.Ok_reply)
-        | _ -> ());
-        loop ()
+let all_priv =
+  {
+    Privilege.none with
+    Privilege.ipc_to = Privilege.All;
+    kcalls = Privilege.All;
+  }
+
+(* Rendezvous round trip (sendrec + reply), like a device request,
+   plus non-blocking notification. *)
+let rendezvous_trial ~rounds =
+  Trial.make ~name:"ablation/ipc-rendezvous" ~seed:7 (fun () ->
+      let engine = Engine.create () in
+      let trace = Trace.create () in
+      let rng = Rng.create ~seed:7 in
+      let kernel = Kernel.create ~engine ~trace ~rng () in
+      let results = ref [] in
+      let record name duration count =
+        results := (name, float_of_int duration /. float_of_int count) :: !results
       in
-      loop ());
-  let echo_ep =
-    match Kernel.spawn_dynamic kernel ~name:"echo" ~program:"echo" ~args:[] ~priv:all ~mem_kb:64 with
-    | Ok e -> e
-    | Error _ -> failwith "spawn echo"
-  in
-  Kernel.register_program kernel "bench" (fun () ->
-      (* sendrec round trips *)
-      let t0 = Api.now () in
-      for _ = 1 to rounds do
-        ignore (Api.sendrec echo_ep Resilix_proto.Message.Ok_reply)
-      done;
-      record "sendrec round trip" (Api.now () - t0) rounds;
-      (* notifications *)
-      let t0 = Api.now () in
-      for _ = 1 to rounds do
-        ignore (Api.notify echo_ep Resilix_proto.Message.N_heartbeat_request)
-      done;
-      record "notify (non-blocking)" (Api.now () - t0) rounds;
-      Api.exit (Resilix_proto.Status.Exited 0));
-  (match Kernel.spawn_dynamic kernel ~name:"bench" ~program:"bench" ~args:[] ~priv:all ~mem_kb:64 with
-  | Ok _ -> ()
-  | Error _ -> failwith "spawn bench");
-  Engine.run engine ~until:600_000_000;
-  (* Safecopy costs measured separately: one process grants, the other
-     copies. *)
-  let sizes = [ 64; 1024; 16384; 65536 ] in
-  let engine2 = Engine.create () in
-  let kernel2 = Kernel.create ~engine:engine2 ~trace:(Trace.create ()) ~rng:(Rng.create ~seed:8) () in
-  Kernel.register_program kernel2 "owner" (fun () ->
-      (match Api.receive Sysif.Any with
-      | Ok (Sysif.Rx_msg { src; _ }) -> begin
-          match Api.grant_create ~for_:src ~base:0 ~len:65536 ~access:Sysif.Read_write with
-          | Ok g -> ignore (Api.send src (Resilix_proto.Message.Dev_reply { result = Ok g }))
-          | Error _ -> ()
-        end
-      | _ -> ());
-      Api.sleep 1_000_000_000);
-  let owner_ep =
-    match
-      Kernel.spawn_dynamic kernel2 ~name:"owner" ~program:"owner" ~args:[] ~priv:all ~mem_kb:128
-    with
-    | Ok e -> e
-    | Error _ -> failwith "spawn owner"
-  in
-  Kernel.register_program kernel2 "copier" (fun () ->
-      match Api.sendrec owner_ep Resilix_proto.Message.Ok_reply with
-      | Ok (Sysif.Rx_msg { body = Resilix_proto.Message.Dev_reply { result = Ok g }; _ }) ->
-          List.iter
-            (fun size ->
-              let t0 = Api.now () in
-              for _ = 1 to rounds do
-                ignore
-                  (Api.safecopy_from ~owner:owner_ep ~grant:g ~grant_off:0 ~local_addr:0 ~len:size)
-              done;
-              record (Printf.sprintf "safecopy %d B" size) (Api.now () - t0) rounds)
-            sizes
-      | _ -> ());
-  (match
-     Kernel.spawn_dynamic kernel2 ~name:"copier" ~program:"copier" ~args:[] ~priv:all ~mem_kb:128
-   with
-  | Ok _ -> ()
-  | Error _ -> failwith "spawn copier");
-  Engine.run engine2 ~until:600_000_000;
-  List.rev_map (fun (operation, cost_us) -> { operation; cost_us }) !results
+      Kernel.register_program kernel "echo" (fun () ->
+          let rec loop () =
+            (match Api.receive Sysif.Any with
+            | Ok (Sysif.Rx_msg { src; _ }) ->
+                ignore (Api.send src Resilix_proto.Message.Ok_reply)
+            | _ -> ());
+            loop ()
+          in
+          loop ());
+      let echo_ep =
+        match
+          Kernel.spawn_dynamic kernel ~name:"echo" ~program:"echo" ~args:[] ~priv:all_priv
+            ~mem_kb:64
+        with
+        | Ok e -> e
+        | Error _ -> failwith "spawn echo"
+      in
+      Kernel.register_program kernel "bench" (fun () ->
+          let t0 = Api.now () in
+          for _ = 1 to rounds do
+            ignore (Api.sendrec echo_ep Resilix_proto.Message.Ok_reply)
+          done;
+          record "sendrec round trip" (Api.now () - t0) rounds;
+          let t0 = Api.now () in
+          for _ = 1 to rounds do
+            ignore (Api.notify echo_ep Resilix_proto.Message.N_heartbeat_request)
+          done;
+          record "notify (non-blocking)" (Api.now () - t0) rounds;
+          Api.exit (Resilix_proto.Status.Exited 0));
+      (match
+         Kernel.spawn_dynamic kernel ~name:"bench" ~program:"bench" ~args:[] ~priv:all_priv
+           ~mem_kb:64
+       with
+      | Ok _ -> ()
+      | Error _ -> failwith "spawn bench");
+      Engine.run engine ~until:600_000_000;
+      List.rev_map (fun (operation, cost_us) -> { operation; cost_us }) !results)
+
+(* Safecopy costs measured separately: one process grants, the other
+   copies. *)
+let safecopy_trial ~rounds =
+  Trial.make ~name:"ablation/ipc-safecopy" ~seed:8 (fun () ->
+      let sizes = [ 64; 1024; 16384; 65536 ] in
+      let engine = Engine.create () in
+      let kernel =
+        Kernel.create ~engine ~trace:(Trace.create ()) ~rng:(Rng.create ~seed:8) ()
+      in
+      let results = ref [] in
+      let record name duration count =
+        results := (name, float_of_int duration /. float_of_int count) :: !results
+      in
+      Kernel.register_program kernel "owner" (fun () ->
+          (match Api.receive Sysif.Any with
+          | Ok (Sysif.Rx_msg { src; _ }) -> begin
+              match Api.grant_create ~for_:src ~base:0 ~len:65536 ~access:Sysif.Read_write with
+              | Ok g -> ignore (Api.send src (Resilix_proto.Message.Dev_reply { result = Ok g }))
+              | Error _ -> ()
+            end
+          | _ -> ());
+          Api.sleep 1_000_000_000);
+      let owner_ep =
+        match
+          Kernel.spawn_dynamic kernel ~name:"owner" ~program:"owner" ~args:[] ~priv:all_priv
+            ~mem_kb:128
+        with
+        | Ok e -> e
+        | Error _ -> failwith "spawn owner"
+      in
+      Kernel.register_program kernel "copier" (fun () ->
+          match Api.sendrec owner_ep Resilix_proto.Message.Ok_reply with
+          | Ok (Sysif.Rx_msg { body = Resilix_proto.Message.Dev_reply { result = Ok g }; _ }) ->
+              List.iter
+                (fun size ->
+                  let t0 = Api.now () in
+                  for _ = 1 to rounds do
+                    ignore
+                      (Api.safecopy_from ~owner:owner_ep ~grant:g ~grant_off:0 ~local_addr:0
+                         ~len:size)
+                  done;
+                  record (Printf.sprintf "safecopy %d B" size) (Api.now () - t0) rounds)
+                sizes
+          | _ -> ());
+      (match
+         Kernel.spawn_dynamic kernel ~name:"copier" ~program:"copier" ~args:[] ~priv:all_priv
+           ~mem_kb:128
+       with
+      | Ok _ -> ()
+      | Error _ -> failwith "spawn copier");
+      Engine.run engine ~until:600_000_000;
+      List.rev_map (fun (operation, cost_us) -> { operation; cost_us }) !results)
+
+let ipc_trials ?(rounds = 1000) () = [ rendezvous_trial ~rounds; safecopy_trial ~rounds ]
+
+let ipc_microbench ?jobs ?rounds () = List.concat (Campaign.run ?jobs (ipc_trials ?rounds ()))
 
 let print_ipc rows =
   Table.section "Ablation — cost of the primitives recovery is built on (virtual time)";

@@ -1,12 +1,19 @@
 (** Ablations over the design choices DESIGN.md calls out — beyond the
-    paper's own evaluation. *)
+    paper's own evaluation.
+
+    Each sweep is a list of hermetic {!Resilix_harness.Trial}s (one
+    boot per data point, seeds derived per index), so every sweep
+    accepts [?jobs] and parallelizes without changing its output. *)
 
 type heartbeat_row = {
   period_us : int;
   detection_us : int;  (** time from the service wedging to defect class 4 firing *)
 }
 
-val heartbeat_sweep : ?periods:int list -> ?seed:int -> unit -> heartbeat_row list
+val heartbeat_trials :
+  ?periods:int list -> ?seed:int -> unit -> heartbeat_row Resilix_harness.Trial.t list
+
+val heartbeat_sweep : ?jobs:int -> ?periods:int list -> ?seed:int -> unit -> heartbeat_row list
 (** Detection latency of a silently stuck driver as a function of the
     heartbeat period (misses threshold fixed at the default 4). *)
 
@@ -16,14 +23,19 @@ type policy_row = {
   state : string;  (** service lifecycle state at the end of the window *)
 }
 
-val policy_comparison : ?window_us:int -> ?seed:int -> unit -> policy_row list
+val policy_trials :
+  ?window_us:int -> ?seed:int -> unit -> policy_row Resilix_harness.Trial.t list
+
+val policy_comparison : ?jobs:int -> ?window_us:int -> ?seed:int -> unit -> policy_row list
 (** A crash-storming service under the direct, generic (exponential
     backoff) and guarded (give-up) policies: backoff bounds the
     restart churn; give-up stops it. *)
 
 type ipc_row = { operation : string; cost_us : float }
 
-val ipc_microbench : ?rounds:int -> unit -> ipc_row list
+val ipc_trials : ?rounds:int -> unit -> ipc_row list Resilix_harness.Trial.t list
+
+val ipc_microbench : ?jobs:int -> ?rounds:int -> unit -> ipc_row list
 (** Virtual-time cost of the primitives recovery is built from:
     rendezvous round trip, notification, and grant-checked safecopy at
     several sizes (the "few microseconds ... amortized over the I/O"

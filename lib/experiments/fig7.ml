@@ -1,6 +1,9 @@
 module System = Resilix_system.System
 module Hwmap = Resilix_system.Hwmap
 module Span = Resilix_obs.Span
+module Rng = Resilix_sim.Rng
+module Trial = Resilix_harness.Trial
+module Campaign = Resilix_harness.Campaign
 module Filegen = Resilix_net.Filegen
 module Wget = Resilix_apps.Wget
 
@@ -15,11 +18,12 @@ type row = {
   integrity_ok : bool;
 }
 
+type trial_result = { row : row; obs_lines : string list }
+
 let file_seed = 77
 
-(* Recovery latency now comes from the typed spans RS records (opened
-   at defect detection, closed at reintegration) rather than ad-hoc
-   detected_at/recovered_at pairs. *)
+(* Recovery latency comes from the typed spans RS records (opened at
+   defect detection, closed at reintegration). *)
 let recovery_stats t =
   let closed =
     List.filter_map (fun s -> Span.total_us s) (Span.spans t.System.spans)
@@ -27,7 +31,10 @@ let recovery_stats t =
   let n = List.length closed in
   (n, if n = 0 then 0 else List.fold_left ( + ) 0 closed / n)
 
-let one_transfer ~size ~seed ~kill_interval ~obs =
+(* One hermetic trial body: boots its own machine, runs one transfer,
+   and returns the row plus its observability lines (emitted by the
+   reducer in trial order, so parallel runs stay byte-identical). *)
+let one_transfer ~size ~seed ~kill_interval ~label () =
   let opts =
     {
       System.default_opts with
@@ -47,43 +54,63 @@ let one_transfer ~size ~seed ~kill_interval ~obs =
   | None -> ());
   let finished = System.run_until t ~timeout:3_600_000_000 (fun () -> result.Wget.finished) in
   let recoveries, mean_restart = recovery_stats t in
-  (match obs with
-  | None -> ()
-  | Some sink ->
-      let label =
-        match kill_interval with
-        | None -> "fig7/baseline"
-        | Some i -> Printf.sprintf "fig7/kill-%ds" (i / 1_000_000)
-      in
-      List.iter sink (System.obs_lines ~label t));
   let duration = result.Wget.finished_at - result.Wget.started_at in
   {
-    kill_interval_s = Option.map (fun i -> i / 1_000_000) kill_interval;
-    bytes = result.Wget.bytes;
-    duration_us = duration;
-    throughput_mbs = (if duration > 0 then float_of_int result.Wget.bytes /. float_of_int duration else 0.);
-    recoveries;
-    mean_restart_us = mean_restart;
-    overhead_pct = 0.;
-    integrity_ok =
-      finished && result.Wget.ok
-      && String.equal result.Wget.fnv (Filegen.fnv_digest ~seed:file_seed ~size);
+    row =
+      {
+        kill_interval_s = Option.map (fun i -> i / 1_000_000) kill_interval;
+        bytes = result.Wget.bytes;
+        duration_us = duration;
+        throughput_mbs =
+          (if duration > 0 then float_of_int result.Wget.bytes /. float_of_int duration else 0.);
+        recoveries;
+        mean_restart_us = mean_restart;
+        overhead_pct = 0.;
+        integrity_ok =
+          finished && result.Wget.ok
+          && String.equal result.Wget.fnv (Filegen.fnv_digest ~seed:file_seed ~size);
+      };
+    obs_lines = System.obs_lines ~label t;
   }
 
-let run ?(size = 64 * 1024 * 1024) ?(intervals = [ 1; 2; 4; 8; 15 ]) ?(seed = 42) ?obs () =
-  let baseline = one_transfer ~size ~seed ~kill_interval:None ~obs in
-  let rows =
-    List.map
-      (fun s ->
-        let r = one_transfer ~size ~seed:(seed + s) ~kill_interval:(Some (s * 1_000_000)) ~obs in
-        {
-          r with
-          overhead_pct =
-            100. *. (1. -. (r.throughput_mbs /. max 0.001 baseline.throughput_mbs));
-        })
-      intervals
+let trials ?(size = 64 * 1024 * 1024) ?(intervals = [ 1; 2; 4; 8; 15 ]) ?(seed = 42) () =
+  let trial index kill_interval =
+    let label =
+      match kill_interval with
+      | None -> "fig7/baseline"
+      | Some i -> Printf.sprintf "fig7/kill-%ds" (i / 1_000_000)
+    in
+    let trial_seed = Rng.derive ~seed ~index in
+    Trial.make ~name:label ~seed:trial_seed
+      (one_transfer ~size ~seed:trial_seed ~kill_interval ~label)
   in
-  baseline :: rows
+  trial 0 None
+  :: List.mapi (fun i s -> trial (i + 1) (Some (s * 1_000_000))) intervals
+
+(* Pure reducer: first trial is the uninterrupted baseline the
+   overhead column is computed against. *)
+let reduce results =
+  match List.map (fun r -> r.row) results with
+  | [] -> []
+  | baseline :: rest ->
+      baseline
+      :: List.map
+           (fun r ->
+             {
+               r with
+               overhead_pct =
+                 100. *. (1. -. (r.throughput_mbs /. max 0.001 baseline.throughput_mbs));
+             })
+           rest
+
+let run ?jobs ?size ?intervals ?(seed = 42) ?obs () =
+  let results = Campaign.run ?jobs (trials ?size ?intervals ~seed ()) in
+  (match obs with
+  | None -> ()
+  | Some sink -> List.iter (fun r -> List.iter sink r.obs_lines) results);
+  reduce results
+
+let ok rows = rows <> [] && List.for_all (fun r -> r.integrity_ok) rows
 
 let print rows =
   Table.section "Fig. 7 — wget throughput vs. Ethernet-driver kill interval";

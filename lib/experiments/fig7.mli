@@ -5,7 +5,11 @@
     crash script SIGKILLs the RTL8139 driver every 1..15 seconds; the
     direct-restart policy recovers it each time, TCP masks the losses,
     and the MD5 of the received data matches the original.  Reported:
-    throughput per kill interval, versus the uninterrupted transfer. *)
+    throughput per kill interval, versus the uninterrupted transfer.
+
+    The sweep is expressed as hermetic {!Resilix_harness.Trial}s (one
+    per kill interval, plus the baseline) folded by a pure reducer, so
+    it runs on every core without changing a byte of output. *)
 
 type row = {
   kill_interval_s : int option;  (** None = uninterrupted baseline *)
@@ -18,15 +22,42 @@ type row = {
   integrity_ok : bool;  (** digest matches the served file *)
 }
 
+type trial_result = {
+  row : row;  (** [overhead_pct] still 0 — filled in by {!reduce} *)
+  obs_lines : string list;  (** the trial's JSONL observability dump *)
+}
+
+val trials :
+  ?size:int -> ?intervals:int list -> ?seed:int -> unit -> trial_result Resilix_harness.Trial.t list
+(** The sweep as trial specs: the baseline first, then one trial per
+    kill interval.  Trial [i] is seeded [Rng.derive ~seed ~index:i],
+    so per-trial streams are independent of sweep width and order. *)
+
+val reduce : trial_result list -> row list
+(** Pure fold: computes each row's overhead against the baseline
+    (the first result). *)
+
 val run :
-  ?size:int -> ?intervals:int list -> ?seed:int -> ?obs:(string -> unit) -> unit -> row list
-(** Default: a 64-MB transfer (scaled from the paper's 512 MB; the
-    per-crash dead time is scale-independent, so the overhead shape is
-    preserved), kill intervals 1,2,4,8,15 s.  The first row is the
-    uninterrupted baseline.  Recovery counts and mean restart time are
-    computed from the closed recovery spans ({!Resilix_obs.Span}).
-    [obs] receives one JSONL observability line at a time for each
-    transfer (labelled ["fig7/baseline"], ["fig7/kill-4s"], ...). *)
+  ?jobs:int ->
+  ?size:int ->
+  ?intervals:int list ->
+  ?seed:int ->
+  ?obs:(string -> unit) ->
+  unit ->
+  row list
+(** [Campaign.run ?jobs] over {!trials}, then {!reduce}.  Default: a
+    64-MB transfer (scaled from the paper's 512 MB; the per-crash dead
+    time is scale-independent, so the overhead shape is preserved),
+    kill intervals 1,2,4,8,15 s.  The first row is the uninterrupted
+    baseline.  Recovery counts and mean restart time are computed from
+    the closed recovery spans ({!Resilix_obs.Span}).  [obs] receives
+    the JSONL observability lines of every transfer in trial order
+    (labelled ["fig7/baseline"], ["fig7/kill-4s"], ...) — the stream
+    is identical for any [jobs]. *)
+
+val ok : row list -> bool
+(** Internal integrity check: non-empty and every row's digest
+    matched ([integrity_ok]).  Drives the CLI exit code. *)
 
 val print : row list -> unit
 (** Print the series next to the paper's anchor numbers. *)

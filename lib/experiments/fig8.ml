@@ -1,5 +1,7 @@
 module System = Resilix_system.System
 module Span = Resilix_obs.Span
+module Trial = Resilix_harness.Trial
+module Campaign = Resilix_harness.Campaign
 module Mfs = Resilix_fs.Mfs
 module Dd = Resilix_apps.Dd
 
@@ -15,6 +17,8 @@ type row = {
   integrity_ok : bool;
 }
 
+type trial_result = { row : row; fnv : string; obs_lines : string list }
+
 (* Same span-based recovery accounting as Fig. 7. *)
 let recovery_stats t =
   let closed =
@@ -23,7 +27,7 @@ let recovery_stats t =
   let n = List.length closed in
   (n, if n = 0 then 0 else List.fold_left ( + ) 0 closed / n)
 
-let one_run ~size ~seed ~kill_interval ~obs =
+let one_run ~size ~seed ~kill_interval ~label () =
   let disk_mb = (size / 1024 / 1024) + 8 in
   let opts =
     {
@@ -42,44 +46,66 @@ let one_run ~size ~seed ~kill_interval ~obs =
   | None -> ());
   let finished = System.run_until t ~timeout:3_600_000_000 (fun () -> result.Dd.finished) in
   let recoveries, mean_restart = recovery_stats t in
+  let duration = result.Dd.finished_at - result.Dd.started_at in
+  {
+    row =
+      {
+        kill_interval_s = Option.map (fun i -> i / 1_000_000) kill_interval;
+        bytes = result.Dd.bytes;
+        duration_us = duration;
+        throughput_mbs =
+          (if duration > 0 then float_of_int result.Dd.bytes /. float_of_int duration else 0.);
+        recoveries;
+        reissued_ios = Mfs.reissued_ios t.System.mfs;
+        mean_restart_us = mean_restart;
+        overhead_pct = 0.;
+        integrity_ok = finished && result.Dd.ok;
+      };
+    fnv = result.Dd.fnv;
+    obs_lines = System.obs_lines ~label t;
+  }
+
+(* Unlike Fig. 7 there is no external reference digest: every run
+   must read the same on-disk file, whose content derives from the
+   machine seed (mkfs fills it from the blockstore's stream).  So all
+   trials share one seed — what varies per trial is only the kill
+   schedule — and [reduce] checks every digest against the
+   baseline's. *)
+let trials ?(size = 128 * 1024 * 1024) ?(intervals = [ 1; 2; 4; 8; 15 ]) ?(seed = 42) () =
+  let trial kill_interval =
+    let label =
+      match kill_interval with
+      | None -> "fig8/baseline"
+      | Some i -> Printf.sprintf "fig8/kill-%ds" (i / 1_000_000)
+    in
+    Trial.make ~name:label ~seed (one_run ~size ~seed ~kill_interval ~label)
+  in
+  trial None :: List.map (fun s -> trial (Some (s * 1_000_000))) intervals
+
+let reduce results =
+  match results with
+  | [] -> []
+  | baseline :: rest ->
+      baseline.row
+      :: List.map
+           (fun r ->
+             {
+               r.row with
+               overhead_pct =
+                 100.
+                 *. (1. -. (r.row.throughput_mbs /. max 0.001 baseline.row.throughput_mbs));
+               integrity_ok = r.row.integrity_ok && String.equal r.fnv baseline.fnv;
+             })
+           rest
+
+let run ?jobs ?size ?intervals ?(seed = 42) ?obs () =
+  let results = Campaign.run ?jobs (trials ?size ?intervals ~seed ()) in
   (match obs with
   | None -> ()
-  | Some sink ->
-      let label =
-        match kill_interval with
-        | None -> "fig8/baseline"
-        | Some i -> Printf.sprintf "fig8/kill-%ds" (i / 1_000_000)
-      in
-      List.iter sink (System.obs_lines ~label t));
-  let duration = result.Dd.finished_at - result.Dd.started_at in
-  ( {
-      kill_interval_s = Option.map (fun i -> i / 1_000_000) kill_interval;
-      bytes = result.Dd.bytes;
-      duration_us = duration;
-      throughput_mbs =
-        (if duration > 0 then float_of_int result.Dd.bytes /. float_of_int duration else 0.);
-      recoveries;
-      reissued_ios = Mfs.reissued_ios t.System.mfs;
-      mean_restart_us = mean_restart;
-      overhead_pct = 0.;
-      integrity_ok = finished && result.Dd.ok;
-    },
-    result.Dd.fnv )
+  | Some sink -> List.iter (fun r -> List.iter sink r.obs_lines) results);
+  reduce results
 
-let run ?(size = 128 * 1024 * 1024) ?(intervals = [ 1; 2; 4; 8; 15 ]) ?(seed = 42) ?obs () =
-  let baseline, reference_digest = one_run ~size ~seed ~kill_interval:None ~obs in
-  let rows =
-    List.map
-      (fun s ->
-        let r, digest = one_run ~size ~seed ~kill_interval:(Some (s * 1_000_000)) ~obs in
-        {
-          r with
-          overhead_pct = 100. *. (1. -. (r.throughput_mbs /. max 0.001 baseline.throughput_mbs));
-          integrity_ok = r.integrity_ok && String.equal digest reference_digest;
-        })
-      intervals
-  in
-  baseline :: rows
+let ok rows = rows <> [] && List.for_all (fun r -> r.integrity_ok) rows
 
 let print rows =
   Table.section "Fig. 8 — dd disk throughput vs. SATA-driver kill interval";

@@ -19,7 +19,10 @@ type row = {
   paper_recovery : int option;
 }
 
-val run : ?root:string -> unit -> row list
+val trials : ?root:string -> unit -> row Resilix_harness.Trial.t list
+(** One trial per component (pure file scanning). *)
+
+val run : ?jobs:int -> ?root:string -> unit -> row list
 (** Count.  [root] defaults to the repository root found by walking
     up from the working directory. *)
 

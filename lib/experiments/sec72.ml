@@ -9,6 +9,12 @@ module Fault = Resilix_vm.Fault
 module Nic8390 = Resilix_hw.Nic8390
 module Sockets = Resilix_apps.Sockets
 module Dp8390 = Resilix_drivers.Netdriver_dp8390
+module Rng = Resilix_sim.Rng
+module Metrics = Resilix_obs.Metrics
+module Span = Resilix_obs.Span
+module Export = Resilix_obs.Export
+module Trial = Resilix_harness.Trial
+module Campaign = Resilix_harness.Campaign
 
 type outcome = {
   injected : int;
@@ -23,8 +29,17 @@ type outcome = {
   by_fault_type : (string * int) list;
 }
 
-let run ?(faults = 2_000) ?(seed = 42) ?(inject_period = 20_000) ?(wedge_prob = 0.)
-    ?(has_master_reset = false) () =
+type shard_result = {
+  outcome : outcome;
+  snapshot : Metrics.snapshot;
+  spans : Span.t;
+}
+
+(* One shard: a fresh machine absorbing [faults] injections.  This is
+   the paper's campaign at reduced length; the full 12,500-fault run
+   is the merge of many such hermetic shards, each on its own derived
+   seed, so the campaign parallelizes without sharing any state. *)
+let run_shard ~faults ~seed ~inject_period ~wedge_prob ~has_master_reset () =
   let opts =
     {
       System.default_opts with
@@ -139,22 +154,108 @@ let run ?(faults = 2_000) ?(seed = 42) ?(inject_period = 20_000) ?(wedge_prob = 
   in
   let count p = List.length (List.filter p events) in
   {
-    injected = !injected;
-    crashes = List.length events;
-    panics = count (fun e -> e.Reincarnation.defect = Status.D_exit);
-    exceptions = count (fun e -> e.Reincarnation.defect = Status.D_exception);
-    heartbeats = count (fun e -> e.Reincarnation.defect = Status.D_heartbeat);
-    other =
-      count (fun e ->
-          match e.Reincarnation.defect with
-          | Status.D_exit | Status.D_exception | Status.D_heartbeat -> false
-          | _ -> true);
-    recovered = count (fun e -> e.Reincarnation.recovered_at <> None);
-    user_resets = !user_resets;
-    bios_resets = !bios_resets;
-    by_fault_type =
-      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) type_counts []);
+    outcome =
+      {
+        injected = !injected;
+        crashes = List.length events;
+        panics = count (fun e -> e.Reincarnation.defect = Status.D_exit);
+        exceptions = count (fun e -> e.Reincarnation.defect = Status.D_exception);
+        heartbeats = count (fun e -> e.Reincarnation.defect = Status.D_heartbeat);
+        other =
+          count (fun e ->
+              match e.Reincarnation.defect with
+              | Status.D_exit | Status.D_exception | Status.D_heartbeat -> false
+              | _ -> true);
+        recovered = count (fun e -> e.Reincarnation.recovered_at <> None);
+        user_resets = !user_resets;
+        bios_resets = !bios_resets;
+        by_fault_type =
+          List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) type_counts []);
+      };
+    snapshot = Metrics.snapshot ~at:(Engine.now t.System.engine) t.System.metrics;
+    spans = t.System.spans;
   }
+
+let default_shard_size = 500
+
+let trials ?(faults = 12_500) ?(seed = 42) ?(inject_period = 20_000) ?(wedge_prob = 0.)
+    ?(has_master_reset = false) ?(shard_size = default_shard_size) () =
+  if shard_size <= 0 then invalid_arg "Sec72.trials: shard_size must be positive";
+  (* The shard layout depends only on [faults] and [shard_size] —
+     never on the worker count — so any [jobs] value reproduces the
+     same campaign. *)
+  let shards = (faults + shard_size - 1) / shard_size in
+  List.init shards (fun i ->
+      let shard_faults = min shard_size (faults - (i * shard_size)) in
+      let trial_seed = Rng.derive ~seed ~index:i in
+      Trial.make
+        ~name:(Printf.sprintf "sec72/shard-%03d" i)
+        ~seed:trial_seed
+        (run_shard ~faults:shard_faults ~seed:trial_seed ~inject_period ~wedge_prob
+           ~has_master_reset))
+
+let empty_outcome =
+  {
+    injected = 0;
+    crashes = 0;
+    panics = 0;
+    exceptions = 0;
+    heartbeats = 0;
+    other = 0;
+    recovered = 0;
+    user_resets = 0;
+    bios_resets = 0;
+    by_fault_type = [];
+  }
+
+let merge_outcomes a b =
+  let by_fault_type =
+    let tbl = Hashtbl.create 7 in
+    List.iter
+      (fun (k, v) -> Hashtbl.replace tbl k (v + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+      (a.by_fault_type @ b.by_fault_type);
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  in
+  {
+    injected = a.injected + b.injected;
+    crashes = a.crashes + b.crashes;
+    panics = a.panics + b.panics;
+    exceptions = a.exceptions + b.exceptions;
+    heartbeats = a.heartbeats + b.heartbeats;
+    other = a.other + b.other;
+    recovered = a.recovered + b.recovered;
+    user_resets = a.user_resets + b.user_resets;
+    bios_resets = a.bios_resets + b.bios_resets;
+    by_fault_type;
+  }
+
+let reduce results =
+  List.fold_left (fun acc r -> merge_outcomes acc r.outcome) empty_outcome results
+
+let run ?jobs ?faults ?seed ?inject_period ?wedge_prob ?has_master_reset ?shard_size ?obs () =
+  let results =
+    Campaign.run ?jobs
+      (trials ?faults ?seed ?inject_period ?wedge_prob ?has_master_reset ?shard_size ())
+  in
+  (match obs with
+  | None -> ()
+  | Some sink ->
+      (* Campaign-level observability: the union of every shard's
+         metric registry, and all recovery spans concatenated in shard
+         order. *)
+      let snapshot = Metrics.merge_all (List.map (fun r -> r.snapshot) results) in
+      List.iter sink (Export.metric_lines ~label:"sec72" snapshot);
+      List.iter sink (Export.span_lines ~label:"sec72" (Span.concat (List.map (fun r -> r.spans) results))));
+  reduce results
+
+(* The crash-class split must account for every detected crash, and
+   recoveries can't exceed detections: the campaign's internal
+   integrity check (the classes are disjoint by construction of
+   [Status.defect], so a mismatch means lost events). *)
+let ok o =
+  o.injected > 0
+  && o.panics + o.exceptions + o.heartbeats + o.other = o.crashes
+  && o.recovered <= o.crashes
 
 let pct part whole = if whole = 0 then 0. else 100. *. float_of_int part /. float_of_int whole
 

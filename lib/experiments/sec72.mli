@@ -11,7 +11,15 @@
     injected into the driver's loaded code image while UDP traffic
     flows; crash classes fall out of execution (consistency-check
     panics, MMU faults / illegal instructions, runaway loops), and the
-    wedgeable-hardware variant reproduces the BIOS-reset cases. *)
+    wedgeable-hardware variant reproduces the BIOS-reset cases.
+
+    The campaign is {e sharded}: the fault budget is cut into
+    fixed-size batches, each a hermetic {!Resilix_harness.Trial} that
+    boots its own machine on a seed derived from the shard index
+    ([Rng.derive]).  Shard layout depends only on [faults] and
+    [shard_size] — never on the worker count — so the merged outcome
+    is identical for any [jobs].  This is what lets the default run
+    cover the paper's full 12,500 faults. *)
 
 type outcome = {
   injected : int;  (** faults actually applied *)
@@ -28,17 +36,55 @@ type outcome = {
   by_fault_type : (string * int) list;  (** applied faults per type *)
 }
 
-val run :
+type shard_result = {
+  outcome : outcome;  (** this shard's share of the campaign *)
+  snapshot : Resilix_obs.Metrics.snapshot;  (** the shard machine's metric registry *)
+  spans : Resilix_obs.Span.t;  (** the shard machine's recovery spans *)
+}
+
+val default_shard_size : int
+(** 500 faults per shard (25 shards for the paper's 12,500). *)
+
+val trials :
   ?faults:int ->
   ?seed:int ->
   ?inject_period:int ->
   ?wedge_prob:float ->
   ?has_master_reset:bool ->
+  ?shard_size:int ->
+  unit ->
+  shard_result Resilix_harness.Trial.t list
+(** The campaign as shard trials.  Shard [i] injects its batch into a
+    fresh machine seeded [Rng.derive ~seed ~index:i]. *)
+
+val reduce : shard_result list -> outcome
+(** Pure fold: sum every shard outcome (fault-type counts merge
+    key-wise). *)
+
+val run :
+  ?jobs:int ->
+  ?faults:int ->
+  ?seed:int ->
+  ?inject_period:int ->
+  ?wedge_prob:float ->
+  ?has_master_reset:bool ->
+  ?shard_size:int ->
+  ?obs:(string -> unit) ->
   unit ->
   outcome
-(** Default: 2,000 faults, one every 20 ms of virtual time, no
-    hardware wedging (the Bochs-like configuration).  Pass
-    [wedge_prob] > 0 for the real-hardware variant. *)
+(** [Campaign.run ?jobs] over {!trials}, then {!reduce}.  Default:
+    the paper's 12,500 faults, one every 20 ms of virtual time per
+    shard, no hardware wedging (the Bochs-like configuration).  Pass
+    [wedge_prob] > 0 for the real-hardware variant.  [obs] receives
+    campaign-level JSONL: the {!Resilix_obs.Metrics.merge_all} union
+    of every shard's registry and all spans concatenated in shard
+    order (label ["sec72"]). *)
+
+val ok : outcome -> bool
+(** The campaign's internal integrity check: some faults were
+    applied, the crash-class split accounts for every detected crash
+    ([panics + exceptions + heartbeats + other = crashes]), and
+    recoveries don't exceed detections.  Drives the CLI exit code. *)
 
 val print : string -> outcome -> unit
 (** Print the campaign summary under the given label. *)

@@ -1,0 +1,51 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Workers store per-index results; Domain.join establishes the
+   happens-before edge that makes the array reads on the caller safe. *)
+let run ?jobs trials =
+  let arr = Array.of_list trials in
+  let n = Array.length arr in
+  if n = 0 then []
+  else begin
+    let jobs =
+      match jobs with
+      | Some j when j < 1 -> invalid_arg "Campaign.run: jobs must be >= 1"
+      | Some j -> min j n
+      | None -> min (default_jobs ()) n
+    in
+    let results = Array.make n None in
+    let run_one i =
+      results.(i) <-
+        Some (match arr.(i).Trial.run () with r -> Ok r | exception e -> Error e)
+    in
+    if jobs <= 1 then
+      for i = 0 to n - 1 do
+        run_one i
+      done
+    else begin
+      let next = Atomic.make 0 in
+      let worker () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            run_one i;
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let others = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      List.iter Domain.join others
+    end;
+    Array.to_list
+      (Array.map
+         (function
+           | Some (Ok r) -> r
+           | Some (Error e) -> raise e
+           | None -> assert false (* every index was claimed *))
+         results)
+  end
+
+let run_named ?jobs trials =
+  List.map2 (fun t r -> (t.Trial.name, r)) trials (run ?jobs trials)

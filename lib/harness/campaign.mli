@@ -1,0 +1,25 @@
+(** Campaign runner: execute a list of {!Trial}s across OCaml domains.
+
+    Results come back keyed by trial index, so the output list is in
+    the same order as the input list no matter how many workers ran or
+    which worker picked up which trial — with hermetic trial bodies
+    (see {!Trial}), [run ~jobs:1] and [run ~jobs:n] are byte-identical.
+
+    Exceptions raised by a trial body are caught in the worker and
+    re-raised on the calling domain, lowest trial index first, after
+    every worker has drained. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the worker-pool size used
+    when [?jobs] is omitted. *)
+
+val run : ?jobs:int -> 'a Trial.t list -> 'a list
+(** [run trials] executes every trial and returns their results in
+    input order.  [jobs] caps the number of domains (clamped to
+    [1 .. length trials]; [jobs:1] runs on the calling domain with no
+    spawns at all).  Trials are handed out dynamically (an atomic
+    next-index counter), so long trials don't serialize behind short
+    ones. *)
+
+val run_named : ?jobs:int -> 'a Trial.t list -> (string * 'a) list
+(** {!run}, pairing each result with its trial's name. *)

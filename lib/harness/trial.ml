@@ -1,0 +1,4 @@
+type 'a t = { name : string; seed : int; run : unit -> 'a }
+
+let make ~name ~seed run = { name; seed; run }
+let map f t = { t with run = (fun () -> f (t.run ())) }

@@ -1,0 +1,29 @@
+(** Trial specs: one full-system run as a first-class value.
+
+    Every evaluation in the paper is a sweep of independent runs — a
+    wget transfer per kill interval (Fig. 7), a dd run per interval
+    (Fig. 8), a batch of fault injections (Sec. 7.2).  A trial
+    packages one such run as a pure spec: a stable [name], the [seed]
+    that makes the run hermetic (every [System.boot] inside derives
+    all of its randomness from it), and a thunk that boots, runs and
+    tears down an entire simulated machine, returning the trial's
+    result value.
+
+    The hermeticity contract: [run] must not read or write any state
+    shared with other trials — no globals, no printing, no sinks.
+    Observability output is part of the returned value (collect JSONL
+    lines locally and return them) so that a {!Campaign} can replay
+    them in deterministic trial order regardless of which domain
+    executed what.  Under that contract, executing trials in parallel
+    is byte-identical to executing them sequentially. *)
+
+type 'a t = {
+  name : string;  (** stable label, e.g. ["fig7/kill-4s"] *)
+  seed : int;  (** the trial's master seed (see {!Resilix_sim.Rng.derive}) *)
+  run : unit -> 'a;  (** boot, run, reduce to a result; hermetic *)
+}
+
+val make : name:string -> seed:int -> (unit -> 'a) -> 'a t
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+(** Post-compose the trial body; keeps name and seed. *)

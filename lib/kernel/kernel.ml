@@ -464,8 +464,6 @@ let do_safecopy t (caller : proc) ~dir ~owner ~grant_id ~grant_off ~local_addr ~
                 Ok ()
               with Memory.Fault _ -> Error Errno.E_range))
 
-let spawn_counter = ref 0
-
 (* Start a fiber for [proc] running [body], scheduled [delay] from now. *)
 let rec start_fiber t proc ~delay body =
   let open Effect.Deep in
@@ -818,7 +816,6 @@ and spawn_dynamic :
   match Hashtbl.find_opt t.programs program with
   | None -> Error Errno.E_noent
   | Some main ->
-      incr spawn_counter;
       Metrics.incr t.ctr.c_spawns;
       let slot = alloc_slot t in
       let proc = make_proc t ~slot ~name ~args ~priv ~mem_kb in

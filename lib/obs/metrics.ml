@@ -168,6 +168,46 @@ let diff before after =
     histograms = assoc_diff ~combine:hist_sub before.histograms after.histograms;
   }
 
+let empty_hist = { count = 0; sum = 0; min_v = max_int; max_v = min_int; buckets = [] }
+
+let empty = { taken_at = 0; counters = []; gauges = []; histograms = [] }
+
+(* Campaign aggregation: the union of two per-trial snapshots.
+   Counters sum; gauges are last-write-wins (the *right* operand when
+   it has the gauge, else the left's value survives); histograms add
+   bucket-wise with count/sum summed and min/max combined.  Merging
+   with an empty registry is the identity. *)
+let merge a b =
+  let add_c x y = Option.value x ~default:0 + Option.value y ~default:0 in
+  let last_write x y = match y with Some v -> v | None -> Option.value x ~default:0 in
+  let hist_add x y =
+    let x = Option.value x ~default:empty_hist in
+    let y = Option.value y ~default:empty_hist in
+    let rec buckets bx by =
+      match (bx, by) with
+      | [], rest | rest, [] -> rest
+      | (i, n) :: tx, (j, m) :: ty ->
+          if i = j then (i, n + m) :: buckets tx ty
+          else if i < j then (i, n) :: buckets tx by
+          else (j, m) :: buckets bx ty
+    in
+    {
+      count = x.count + y.count;
+      sum = x.sum + y.sum;
+      min_v = min x.min_v y.min_v;
+      max_v = max x.max_v y.max_v;
+      buckets = buckets x.buckets y.buckets;
+    }
+  in
+  {
+    taken_at = max a.taken_at b.taken_at;
+    counters = assoc_diff ~combine:add_c a.counters b.counters;
+    gauges = assoc_diff ~combine:last_write a.gauges b.gauges;
+    histograms = assoc_diff ~combine:hist_add a.histograms b.histograms;
+  }
+
+let merge_all snaps = List.fold_left merge empty snaps
+
 let counter_value snap name = Option.value (List.assoc_opt name snap.counters) ~default:0
 
 let pp ppf snap =

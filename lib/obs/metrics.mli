@@ -78,6 +78,27 @@ val diff : snapshot -> snapshot -> snapshot
     at 0 for instruments that vanished); gauges take [after]'s value;
     [taken_at] is [after.taken_at]. *)
 
+val empty : snapshot
+(** The snapshot of a registry with no instruments ([taken_at = 0]);
+    the identity for {!merge}. *)
+
+val merge : snapshot -> snapshot -> snapshot
+(** [merge a b] is the union of two snapshots, for aggregating
+    per-trial registries into one campaign report:
+
+    - counters present in either side {e sum};
+    - gauges are {e last-write-wins}: [b]'s value when [b] has the
+      gauge, otherwise [a]'s ([b] is "later" — pass the older snapshot
+      first);
+    - histograms add bucket-wise; [count]/[sum] sum, [min_v]/[max_v]
+      combine ([count = 0] sides contribute nothing);
+    - [taken_at] is the max of the two.
+
+    [merge empty s = merge s empty = s]. *)
+
+val merge_all : snapshot list -> snapshot
+(** Left fold of {!merge} over the list, starting from {!empty}. *)
+
 val counter_value : snapshot -> string -> int
 (** Value of a counter in a snapshot; 0 when absent. *)
 

@@ -74,6 +74,18 @@ let close_component t component ~now =
 
 let spans t = List.rev t.all
 
+(* Campaign aggregation: one collector holding every source's spans,
+   sources in list order, each source's spans oldest-first within it.
+   Span ids keep their per-source values (they only disambiguate spans
+   within one run); [next_id] is bumped past the largest so spans
+   opened on the concatenation stay unique. *)
+let concat ts =
+  let all =
+    List.fold_left (fun acc t -> List.rev_append (List.rev t.all) acc) [] ts
+  in
+  let next_id = List.fold_left (fun m s -> max m (s.id + 1)) 0 all in
+  { next_id; all }
+
 let total_us s = Option.map (fun c -> c - s.opened_at) s.closed_at
 
 let phases s =

@@ -59,6 +59,13 @@ val current : t -> string -> span option
 val spans : t -> span list
 (** Every span ever opened, oldest first. *)
 
+val concat : t list -> t
+(** One collector holding every source's spans — {!spans} of the
+    result lists the sources in order, each source's spans oldest
+    first.  Used to aggregate per-trial collectors into one campaign
+    report; ids keep their per-source values (they are only unique
+    within a source). *)
+
 val total_us : span -> int option
 (** [closed_at - opened_at]; [None] while the span is open. *)
 

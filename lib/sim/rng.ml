@@ -15,6 +15,22 @@ let bits64 t =
 
 let split t = { state = bits64 t }
 
+(* Hierarchical seeding: the child seed is a pure function of
+   (seed, index) — no generator state is involved, so siblings are
+   the same no matter how many there are or in which order they are
+   derived.  Two mix rounds keep child streams decorrelated from the
+   parent stream (which also walks gamma-spaced states but mixes only
+   once per draw). *)
+let derive ~seed ~index =
+  if index < 0 then invalid_arg "Rng.derive: negative index";
+  let z =
+    mix
+      (Int64.add
+         (mix (Int64.of_int seed))
+         (Int64.mul golden_gamma (Int64.of_int (index + 1))))
+  in
+  Int64.to_int z land max_int
+
 let int t n =
   assert (n > 0);
   (* [to_int] keeps the low 63 bits as a signed value; mask to stay

@@ -13,6 +13,14 @@ val split : t -> t
 (** [split t] derives an independent generator and advances [t].
     Use to give each subsystem its own stream. *)
 
+val derive : seed:int -> index:int -> int
+(** [derive ~seed ~index] is the child seed for the [index]-th
+    sub-stream of [seed] — a pure function of the pair, so the value
+    is independent of how many siblings exist or in which order they
+    are derived (unlike {!split}, which advances the parent).  Use it
+    to give each trial of a campaign its own hermetic seed.
+    [index] must be non-negative. *)
+
 val bits64 : t -> int64
 (** Next raw 64 bits. *)
 

@@ -76,6 +76,7 @@ type t = {
   inet : Resilix_net.Inet.t;
   metrics : Resilix_obs.Metrics.t;
   spans : Resilix_obs.Span.t;
+  mutable app_counter : int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -334,6 +335,7 @@ let boot ?(opts = default_opts) () =
     inet;
     metrics;
     spans;
+    app_counter = 0;
   }
 
 let obs_lines ?label t =
@@ -345,11 +347,12 @@ let obs_lines ?label t =
 (* Workloads                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let app_counter = ref 0
-
+(* The program key is made unique with a per-boot counter: a global
+   one would leak cross-trial state into trace events (the key appears
+   in [Spawn] payloads), breaking trial hermeticity. *)
 let spawn_app t ~name ?(priv = Privilege.app) ?(mem_kb = 256) body =
-  incr app_counter;
-  let key = Printf.sprintf "app#%s#%d" name !app_counter in
+  t.app_counter <- t.app_counter + 1;
+  let key = Printf.sprintf "app#%s#%d" name t.app_counter in
   Kernel.register_program t.kernel key body;
   match Kernel.spawn_dynamic t.kernel ~name ~program:key ~args:[] ~priv ~mem_kb with
   | Ok ep -> ep

@@ -58,6 +58,9 @@ type t = {
   metrics : Resilix_obs.Metrics.t;
       (** system-wide metric registry (kernel counters, server/driver counters) *)
   spans : Resilix_obs.Span.t;  (** system-wide recovery span collector *)
+  mutable app_counter : int;
+      (** per-boot uniquifier for {!spawn_app} program keys (kept
+          boot-local so trials stay hermetic) *)
 }
 
 val boot : ?opts:opts -> unit -> t

@@ -3,6 +3,7 @@ let () =
     [
       ("sim", Test_sim.tests);
       ("obs", Test_obs.tests);
+      ("harness", Test_harness.tests);
       ("proto", Test_proto.tests);
       ("checksum", Test_checksum.tests);
       ("kernel", Test_kernel.tests);

@@ -1,0 +1,147 @@
+(* Tests for lib/harness and the determinism contract it rests on:
+   same-seed boots replay identically, the campaign runner preserves
+   trial order and propagates failures, and the experiment sweeps are
+   byte-identical whether they run on one domain or several. *)
+
+module System = Resilix_system.System
+module Engine = Resilix_sim.Engine
+module Trace = Resilix_sim.Trace
+module Time = Resilix_sim.Time
+module Metrics = Resilix_obs.Metrics
+module Trial = Resilix_harness.Trial
+module Campaign = Resilix_harness.Campaign
+module E = Resilix_experiments
+
+let mb = 1024 * 1024
+
+(* ------------------------------------------------------------------ *)
+(* Same seed, same machine                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Boot a full machine, crash the Ethernet driver once, and let the
+   reincarnation server recover it — enough activity to touch the
+   kernel, RS, DS, INET and the driver. *)
+let boot_and_exercise seed =
+  let opts = { System.default_opts with System.seed } in
+  let t = System.boot ~opts () in
+  System.start_services t [ System.spec_rtl8139 () ];
+  (match System.kill_service_once t ~target:"eth.rtl8139" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("kill failed: " ^ Resilix_proto.Errno.to_string e));
+  System.run ~until:(Time.msec 1500) t;
+  t
+
+let test_same_seed_same_run () =
+  let a = boot_and_exercise 42 and b = boot_and_exercise 42 in
+  let ev t = Trace.events t.System.trace in
+  Alcotest.(check int)
+    "same number of trace events"
+    (List.length (ev a))
+    (List.length (ev b));
+  (* Event payloads are pure data, so the whole streams must be
+     structurally equal — times, levels, subsystems and operands. *)
+  Alcotest.(check bool) "identical trace streams" true (ev a = ev b);
+  let snap t = Metrics.snapshot ~at:(Engine.now t.System.engine) t.System.metrics in
+  Alcotest.(check bool) "identical metric snapshots" true (snap a = snap b);
+  Alcotest.(check bool) "identical observability dumps" true
+    (System.obs_lines ~label:"det" a = System.obs_lines ~label:"det" b);
+  (* Guard against the comparison being vacuous: the run really did
+     produce events, activity and a completed recovery. *)
+  Alcotest.(check bool) "trace is non-empty" true (ev a <> []);
+  Alcotest.(check bool) "a restart was recorded" true
+    (List.exists
+       (fun e ->
+         match e.Trace.payload with
+         | Resilix_obs.Event.Restart { component; _ } -> component = "eth.rtl8139"
+         | _ -> false)
+       (ev a));
+  Alcotest.(check bool) "counters are non-trivial" true
+    (List.exists (fun (_, v) -> v > 0) (snap a).Metrics.counters)
+
+(* ------------------------------------------------------------------ *)
+(* Campaign runner semantics                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_campaign_preserves_order () =
+  let trials =
+    List.init 17 (fun i ->
+        Trial.make ~name:(Printf.sprintf "t%d" i) ~seed:i (fun () ->
+            (* Skew the work so late trials tend to finish first under
+               parallel execution; order must still be input order. *)
+            let spin = ref 0 in
+            for _ = 1 to (17 - i) * 10_000 do
+              incr spin
+            done;
+            ignore !spin;
+            i * i))
+  in
+  let expect = List.init 17 (fun i -> i * i) in
+  Alcotest.(check (list int)) "jobs=1 in input order" expect (Campaign.run ~jobs:1 trials);
+  Alcotest.(check (list int)) "jobs=4 in input order" expect (Campaign.run ~jobs:4 trials);
+  Alcotest.(check (list int))
+    "jobs beyond trial count is clamped" expect
+    (Campaign.run ~jobs:64 trials);
+  let named = Campaign.run_named ~jobs:3 trials in
+  Alcotest.(check (list (pair string int)))
+    "run_named pairs names with results"
+    (List.init 17 (fun i -> (Printf.sprintf "t%d" i, i * i)))
+    named
+
+let test_campaign_reraises_lowest_index () =
+  let trials =
+    List.init 8 (fun i ->
+        Trial.make ~name:(Printf.sprintf "t%d" i) ~seed:i (fun () ->
+            if i = 5 then failwith "five";
+            if i = 2 then failwith "two";
+            i))
+  in
+  List.iter
+    (fun jobs ->
+      Alcotest.check_raises
+        (Printf.sprintf "jobs=%d re-raises the lowest failing trial" jobs)
+        (Failure "two")
+        (fun () -> ignore (Campaign.run ~jobs trials)))
+    [ 1; 4 ];
+  Alcotest.check_raises "jobs < 1 rejected" (Invalid_argument "Campaign.run: jobs must be >= 1")
+    (fun () -> ignore (Campaign.run ~jobs:0 trials))
+
+(* ------------------------------------------------------------------ *)
+(* Parallel sweeps are byte-identical to sequential ones               *)
+(* ------------------------------------------------------------------ *)
+
+let collect_obs run =
+  let buf = Buffer.create 4096 in
+  let rows = run (fun line -> Buffer.add_string buf line; Buffer.add_char buf '\n') in
+  (rows, Buffer.contents buf)
+
+let test_fig7_jobs_invariant () =
+  let sweep jobs =
+    collect_obs (fun sink ->
+        E.Fig7.run ~jobs ~size:(2 * mb) ~intervals:[ 1 ] ~seed:42 ~obs:sink ())
+  in
+  let rows1, obs1 = sweep 1 and rows4, obs4 = sweep 4 in
+  Alcotest.(check int) "baseline + one interval" 2 (List.length rows1);
+  Alcotest.(check bool) "fig7 rows identical for jobs=1 and jobs=4" true (rows1 = rows4);
+  Alcotest.(check string) "fig7 observability byte-identical" obs1 obs4;
+  Alcotest.(check bool) "sweep passes its own integrity check" true (E.Fig7.ok rows1)
+
+let test_sec72_jobs_invariant () =
+  let campaign jobs =
+    collect_obs (fun sink ->
+        E.Sec72.run ~jobs ~faults:200 ~shard_size:50 ~seed:42 ~obs:sink ())
+  in
+  let o1, obs1 = campaign 1 and o4, obs4 = campaign 4 in
+  Alcotest.(check bool) "sec7_2 outcome identical for jobs=1 and jobs=4" true (o1 = o4);
+  Alcotest.(check string) "sec7_2 observability byte-identical" obs1 obs4;
+  Alcotest.(check int) "every shard injected its share" 200 o1.E.Sec72.injected;
+  Alcotest.(check bool) "crash-class split accounts for every crash" true (E.Sec72.ok o1)
+
+let tests =
+  [
+    Alcotest.test_case "same seed, same run" `Quick test_same_seed_same_run;
+    Alcotest.test_case "campaign preserves trial order" `Quick test_campaign_preserves_order;
+    Alcotest.test_case "campaign re-raises lowest failing trial" `Quick
+      test_campaign_reraises_lowest_index;
+    Alcotest.test_case "fig7 sweep is jobs-invariant" `Quick test_fig7_jobs_invariant;
+    Alcotest.test_case "sec7_2 campaign is jobs-invariant" `Quick test_sec72_jobs_invariant;
+  ]

@@ -117,6 +117,114 @@ let test_trace_typed_query () =
 (* Spans                                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Snapshot union (campaign aggregation)                               *)
+(* ------------------------------------------------------------------ *)
+
+let snap_of build = let m = Metrics.create () in build m; Metrics.snapshot m
+
+let test_merge_counters_sum () =
+  let a = snap_of (fun m -> Metrics.add_named m "ipc" 3; Metrics.add_named m "spawns" 1) in
+  let b = snap_of (fun m -> Metrics.add_named m "ipc" 4; Metrics.add_named m "faults" 9) in
+  let u = Metrics.merge a b in
+  Alcotest.(check (list (pair string int)))
+    "counters sum key-wise, union of names"
+    [ ("faults", 9); ("ipc", 7); ("spawns", 1) ]
+    u.Metrics.counters
+
+let test_merge_gauge_last_write () =
+  let a = snap_of (fun m -> Metrics.set_named m "depth" 5; Metrics.set_named m "only_a" 1) in
+  let b = snap_of (fun m -> Metrics.set_named m "depth" 2) in
+  let u = Metrics.merge a b in
+  (* Documented policy: the right (later) operand wins when it has the
+     gauge; gauges only the left has survive unchanged. *)
+  Alcotest.(check (list (pair string int)))
+    "last write wins, left-only survives"
+    [ ("depth", 2); ("only_a", 1) ]
+    u.Metrics.gauges;
+  let u' = Metrics.merge b a in
+  Alcotest.(check (list (pair string int)))
+    "merge is order-sensitive for gauges by design"
+    [ ("depth", 5); ("only_a", 1) ]
+    u'.Metrics.gauges
+
+let test_merge_histograms () =
+  let a = snap_of (fun m -> List.iter (Metrics.observe_named m "lat") [ 1; 2; 100 ]) in
+  let b = snap_of (fun m -> List.iter (Metrics.observe_named m "lat") [ 3; 1000 ]) in
+  let u = Metrics.merge a b in
+  (match u.Metrics.histograms with
+  | [ ("lat", h) ] ->
+      Alcotest.(check int) "count sums" 5 h.Metrics.count;
+      Alcotest.(check int) "sum sums" 1106 h.Metrics.sum;
+      Alcotest.(check int) "min combines" 1 h.Metrics.min_v;
+      Alcotest.(check int) "max combines" 1000 h.Metrics.max_v;
+      let bucket_total = List.fold_left (fun acc (_, n) -> acc + n) 0 h.Metrics.buckets in
+      Alcotest.(check int) "bucket-wise addition preserves mass" 5 bucket_total;
+      (* 2 (left) and 3 (right) land in the same bucket: it must hold
+         both samples after the merge. *)
+      Alcotest.(check int) "shared bucket adds" 2
+        (List.assoc (Metrics.bucket_of 2) h.Metrics.buckets)
+  | hs -> Alcotest.fail (Printf.sprintf "expected one histogram, got %d" (List.length hs)))
+
+let test_merge_empty_identity () =
+  let s =
+    snap_of (fun m ->
+        Metrics.add_named m "c" 2;
+        Metrics.set_named m "g" 3;
+        Metrics.observe_named m "h" 7)
+  in
+  Alcotest.(check bool) "empty is right identity" true (Metrics.merge s Metrics.empty = s);
+  Alcotest.(check bool) "empty is left identity" true (Metrics.merge Metrics.empty s = s);
+  Alcotest.(check bool) "merge_all [] is empty" true (Metrics.merge_all [] = Metrics.empty);
+  (* Merging an empty-count histogram keeps the fresh-histogram min/max
+     sentinels rather than inventing extremes. *)
+  let e = snap_of (fun m -> ignore (Metrics.histogram m "h")) in
+  let u = Metrics.merge e e in
+  match u.Metrics.histograms with
+  | [ ("h", h) ] ->
+      Alcotest.(check int) "empty histogram count" 0 h.Metrics.count;
+      Alcotest.(check int) "min sentinel preserved" max_int h.Metrics.min_v;
+      Alcotest.(check int) "max sentinel preserved" min_int h.Metrics.max_v
+  | _ -> Alcotest.fail "expected the h histogram"
+
+let test_merge_all_associative_on_counters () =
+  let mk v = snap_of (fun m -> Metrics.add_named m "c" v) in
+  let u = Metrics.merge_all [ mk 1; mk 2; mk 3; mk 4 ] in
+  Alcotest.(check int) "fold sums every operand" 10 (Metrics.counter_value u "c")
+
+let test_span_concat () =
+  let mk offset closed =
+    let t = Span.create () in
+    let s =
+      Span.open_span t ~component:"eth.rtl8139" ~defect:Status.D_exit ~repetition:1
+        ~now:offset
+    in
+    if closed then Span.close s ~now:(offset + 100);
+    t
+  in
+  let a = mk 0 true and b = mk 1000 true and c = mk 2000 false in
+  let all = Span.concat [ a; b; c ] in
+  Alcotest.(check (list int))
+    "spans keep source order, oldest first"
+    [ 0; 1000; 2000 ]
+    (List.map (fun s -> s.Span.opened_at) (Span.spans all));
+  (* The concatenated collector still produces a coherent MTTR report
+     over the union of closed spans. *)
+  (match Span.report all with
+  | [ r ] ->
+      Alcotest.(check int) "two closed spans counted" 2 r.Span.n;
+      Alcotest.(check int) "mean over both sources" 100 r.Span.mean_us
+  | rs -> Alcotest.fail (Printf.sprintf "expected one component, got %d" (List.length rs)));
+  (* New spans opened on the concatenation don't collide with ids of
+     the sources' spans. *)
+  let fresh =
+    Span.open_span all ~component:"blk.sata" ~defect:Status.D_exit ~repetition:1 ~now:3000
+  in
+  Alcotest.(check bool) "fresh id unique" true
+    (List.for_all
+       (fun s -> s == fresh || s.Span.id <> fresh.Span.id)
+       (Span.spans all))
+
 let test_span_lifecycle () =
   let c = Span.create () in
   let s = Span.open_span c ~component:"eth" ~defect:Status.D_killed_by_user ~repetition:1 ~now:100 in
@@ -214,6 +322,13 @@ let tests =
     Alcotest.test_case "snapshot diff" `Quick test_snapshot_diff;
     Alcotest.test_case "histogram bucket edges (0, max_int)" `Quick test_bucket_edges;
     Alcotest.test_case "histogram observe" `Quick test_histogram_observe;
+    Alcotest.test_case "merge sums counters" `Quick test_merge_counters_sum;
+    Alcotest.test_case "merge gauge last-write policy" `Quick test_merge_gauge_last_write;
+    Alcotest.test_case "merge adds histograms bucket-wise" `Quick test_merge_histograms;
+    Alcotest.test_case "merge identity and empty histograms" `Quick test_merge_empty_identity;
+    Alcotest.test_case "merge_all folds every operand" `Quick
+      test_merge_all_associative_on_counters;
+    Alcotest.test_case "span concat" `Quick test_span_concat;
     Alcotest.test_case "trace ring overflow" `Quick test_trace_ring_overflow;
     Alcotest.test_case "typed trace query" `Quick test_trace_typed_query;
     Alcotest.test_case "span lifecycle and phases" `Quick test_span_lifecycle;

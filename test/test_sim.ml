@@ -83,6 +83,50 @@ let test_rng_split_independent () =
   let seq_parent = List.init 50 (fun _ -> Rng.int parent 100) in
   Alcotest.(check bool) "split streams differ" true (seq_child <> seq_parent)
 
+(* Hierarchical seeding: derive is a pure function of (seed, index),
+   so a child stream cannot depend on how many siblings exist or in
+   which order they are derived — the property the campaign runner's
+   per-trial seeding rests on. *)
+let test_rng_derive_order_independent () =
+  let forward = List.init 20 (fun i -> Rng.derive ~seed:42 ~index:i) in
+  let backward = List.rev (List.init 20 (fun i -> Rng.derive ~seed:42 ~index:(19 - i))) in
+  Alcotest.(check (list int)) "derivation order is irrelevant" forward backward;
+  (* Deriving fewer or more siblings changes nothing for index 3. *)
+  let alone = Rng.derive ~seed:42 ~index:3 in
+  Alcotest.(check int) "sibling count is irrelevant" (List.nth forward 3) alone
+
+let test_rng_derive_streams_independent () =
+  (* Child streams pairwise differ, and differ from the parent's own
+     stream. *)
+  let stream_of seed =
+    let r = Rng.create ~seed in
+    List.init 20 (fun _ -> Rng.int r 1_000_000)
+  in
+  let parent = stream_of 42 in
+  let children = List.init 8 (fun i -> stream_of (Rng.derive ~seed:42 ~index:i)) in
+  List.iteri
+    (fun i c ->
+      Alcotest.(check bool) (Printf.sprintf "child %d differs from parent" i) true (c <> parent))
+    children;
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b ->
+          if i < j then
+            Alcotest.(check bool)
+              (Printf.sprintf "children %d and %d differ" i j)
+              true (a <> b))
+        children)
+    children;
+  (* No collisions among a large block of derived seeds. *)
+  let seen = Hashtbl.create 4096 in
+  for i = 0 to 4095 do
+    Hashtbl.replace seen (Rng.derive ~seed:7 ~index:i) ()
+  done;
+  Alcotest.(check int) "4096 derived seeds, no collision" 4096 (Hashtbl.length seen);
+  Alcotest.check_raises "negative index rejected" (Invalid_argument "Rng.derive: negative index")
+    (fun () -> ignore (Rng.derive ~seed:1 ~index:(-1)))
+
 let test_trace_query () =
   let trace = Trace.create () in
   Trace.emit trace ~now:(Time.usec 5) Trace.Info "rs" "restarting %s (attempt %d)" "eth" 2;
@@ -149,6 +193,10 @@ let tests =
     Alcotest.test_case "no scheduling in the past" `Quick test_schedule_past_rejected;
     Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
     Alcotest.test_case "rng split independence" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng derive is order/sibling independent" `Quick
+      test_rng_derive_order_independent;
+    Alcotest.test_case "rng derived streams independent" `Quick
+      test_rng_derive_streams_independent;
     Alcotest.test_case "trace query" `Quick test_trace_query;
     Alcotest.test_case "trace capacity bound" `Quick test_trace_capacity;
     QCheck_alcotest.to_alcotest prop_heap_sorted;
