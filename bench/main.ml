@@ -20,17 +20,23 @@
      --smoke             reduced scale + skip Bechamel (CI-friendly)
      --jobs N            worker-domain count for the trial campaigns
                          (default: all cores)
+     --progress          force the live stderr campaign-progress line
+                         (default: only when stderr is a tty); never
+                         touches stdout
      --metrics-out FILE  write JSONL metrics, spans and MTTR reports
                          from the fig7/fig8 runs to FILE
      --speedup-out FILE  run the smoke sweep sequentially and on the
                          domain pool, record wall-clock + speedup as
-                         JSON to FILE (the BENCH_PR2.json artifact)
+                         JSON to FILE (the BENCH_PR<n>.json artifact)
 
    Exit status is non-zero when any experiment's internal integrity
-   check fails (digest mismatch, crash-class split inconsistency). *)
+   check fails (digest mismatch, crash-class split inconsistency) or
+   when any campaign trial failed (every failure is summarized by
+   trial name on stderr). *)
 
 module E = Resilix_experiments
 module Campaign = Resilix_harness.Campaign
+module Progress = Resilix_harness.Progress
 module Md5 = Resilix_checksum.Md5
 module Sha1 = Resilix_checksum.Sha1
 module Crc32 = Resilix_checksum.Crc32
@@ -46,38 +52,49 @@ let mb = 1024 * 1024
 
 (* Returns the names of experiments whose internal integrity check
    failed (empty = all clean). *)
-let regenerate_tables ~smoke ~jobs ~obs () =
+let regenerate_tables ~smoke ~jobs ~progress ~obs () =
+  let prog label = Progress.make ~when_:progress ~label () in
   let failed = ref [] in
   let check name ok = if not ok then failed := name :: !failed in
   if smoke then begin
     (* Reduced scale: enough virtual traffic for a few recoveries per
        interval, fast enough for the test suite. *)
-    let r7 = E.Fig7.run ?jobs ~size:(8 * mb) ~intervals:[ 1; 2 ] ?obs () in
+    let r7 = E.Fig7.run ?jobs ?on_progress:(prog "fig7") ~size:(8 * mb) ~intervals:[ 1; 2 ] ?obs () in
     E.Fig7.print r7;
     check "fig7 integrity (fnv digest)" (E.Fig7.ok r7);
-    let r8 = E.Fig8.run ?jobs ~size:(32 * mb) ~intervals:[ 1; 2 ] ?obs () in
+    let r8 = E.Fig8.run ?jobs ?on_progress:(prog "fig8") ~size:(32 * mb) ~intervals:[ 1; 2 ] ?obs () in
     E.Fig8.print r8;
     check "fig8 integrity (fnv digest)" (E.Fig8.ok r8)
   end
   else begin
-    E.Fig3.print (E.Fig3.run ?jobs ());
-    let r7 = E.Fig7.run ?jobs ~size:(64 * mb) ~intervals:[ 1; 2; 4; 8; 15 ] ?obs () in
+    E.Fig3.print (E.Fig3.run ?jobs ?on_progress:(prog "fig3") ());
+    let r7 =
+      E.Fig7.run ?jobs ?on_progress:(prog "fig7") ~size:(64 * mb) ~intervals:[ 1; 2; 4; 8; 15 ]
+        ?obs ()
+    in
     E.Fig7.print r7;
     check "fig7 integrity (fnv digest)" (E.Fig7.ok r7);
-    let r8 = E.Fig8.run ?jobs ~size:(256 * mb) ~intervals:[ 1; 2; 4; 8; 15 ] ?obs () in
+    let r8 =
+      E.Fig8.run ?jobs ?on_progress:(prog "fig8") ~size:(256 * mb) ~intervals:[ 1; 2; 4; 8; 15 ]
+        ?obs ()
+    in
     E.Fig8.print r8;
     check "fig8 integrity (fnv digest)" (E.Fig8.ok r8);
     (* The paper's full 12,500-fault campaign (the shard/default). *)
-    let o_emu = E.Sec72.run ?jobs () in
+    let o_emu = E.Sec72.run ?jobs ?on_progress:(prog "sec72/emu") () in
     E.Sec72.print "emulator variant" o_emu;
     check "sec7.2 emulator crash-class split" (E.Sec72.ok o_emu);
-    let o_hw = E.Sec72.run ?jobs ~wedge_prob:1.0 ~has_master_reset:false () in
+    let o_hw =
+      E.Sec72.run ?jobs ?on_progress:(prog "sec72/hw") ~wedge_prob:1.0 ~has_master_reset:false ()
+    in
     E.Sec72.print "real-hardware variant: wedgeable NIC" o_hw;
     check "sec7.2 hw crash-class split" (E.Sec72.ok o_hw);
-    E.Fig9.print (E.Fig9.run ?jobs ());
-    E.Ablations.print_heartbeat (E.Ablations.heartbeat_sweep ?jobs ());
-    E.Ablations.print_policy (E.Ablations.policy_comparison ?jobs ());
-    E.Ablations.print_ipc (E.Ablations.ipc_microbench ?jobs ())
+    E.Fig9.print (E.Fig9.run ?jobs ?on_progress:(prog "fig9") ());
+    E.Ablations.print_heartbeat
+      (E.Ablations.heartbeat_sweep ?jobs ?on_progress:(prog "ablation/heartbeat") ());
+    E.Ablations.print_policy
+      (E.Ablations.policy_comparison ?jobs ?on_progress:(prog "ablation/policy") ());
+    E.Ablations.print_ipc (E.Ablations.ipc_microbench ?jobs ?on_progress:(prog "ablation/ipc") ())
   end;
   List.rev !failed
 
@@ -97,7 +114,10 @@ let measure_speedup ~jobs file =
   let seq_s, seq = time (fun () -> Campaign.run ~jobs:1 (trials ())) in
   let par_s, par = time (fun () -> Campaign.run ~jobs (trials ())) in
   let identical = E.Fig7.reduce seq = E.Fig7.reduce par in
-  let speedup = if par_s > 0. then seq_s /. par_s else 0. in
+  (* A parallel wall clock below the timer resolution makes the ratio
+     meaningless: flag the measurement invalid rather than reporting a
+     fake 0x speedup. *)
+  let speedup = if par_s > 0. then Some (seq_s /. par_s) else None in
   let oc = open_out file in
   Printf.fprintf oc
     "{\n\
@@ -107,16 +127,22 @@ let measure_speedup ~jobs file =
     \  \"cores\": %d,\n\
     \  \"sequential_s\": %.3f,\n\
     \  \"parallel_s\": %.3f,\n\
-    \  \"speedup\": %.3f,\n\
+    \  \"speedup\": %s,\n\
+    \  \"speedup_valid\": %b,\n\
     \  \"identical_output\": %b\n\
      }\n"
     n_trials jobs
     (Campaign.default_jobs ())
-    seq_s par_s speedup identical;
+    seq_s par_s
+    (match speedup with Some s -> Printf.sprintf "%.3f" s | None -> "null")
+    (speedup <> None) identical;
   close_out oc;
   Printf.printf
-    "\ncampaign speedup: %d trials, jobs=%d: %.2fs sequential, %.2fs parallel (%.2fx, output %s) -> %s\n"
-    n_trials jobs seq_s par_s speedup
+    "\ncampaign speedup: %d trials, jobs=%d: %.2fs sequential, %.2fs parallel (%s, output %s) -> %s\n"
+    n_trials jobs seq_s par_s
+    (match speedup with
+    | Some s -> Printf.sprintf "%.2fx" s
+    | None -> "invalid: parallel time below timer resolution")
     (if identical then "identical" else "DIVERGED")
     file;
   identical
@@ -232,9 +258,11 @@ let parse_args () =
   let metrics_out = ref None in
   let speedup_out = ref None in
   let jobs = ref None in
+  let progress = ref `Auto in
   let usage arg =
     Printf.eprintf
-      "usage: %s [--smoke] [--jobs N] [--metrics-out FILE] [--speedup-out FILE]\n\
+      "usage: %s [--smoke] [--jobs N] [--progress] [--no-progress] [--metrics-out FILE] \
+       [--speedup-out FILE]\n\
        (unknown argument %S)\n"
       Sys.executable_name arg;
     exit 2
@@ -242,6 +270,8 @@ let parse_args () =
   let rec go = function
     | [] -> ()
     | "--smoke" :: rest -> smoke := true; go rest
+    | "--progress" :: rest -> progress := `Always; go rest
+    | "--no-progress" :: rest -> progress := `Never; go rest
     | "--metrics-out" :: file :: rest -> metrics_out := Some file; go rest
     | "--speedup-out" :: file :: rest -> speedup_out := Some file; go rest
     | "--jobs" :: n :: rest -> (
@@ -251,26 +281,30 @@ let parse_args () =
     | arg :: _ -> usage arg
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!smoke, !jobs, !metrics_out, !speedup_out)
+  (!smoke, !jobs, !progress, !metrics_out, !speedup_out)
 
 let () =
-  let smoke, jobs, metrics_out, speedup_out = parse_args () in
-  let failed =
-    match metrics_out with
-    | None -> regenerate_tables ~smoke ~jobs ~obs:None ()
-    | Some file ->
-        let oc = open_out file in
-        let sink line = output_string oc line; output_char oc '\n' in
-        Fun.protect
-          ~finally:(fun () -> close_out oc)
-          (fun () -> regenerate_tables ~smoke ~jobs ~obs:(Some sink) ())
-  in
-  let speedup_ok =
-    match speedup_out with None -> true | Some file -> measure_speedup ~jobs file
-  in
-  if not smoke then run_bechamel ();
-  match failed with
-  | [] -> if not speedup_ok then exit 1
-  | names ->
-      List.iter (Printf.eprintf "INTEGRITY FAILURE: %s\n") names;
-      exit 1
+  let smoke, jobs, progress, metrics_out, speedup_out = parse_args () in
+  try
+    let failed =
+      match metrics_out with
+      | None -> regenerate_tables ~smoke ~jobs ~progress ~obs:None ()
+      | Some file ->
+          let oc = open_out file in
+          let sink line = output_string oc line; output_char oc '\n' in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> regenerate_tables ~smoke ~jobs ~progress ~obs:(Some sink) ())
+    in
+    let speedup_ok =
+      match speedup_out with None -> true | Some file -> measure_speedup ~jobs file
+    in
+    if not smoke then run_bechamel ();
+    match failed with
+    | [] -> if not speedup_ok then exit 1
+    | names ->
+        List.iter (Printf.eprintf "INTEGRITY FAILURE: %s\n") names;
+        exit 1
+  with Campaign.Partial failures ->
+    prerr_endline (Campaign.failures_summary failures);
+    exit 1

@@ -3,11 +3,16 @@
 
    Every subcommand takes --jobs: sweeps are hermetic trial campaigns
    (lib/harness) executed on a pool of OCaml domains, and the printed
-   tables are byte-identical for any job count.  The exit status is
-   non-zero when an experiment's internal integrity check fails
-   (fig7/fig8 digest mismatch, sec7_2 crash-class split mismatch). *)
+   tables are byte-identical for any job count.  --progress drives a
+   live stderr progress line (completed/total, last trial, ETA) that
+   never touches stdout.  The exit status is non-zero when an
+   experiment's internal integrity check fails (fig7/fig8 digest
+   mismatch, sec7_2 crash-class split mismatch) or when any campaign
+   trial failed — every failed trial is summarized by name first. *)
 
 module E = Resilix_experiments
+module Campaign = Resilix_harness.Campaign
+module Progress = Resilix_harness.Progress
 
 let mb = 1024 * 1024
 
@@ -25,42 +30,76 @@ let with_obs metrics_out f =
    not just a red cell in a table. *)
 let checked name ok = if ok then 0 else (Printf.eprintf "INTEGRITY FAILURE: %s\n" name; 1)
 
-let run_fig3 jobs seed =
-  E.Fig3.print (E.Fig3.run ?jobs ~seed ());
-  0
+(* A campaign with failed trials prints every failure (with its trial
+   name) to stderr and exits non-zero, instead of dying on the first
+   exception a worker happened to hit. *)
+let guard f =
+  try f ()
+  with Campaign.Partial failures ->
+    prerr_endline (Campaign.failures_summary failures);
+    1
 
-let run_fig7 jobs seed size_mb intervals metrics_out =
-  with_obs metrics_out (fun obs ->
-      let rows = E.Fig7.run ?jobs ~size:(size_mb * mb) ~intervals ~seed ?obs () in
-      E.Fig7.print rows;
-      checked "fig7 fnv digest" (E.Fig7.ok rows))
+let progress_for when_ label = Progress.make ~when_ ~label ()
 
-let run_fig8 jobs seed size_mb intervals metrics_out =
-  with_obs metrics_out (fun obs ->
-      let rows = E.Fig8.run ?jobs ~size:(size_mb * mb) ~intervals ~seed ?obs () in
-      E.Fig8.print rows;
-      checked "fig8 digest vs baseline" (E.Fig8.ok rows))
+let run_fig3 jobs progress seed =
+  guard (fun () ->
+      E.Fig3.print (E.Fig3.run ?jobs ?on_progress:(progress_for progress "fig3") ~seed ());
+      0)
 
-let run_sec72 jobs seed faults shard_size hw metrics_out =
-  with_obs metrics_out (fun obs ->
-      let label, wedge_prob =
-        if hw then ("real-hardware variant: wedgeable NIC", 1.0) else ("emulator variant", 0.)
-      in
-      let o =
-        E.Sec72.run ?jobs ~faults ~seed ~wedge_prob ~has_master_reset:false ?shard_size ?obs ()
-      in
-      E.Sec72.print label o;
-      checked "sec7_2 crash-class split" (E.Sec72.ok o))
+let run_fig7 jobs progress seed size_mb intervals metrics_out =
+  guard (fun () ->
+      with_obs metrics_out (fun obs ->
+          let rows =
+            E.Fig7.run ?jobs
+              ?on_progress:(progress_for progress "fig7")
+              ~size:(size_mb * mb) ~intervals ~seed ?obs ()
+          in
+          E.Fig7.print rows;
+          checked "fig7 fnv digest" (E.Fig7.ok rows)))
 
-let run_fig9 jobs () =
-  E.Fig9.print (E.Fig9.run ?jobs ());
-  0
+let run_fig8 jobs progress seed size_mb intervals metrics_out =
+  guard (fun () ->
+      with_obs metrics_out (fun obs ->
+          let rows =
+            E.Fig8.run ?jobs
+              ?on_progress:(progress_for progress "fig8")
+              ~size:(size_mb * mb) ~intervals ~seed ?obs ()
+          in
+          E.Fig8.print rows;
+          checked "fig8 digest vs baseline" (E.Fig8.ok rows)))
 
-let run_ablations jobs seed =
-  E.Ablations.print_heartbeat (E.Ablations.heartbeat_sweep ?jobs ~seed ());
-  E.Ablations.print_policy (E.Ablations.policy_comparison ?jobs ~seed ());
-  E.Ablations.print_ipc (E.Ablations.ipc_microbench ?jobs ());
-  0
+let run_sec72 jobs progress seed faults shard_size hw metrics_out =
+  guard (fun () ->
+      with_obs metrics_out (fun obs ->
+          let label, wedge_prob =
+            if hw then ("real-hardware variant: wedgeable NIC", 1.0) else ("emulator variant", 0.)
+          in
+          let o =
+            E.Sec72.run ?jobs
+              ?on_progress:(progress_for progress "sec72")
+              ~faults ~seed ~wedge_prob ~has_master_reset:false ?shard_size ?obs ()
+          in
+          E.Sec72.print label o;
+          checked "sec7_2 crash-class split" (E.Sec72.ok o)))
+
+let run_fig9 jobs progress () =
+  guard (fun () ->
+      E.Fig9.print (E.Fig9.run ?jobs ?on_progress:(progress_for progress "fig9") ());
+      0)
+
+let run_ablations jobs progress seed =
+  guard (fun () ->
+      E.Ablations.print_heartbeat
+        (E.Ablations.heartbeat_sweep ?jobs
+           ?on_progress:(progress_for progress "ablation/heartbeat")
+           ~seed ());
+      E.Ablations.print_policy
+        (E.Ablations.policy_comparison ?jobs
+           ?on_progress:(progress_for progress "ablation/policy")
+           ~seed ());
+      E.Ablations.print_ipc
+        (E.Ablations.ipc_microbench ?jobs ?on_progress:(progress_for progress "ablation/ipc") ());
+      0)
 
 open Cmdliner
 
@@ -75,6 +114,17 @@ let jobs_t =
         ~doc:
           "Worker domains for the trial campaign (default: all cores). Output is identical \
            for any value.")
+
+let progress_t =
+  Arg.(
+    value
+    & opt (enum [ ("auto", `Auto); ("always", `Always); ("never", `Never) ]) `Auto
+    & info [ "progress" ] ~docv:"WHEN"
+        ~doc:
+          "Live campaign progress on stderr (completed/total trials, last trial's wall \
+           clock, ETA): $(b,auto) shows it only when stderr is a tty, $(b,always) forces \
+           it, $(b,never) disables it. Strictly off the stdout path: tables and \
+           --metrics-out JSONL are unaffected.")
 
 let size_t default =
   Arg.(value & opt int default & info [ "size-mb" ] ~doc:"Transfer size in MB.")
@@ -108,45 +158,60 @@ let metrics_out_t =
 let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
 
 let fig3_cmd =
-  cmd "fig3" "Recovery-scheme matrix (Fig. 3)" Term.(const run_fig3 $ jobs_t $ seed_t)
+  cmd "fig3" "Recovery-scheme matrix (Fig. 3)"
+    Term.(const run_fig3 $ jobs_t $ progress_t $ seed_t)
 
 let fig7_cmd =
   cmd "fig7" "wget throughput vs Ethernet-driver kill interval (Fig. 7)"
-    Term.(const run_fig7 $ jobs_t $ seed_t $ size_t 128 $ intervals_t $ metrics_out_t)
+    Term.(const run_fig7 $ jobs_t $ progress_t $ seed_t $ size_t 128 $ intervals_t $ metrics_out_t)
 
 let fig8_cmd =
   cmd "fig8" "dd throughput vs disk-driver kill interval (Fig. 8)"
-    Term.(const run_fig8 $ jobs_t $ seed_t $ size_t 1024 $ intervals_t $ metrics_out_t)
+    Term.(const run_fig8 $ jobs_t $ progress_t $ seed_t $ size_t 1024 $ intervals_t $ metrics_out_t)
 
 let sec72_cmd =
   cmd "sec72" "Fault-injection campaign on the DP8390 driver (Sec. 7.2)"
-    Term.(const run_sec72 $ jobs_t $ seed_t $ faults_t $ shard_size_t $ hw_t $ metrics_out_t)
+    Term.(
+      const run_sec72 $ jobs_t $ progress_t $ seed_t $ faults_t $ shard_size_t $ hw_t
+      $ metrics_out_t)
 
 let fig9_cmd =
-  cmd "fig9" "Source-code statistics (Fig. 9)" Term.(const run_fig9 $ jobs_t $ const ())
+  cmd "fig9" "Source-code statistics (Fig. 9)"
+    Term.(const run_fig9 $ jobs_t $ progress_t $ const ())
 
 let ablations_cmd =
-  cmd "ablations" "Design-choice ablations" Term.(const run_ablations $ jobs_t $ seed_t)
+  cmd "ablations" "Design-choice ablations" Term.(const run_ablations $ jobs_t $ progress_t $ seed_t)
 
 let all_cmd =
   cmd "all" "Run every experiment with default parameters"
     Term.(
-      const (fun jobs seed size7 size8 intervals faults metrics_out ->
-          let rc = ref (run_fig3 jobs seed) in
+      const (fun jobs progress seed size7 size8 intervals faults metrics_out ->
+          let rc = ref (run_fig3 jobs progress seed) in
           let track n = rc := max !rc n in
-          with_obs metrics_out (fun obs ->
-              let r7 = E.Fig7.run ?jobs ~size:(size7 * mb) ~intervals ~seed ?obs () in
-              E.Fig7.print r7;
-              track (checked "fig7 fnv digest" (E.Fig7.ok r7));
-              let r8 = E.Fig8.run ?jobs ~size:(size8 * mb) ~intervals ~seed ?obs () in
-              E.Fig8.print r8;
-              track (checked "fig8 digest vs baseline" (E.Fig8.ok r8)));
-          track (run_sec72 jobs seed faults None false None);
-          track (run_sec72 jobs seed faults None true None);
-          track (run_fig9 jobs ());
-          track (run_ablations jobs seed);
+          track
+            (guard (fun () ->
+                 with_obs metrics_out (fun obs ->
+                     let r7 =
+                       E.Fig7.run ?jobs
+                         ?on_progress:(progress_for progress "fig7")
+                         ~size:(size7 * mb) ~intervals ~seed ?obs ()
+                     in
+                     E.Fig7.print r7;
+                     let c7 = checked "fig7 fnv digest" (E.Fig7.ok r7) in
+                     let r8 =
+                       E.Fig8.run ?jobs
+                         ?on_progress:(progress_for progress "fig8")
+                         ~size:(size8 * mb) ~intervals ~seed ?obs ()
+                     in
+                     E.Fig8.print r8;
+                     max c7 (checked "fig8 digest vs baseline" (E.Fig8.ok r8)))));
+          track (run_sec72 jobs progress seed faults None false None);
+          track (run_sec72 jobs progress seed faults None true None);
+          track (run_fig9 jobs progress ());
+          track (run_ablations jobs progress seed);
           !rc)
-      $ jobs_t $ seed_t $ size_t 128 $ size_t 512 $ intervals_t $ faults_t $ metrics_out_t)
+      $ jobs_t $ progress_t $ seed_t $ size_t 128 $ size_t 512 $ intervals_t $ faults_t
+      $ metrics_out_t)
 
 let () =
   let info =

@@ -53,7 +53,8 @@ let heartbeat_trials ?(periods = [ 50_000; 100_000; 250_000; 500_000; 1_000_000 
     =
   List.mapi (fun i period -> heartbeat_trial ~seed:(Rng.derive ~seed ~index:i) ~period) periods
 
-let heartbeat_sweep ?jobs ?periods ?seed () = Campaign.run ?jobs (heartbeat_trials ?periods ?seed ())
+let heartbeat_sweep ?jobs ?on_progress ?periods ?seed () =
+  Campaign.run ?jobs ?on_progress (heartbeat_trials ?periods ?seed ())
 
 let print_heartbeat rows =
   Table.section "Ablation — heartbeat period vs. stuck-driver detection latency";
@@ -120,8 +121,8 @@ let policy_trials ?(window_us = 25_000_000) ?(seed = 42) () =
       ("guarded (give up after 3)", "guard3", [ ("guard3", Policy.guarded ~max_failures:3 ()) ]);
     ]
 
-let policy_comparison ?jobs ?window_us ?seed () =
-  Campaign.run ?jobs (policy_trials ?window_us ?seed ())
+let policy_comparison ?jobs ?on_progress ?window_us ?seed () =
+  Campaign.run ?jobs ?on_progress (policy_trials ?window_us ?seed ())
 
 let print_policy rows =
   Table.section "Ablation — recovery policies under a crash-storming service (25 s window)";
@@ -250,7 +251,8 @@ let safecopy_trial ~rounds =
 
 let ipc_trials ?(rounds = 1000) () = [ rendezvous_trial ~rounds; safecopy_trial ~rounds ]
 
-let ipc_microbench ?jobs ?rounds () = List.concat (Campaign.run ?jobs (ipc_trials ?rounds ()))
+let ipc_microbench ?jobs ?on_progress ?rounds () =
+  List.concat (Campaign.run ?jobs ?on_progress (ipc_trials ?rounds ()))
 
 let print_ipc rows =
   Table.section "Ablation — cost of the primitives recovery is built on (virtual time)";

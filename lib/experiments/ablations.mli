@@ -13,7 +13,13 @@ type heartbeat_row = {
 val heartbeat_trials :
   ?periods:int list -> ?seed:int -> unit -> heartbeat_row Resilix_harness.Trial.t list
 
-val heartbeat_sweep : ?jobs:int -> ?periods:int list -> ?seed:int -> unit -> heartbeat_row list
+val heartbeat_sweep :
+  ?jobs:int ->
+  ?on_progress:(Resilix_harness.Campaign.progress -> unit) ->
+  ?periods:int list ->
+  ?seed:int ->
+  unit ->
+  heartbeat_row list
 (** Detection latency of a silently stuck driver as a function of the
     heartbeat period (misses threshold fixed at the default 4). *)
 
@@ -26,7 +32,13 @@ type policy_row = {
 val policy_trials :
   ?window_us:int -> ?seed:int -> unit -> policy_row Resilix_harness.Trial.t list
 
-val policy_comparison : ?jobs:int -> ?window_us:int -> ?seed:int -> unit -> policy_row list
+val policy_comparison :
+  ?jobs:int ->
+  ?on_progress:(Resilix_harness.Campaign.progress -> unit) ->
+  ?window_us:int ->
+  ?seed:int ->
+  unit ->
+  policy_row list
 (** A crash-storming service under the direct, generic (exponential
     backoff) and guarded (give-up) policies: backoff bounds the
     restart churn; give-up stops it. *)
@@ -35,7 +47,12 @@ type ipc_row = { operation : string; cost_us : float }
 
 val ipc_trials : ?rounds:int -> unit -> ipc_row list Resilix_harness.Trial.t list
 
-val ipc_microbench : ?jobs:int -> ?rounds:int -> unit -> ipc_row list
+val ipc_microbench :
+  ?jobs:int ->
+  ?on_progress:(Resilix_harness.Campaign.progress -> unit) ->
+  ?rounds:int ->
+  unit ->
+  ipc_row list
 (** Virtual-time cost of the primitives recovery is built from:
     rendezvous round trip, notification, and grant-checked safecopy at
     several sizes (the "few microseconds ... amortized over the I/O"

@@ -39,13 +39,16 @@ val reduce : trial_result list -> row list
 
 val run :
   ?jobs:int ->
+  ?on_progress:(Resilix_harness.Campaign.progress -> unit) ->
   ?size:int ->
   ?intervals:int list ->
   ?seed:int ->
   ?obs:(string -> unit) ->
   unit ->
   row list
-(** [Campaign.run ?jobs] over {!trials}, then {!reduce}.  Default: a
+(** [Campaign.run ?jobs ?on_progress] over {!trials}, then {!reduce}.
+    [on_progress] observes per-trial completion on stderr-side
+    channels only — output stays byte-identical.  Default: a
     64-MB transfer (scaled from the paper's 512 MB; the per-crash dead
     time is scale-independent, so the overhead shape is preserved),
     kill intervals 1,2,4,8,15 s.  The first row is the uninterrupted

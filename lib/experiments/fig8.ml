@@ -98,8 +98,8 @@ let reduce results =
              })
            rest
 
-let run ?jobs ?size ?intervals ?(seed = 42) ?obs () =
-  let results = Campaign.run ?jobs (trials ?size ?intervals ~seed ()) in
+let run ?jobs ?on_progress ?size ?intervals ?(seed = 42) ?obs () =
+  let results = Campaign.run ?jobs ?on_progress (trials ?size ?intervals ~seed ()) in
   (match obs with
   | None -> ()
   | Some sink -> List.iter (fun r -> List.iter sink r.obs_lines) results);

@@ -43,13 +43,16 @@ val reduce : trial_result list -> row list
 
 val run :
   ?jobs:int ->
+  ?on_progress:(Resilix_harness.Campaign.progress -> unit) ->
   ?size:int ->
   ?intervals:int list ->
   ?seed:int ->
   ?obs:(string -> unit) ->
   unit ->
   row list
-(** [Campaign.run ?jobs] over {!trials}, then {!reduce}.  Default: a
+(** [Campaign.run ?jobs ?on_progress] over {!trials}, then {!reduce}.
+    [on_progress] observes per-trial completion without touching the
+    output byte-stream.  Default: a
     128-MB file (scaled from 1 GB), kill intervals 1,2,4,8,15 s; first
     row is the uninterrupted baseline.  Recovery latencies come from
     the closed recovery spans; [obs] receives each trial's JSONL lines

@@ -22,7 +22,12 @@ type row = {
 val trials : ?root:string -> unit -> row Resilix_harness.Trial.t list
 (** One trial per component (pure file scanning). *)
 
-val run : ?jobs:int -> ?root:string -> unit -> row list
+val run :
+  ?jobs:int ->
+  ?on_progress:(Resilix_harness.Campaign.progress -> unit) ->
+  ?root:string ->
+  unit ->
+  row list
 (** Count.  [root] defaults to the repository root found by walking
     up from the working directory. *)
 

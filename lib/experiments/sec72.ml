@@ -38,8 +38,10 @@ type shard_result = {
 (* One shard: a fresh machine absorbing [faults] injections.  This is
    the paper's campaign at reduced length; the full 12,500-fault run
    is the merge of many such hermetic shards, each on its own derived
-   seed, so the campaign parallelizes without sharing any state. *)
-let run_shard ~faults ~seed ~inject_period ~wedge_prob ~has_master_reset () =
+   seed, so the campaign parallelizes without sharing any state.
+   [shard] tags the shard's metric snapshot so campaign-level gauge
+   merges resolve deterministically by shard index. *)
+let run_shard ~shard ~faults ~seed ~inject_period ~wedge_prob ~has_master_reset () =
   let opts =
     {
       System.default_opts with
@@ -153,6 +155,11 @@ let run_shard ~faults ~seed ~inject_period ~wedge_prob ~has_master_reset () =
     List.filter (fun e -> e.Reincarnation.defect <> Status.D_killed_by_user) all_events
   in
   let count p = List.length (List.filter p events) in
+  (* Per-shard gauges: merged into min/max/last distributions across
+     shards in the campaign-level report. *)
+  Metrics.set_named t.System.metrics "sec72.shard.user_resets" !user_resets;
+  Metrics.set_named t.System.metrics "sec72.shard.bios_resets" !bios_resets;
+  Metrics.set_named t.System.metrics "sec72.shard.rx_datagrams" !received;
   {
     outcome =
       {
@@ -172,7 +179,7 @@ let run_shard ~faults ~seed ~inject_period ~wedge_prob ~has_master_reset () =
         by_fault_type =
           List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) type_counts []);
       };
-    snapshot = Metrics.snapshot ~at:(Engine.now t.System.engine) t.System.metrics;
+    snapshot = Metrics.snapshot ~at:(Engine.now t.System.engine) ~shard t.System.metrics;
     spans = t.System.spans;
   }
 
@@ -191,7 +198,7 @@ let trials ?(faults = 12_500) ?(seed = 42) ?(inject_period = 20_000) ?(wedge_pro
       Trial.make
         ~name:(Printf.sprintf "sec72/shard-%03d" i)
         ~seed:trial_seed
-        (run_shard ~faults:shard_faults ~seed:trial_seed ~inject_period ~wedge_prob
+        (run_shard ~shard:i ~faults:shard_faults ~seed:trial_seed ~inject_period ~wedge_prob
            ~has_master_reset))
 
 let empty_outcome =
@@ -232,9 +239,10 @@ let merge_outcomes a b =
 let reduce results =
   List.fold_left (fun acc r -> merge_outcomes acc r.outcome) empty_outcome results
 
-let run ?jobs ?faults ?seed ?inject_period ?wedge_prob ?has_master_reset ?shard_size ?obs () =
+let run ?jobs ?on_progress ?faults ?seed ?inject_period ?wedge_prob ?has_master_reset ?shard_size
+    ?obs () =
   let results =
-    Campaign.run ?jobs
+    Campaign.run ?jobs ?on_progress
       (trials ?faults ?seed ?inject_period ?wedge_prob ?has_master_reset ?shard_size ())
   in
   (match obs with

@@ -63,6 +63,7 @@ val reduce : shard_result list -> outcome
 
 val run :
   ?jobs:int ->
+  ?on_progress:(Resilix_harness.Campaign.progress -> unit) ->
   ?faults:int ->
   ?seed:int ->
   ?inject_period:int ->
@@ -72,13 +73,17 @@ val run :
   ?obs:(string -> unit) ->
   unit ->
   outcome
-(** [Campaign.run ?jobs] over {!trials}, then {!reduce}.  Default:
-    the paper's 12,500 faults, one every 20 ms of virtual time per
-    shard, no hardware wedging (the Bochs-like configuration).  Pass
-    [wedge_prob] > 0 for the real-hardware variant.  [obs] receives
-    campaign-level JSONL: the {!Resilix_obs.Metrics.merge_all} union
-    of every shard's registry and all spans concatenated in shard
-    order (label ["sec72"]). *)
+(** [Campaign.run ?jobs ?on_progress] over {!trials}, then {!reduce}.
+    Default: the paper's 12,500 faults, one every 20 ms of virtual
+    time per shard, no hardware wedging (the Bochs-like
+    configuration).  Pass [wedge_prob] > 0 for the real-hardware
+    variant.  [on_progress] observes per-shard completion (the long
+    25-shard default run is no longer silent until the reduce) without
+    touching stdout.  [obs] receives campaign-level JSONL: the
+    {!Resilix_obs.Metrics.merge_all} union of every shard's registry —
+    per-shard gauges (snapshots are tagged with their shard index)
+    merge into deterministic min/max/last distributions — and all
+    spans concatenated in shard order (label ["sec72"]). *)
 
 val ok : outcome -> bool
 (** The campaign's internal integrity check: some faults were

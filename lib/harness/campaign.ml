@@ -1,22 +1,72 @@
 let default_jobs () = Domain.recommended_domain_count ()
 
+type progress = {
+  p_index : int;
+  p_name : string;
+  p_elapsed_s : float;
+  p_failed : bool;
+  p_completed : int;
+  p_total : int;
+}
+
+type failure = { f_index : int; f_name : string; f_error : exn }
+
+exception Partial of failure list
+
+let failures_summary fs =
+  String.concat "\n"
+    (Printf.sprintf "campaign: %d trial(s) failed" (List.length fs)
+    :: List.map
+         (fun f -> Printf.sprintf "  trial #%d %s: %s" f.f_index f.f_name (Printexc.to_string f.f_error))
+         fs)
+
+let () =
+  Printexc.register_printer (function
+    | Partial fs -> Some ("Campaign.Partial\n" ^ failures_summary fs)
+    | _ -> None)
+
 (* Workers store per-index results; Domain.join establishes the
-   happens-before edge that makes the array reads on the caller safe. *)
-let run ?jobs trials =
+   happens-before edge that makes the array reads on the caller safe.
+   The progress observer runs on worker domains under one mutex, so a
+   user callback never needs its own synchronization — and it writes
+   to stderr (or a buffer), never stdout, keeping the table/JSONL
+   byte-stream identical for every [jobs] value. *)
+let run_result ?jobs ?on_progress trials =
   let arr = Array.of_list trials in
   let n = Array.length arr in
-  if n = 0 then []
+  let jobs =
+    match jobs with
+    | Some j when j < 1 -> invalid_arg "Campaign.run: jobs must be >= 1"
+    | Some j -> min j (max n 1)
+    | None -> min (default_jobs ()) (max n 1)
+  in
+  if n = 0 then Ok []
   else begin
-    let jobs =
-      match jobs with
-      | Some j when j < 1 -> invalid_arg "Campaign.run: jobs must be >= 1"
-      | Some j -> min j n
-      | None -> min (default_jobs ()) n
-    in
     let results = Array.make n None in
+    let completed = Atomic.make 0 in
+    let emit =
+      match on_progress with
+      | None -> fun _ -> ()
+      | Some f ->
+          let m = Mutex.create () in
+          fun p ->
+            Mutex.lock m;
+            Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> f p)
+    in
     let run_one i =
-      results.(i) <-
-        Some (match arr.(i).Trial.run () with r -> Ok r | exception e -> Error e)
+      let t0 = Unix.gettimeofday () in
+      let r = match arr.(i).Trial.run () with v -> Ok v | exception e -> Error e in
+      results.(i) <- Some r;
+      let done_ = 1 + Atomic.fetch_and_add completed 1 in
+      emit
+        {
+          p_index = i;
+          p_name = arr.(i).Trial.name;
+          p_elapsed_s = Unix.gettimeofday () -. t0;
+          p_failed = (match r with Error _ -> true | Ok _ -> false);
+          p_completed = done_;
+          p_total = n;
+        }
     in
     if jobs <= 1 then
       for i = 0 to n - 1 do
@@ -38,14 +88,23 @@ let run ?jobs trials =
       worker ();
       List.iter Domain.join others
     end;
-    Array.to_list
-      (Array.map
-         (function
-           | Some (Ok r) -> r
-           | Some (Error e) -> raise e
-           | None -> assert false (* every index was claimed *))
-         results)
+    (* Every failed trial is reported, lowest index first — never just
+       the first exception a worker happened to hit. *)
+    let failures = ref [] and values = ref [] in
+    for i = n - 1 downto 0 do
+      match results.(i) with
+      | Some (Ok v) -> values := v :: !values
+      | Some (Error e) ->
+          failures := { f_index = i; f_name = arr.(i).Trial.name; f_error = e } :: !failures
+      | None -> assert false (* every index was claimed *)
+    done;
+    match !failures with [] -> Ok !values | fs -> Error fs
   end
 
-let run_named ?jobs trials =
-  List.map2 (fun t r -> (t.Trial.name, r)) trials (run ?jobs trials)
+let run ?jobs ?on_progress trials =
+  match run_result ?jobs ?on_progress trials with
+  | Ok values -> values
+  | Error fs -> raise (Partial fs)
+
+let run_named ?jobs ?on_progress trials =
+  List.map2 (fun t r -> (t.Trial.name, r)) trials (run ?jobs ?on_progress trials)

@@ -5,21 +5,64 @@
     which worker picked up which trial — with hermetic trial bodies
     (see {!Trial}), [run ~jobs:1] and [run ~jobs:n] are byte-identical.
 
-    Exceptions raised by a trial body are caught in the worker and
-    re-raised on the calling domain, lowest trial index first, after
-    every worker has drained. *)
+    Exceptions raised by trial bodies are caught in the workers and
+    collected: after every worker has drained, {b all} failed trials
+    are reported (as a {!failure} list, lowest index first, each with
+    its trial's name) — via [Error] from {!run_result} or the
+    {!Partial} exception from {!run}.
+
+    Long campaigns are observable through [?on_progress]: an optional
+    observer invoked on trial completion from the worker domains,
+    serialized by an internal mutex.  It is strictly off the stdout
+    path (drive a stderr progress line with it — see {!Progress}), so
+    enabling it cannot perturb the deterministic output contract. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the worker-pool size used
     when [?jobs] is omitted. *)
 
-val run : ?jobs:int -> 'a Trial.t list -> 'a list
-(** [run trials] executes every trial and returns their results in
-    input order.  [jobs] caps the number of domains (clamped to
+type progress = {
+  p_index : int;  (** the finished trial's index in the input list *)
+  p_name : string;  (** its {!Trial.t} name *)
+  p_elapsed_s : float;  (** that trial's wall-clock runtime, seconds *)
+  p_failed : bool;  (** the trial body raised *)
+  p_completed : int;  (** trials finished so far, this one included *)
+  p_total : int;  (** campaign size *)
+}
+(** One progress event, emitted after each trial completes.  Events
+    arrive serialized (never two observer calls at once) but not
+    necessarily with monotonic [p_completed]: a worker can be
+    preempted between finishing its trial and reporting it. *)
+
+type failure = {
+  f_index : int;  (** the failing trial's index in the input list *)
+  f_name : string;  (** its {!Trial.t} name *)
+  f_error : exn;  (** the exception its body raised *)
+}
+
+exception Partial of failure list
+(** Raised by {!run} when at least one trial failed: every failure,
+    lowest trial index first.  A printer is registered, so an
+    uncaught [Partial] still names each failed trial. *)
+
+val failures_summary : failure list -> string
+(** Multi-line human-readable rendering ("campaign: N trial(s)
+    failed" followed by one indented line per failure) for callers
+    that report and exit non-zero. *)
+
+val run_result :
+  ?jobs:int -> ?on_progress:(progress -> unit) -> 'a Trial.t list -> ('a list, failure list) result
+(** [run_result trials] executes every trial; [Ok results] in input
+    order when all succeeded, [Error failures] (lowest index first)
+    when any raised.  [jobs] caps the number of domains (clamped to
     [1 .. length trials]; [jobs:1] runs on the calling domain with no
     spawns at all).  Trials are handed out dynamically (an atomic
     next-index counter), so long trials don't serialize behind short
     ones. *)
 
-val run_named : ?jobs:int -> 'a Trial.t list -> (string * 'a) list
+val run : ?jobs:int -> ?on_progress:(progress -> unit) -> 'a Trial.t list -> 'a list
+(** {!run_result}, raising {!Partial} on any failure. *)
+
+val run_named :
+  ?jobs:int -> ?on_progress:(progress -> unit) -> 'a Trial.t list -> (string * 'a) list
 (** {!run}, pairing each result with its trial's name. *)

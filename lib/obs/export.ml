@@ -15,9 +15,10 @@ let metric_lines ?(label = "run") (snap : Metrics.snapshot) =
   in
   let gauges =
     List.map
-      (fun (name, v) ->
-        Printf.sprintf "{\"type\":\"gauge\",\"label\":\"%s\",\"name\":\"%s\",\"value\":%d}"
-          (esc label) (esc name) v)
+      (fun (name, (g : Metrics.gauge_snapshot)) ->
+        Printf.sprintf
+          "{\"type\":\"gauge\",\"label\":\"%s\",\"name\":\"%s\",\"value\":%d,\"min\":%d,\"max\":%d,\"shards\":%d}"
+          (esc label) (esc name) g.g_last g.g_min g.g_max g.g_sources)
       snap.gauges
   in
   let histograms =
@@ -26,12 +27,11 @@ let metric_lines ?(label = "run") (snap : Metrics.snapshot) =
         let buckets =
           String.concat "," (List.map (fun (i, c) -> Printf.sprintf "[%d,%d]" i c) h.buckets)
         in
+        (* min/max need no count=0 guard: empty snapshots are
+           normalized to all-zero by [Metrics.snapshot]. *)
         Printf.sprintf
           "{\"type\":\"histogram\",\"label\":\"%s\",\"name\":\"%s\",\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d,\"buckets\":[%s]}"
-          (esc label) (esc name) h.count h.sum
-          (if h.count = 0 then 0 else h.min_v)
-          (if h.count = 0 then 0 else h.max_v)
-          buckets)
+          (esc label) (esc name) h.count h.sum h.min_v h.max_v buckets)
       snap.histograms
   in
   (meta :: counters) @ gauges @ histograms

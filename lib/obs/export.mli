@@ -6,7 +6,11 @@
 
     - [{"type":"meta","label":L,"at_us":T}]
     - [{"type":"counter","label":L,"name":N,"value":V}]
-    - [{"type":"gauge","label":L,"name":N,"value":V}]
+    - [{"type":"gauge","label":L,"name":N,"value":V,"min":m,"max":M,
+        "shards":K}] — [value] is the highest-indexed shard's write;
+      [min]/[max]/[shards] describe the per-shard distribution a
+      campaign merge produced ([min = max], [shards = 1] for a
+      single-registry snapshot)
     - [{"type":"histogram","label":L,"name":N,"count":C,"sum":S,
         "min":M,"max":X,"buckets":[[i,c],...]}]
     - [{"type":"span","label":L,"id":I,"component":C,"defect":D,

@@ -95,10 +95,18 @@ type hist_snapshot = {
   buckets : (int * int) list;
 }
 
+type gauge_snapshot = {
+  g_last : int;
+  g_shard : int;
+  g_min : int;
+  g_max : int;
+  g_sources : int;
+}
+
 type snapshot = {
   taken_at : int;
   counters : (string * int) list;
-  gauges : (string * int) list;
+  gauges : (string * gauge_snapshot) list;
   histograms : (string * hist_snapshot) list;
 }
 
@@ -107,18 +115,25 @@ let sorted_bindings tbl f =
     (fun (a, _) (b, _) -> String.compare a b)
     (Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl [])
 
-let snapshot ?(at = 0) (t : t) =
+let snapshot ?(at = 0) ?(shard = 0) (t : t) =
   {
     taken_at = at;
     counters = sorted_bindings t.counters (fun c -> c.c_value);
-    gauges = sorted_bindings t.gauges (fun g -> g.g_value);
+    gauges =
+      sorted_bindings t.gauges (fun g ->
+          { g_last = g.g_value; g_shard = shard; g_min = g.g_value; g_max = g.g_value; g_sources = 1 });
     histograms =
       sorted_bindings t.histograms (fun h ->
           let buckets = ref [] in
           for i = bucket_count - 1 downto 0 do
             if h.h_buckets.(i) > 0 then buckets := (i, h.h_buckets.(i)) :: !buckets
           done;
-          { count = h.h_count; sum = h.h_sum; min_v = h.h_min; max_v = h.h_max; buckets = !buckets });
+          (* Empty histograms are normalized to all-zero so the fresh
+             min/max sentinels (max_int/min_int) never leak into
+             diffs, merges or rendered reports. *)
+          if h.h_count = 0 then { count = 0; sum = 0; min_v = 0; max_v = 0; buckets = [] }
+          else
+            { count = h.h_count; sum = h.h_sum; min_v = h.h_min; max_v = h.h_max; buckets = !buckets });
   }
 
 (* Merge two sorted association lists with a per-key combiner. *)
@@ -136,11 +151,14 @@ let assoc_diff ~combine before after =
   in
   go before after []
 
+let empty_hist = { count = 0; sum = 0; min_v = 0; max_v = 0; buckets = [] }
+let zero_gauge = { g_last = 0; g_shard = 0; g_min = 0; g_max = 0; g_sources = 0 }
+
 let diff before after =
   let sub b a = max 0 (Option.value a ~default:0 - Option.value b ~default:0) in
   let hist_sub b a =
-    let b = Option.value b ~default:{ count = 0; sum = 0; min_v = max_int; max_v = min_int; buckets = [] } in
-    let a = Option.value a ~default:{ count = 0; sum = 0; min_v = max_int; max_v = min_int; buckets = [] } in
+    let b = Option.value b ~default:empty_hist in
+    let a = Option.value a ~default:empty_hist in
     let buckets =
       List.filter
         (fun (_, n) -> n > 0)
@@ -164,45 +182,70 @@ let diff before after =
     taken_at = after.taken_at;
     counters = assoc_diff ~combine:sub before.counters after.counters;
     gauges =
-      assoc_diff ~combine:(fun _ a -> Option.value a ~default:0) before.gauges after.gauges;
+      assoc_diff ~combine:(fun _ a -> Option.value a ~default:zero_gauge) before.gauges
+        after.gauges;
     histograms = assoc_diff ~combine:hist_sub before.histograms after.histograms;
   }
-
-let empty_hist = { count = 0; sum = 0; min_v = max_int; max_v = min_int; buckets = [] }
 
 let empty = { taken_at = 0; counters = []; gauges = []; histograms = [] }
 
 (* Campaign aggregation: the union of two per-trial snapshots.
-   Counters sum; gauges are last-write-wins (the *right* operand when
-   it has the gauge, else the left's value survives); histograms add
-   bucket-wise with count/sum summed and min/max combined.  Merging
-   with an empty registry is the identity. *)
+   Counters sum; colliding gauges are promoted to a distribution keyed
+   by shard index (min/max over every source, "last" from the
+   highest-indexed shard), so the result is independent of merge
+   order; histograms add bucket-wise with count/sum summed and min/max
+   combined.  Merging with an empty registry is the identity, and
+   [merge] is commutative and associative. *)
 let merge a b =
   let add_c x y = Option.value x ~default:0 + Option.value y ~default:0 in
-  let last_write x y = match y with Some v -> v | None -> Option.value x ~default:0 in
+  let gauge_dist x y =
+    match (x, y) with
+    | None, None -> zero_gauge
+    | Some g, None | None, Some g -> g
+    | Some x, Some y ->
+        let g_last, g_shard =
+          if x.g_shard > y.g_shard then (x.g_last, x.g_shard)
+          else if y.g_shard > x.g_shard then (y.g_last, y.g_shard)
+          else (* same shard twice: break the tie by value, not order *)
+            (max x.g_last y.g_last, x.g_shard)
+        in
+        {
+          g_last;
+          g_shard;
+          g_min = min x.g_min y.g_min;
+          g_max = max x.g_max y.g_max;
+          g_sources = x.g_sources + y.g_sources;
+        }
+  in
   let hist_add x y =
     let x = Option.value x ~default:empty_hist in
     let y = Option.value y ~default:empty_hist in
-    let rec buckets bx by =
-      match (bx, by) with
-      | [], rest | rest, [] -> rest
-      | (i, n) :: tx, (j, m) :: ty ->
-          if i = j then (i, n + m) :: buckets tx ty
-          else if i < j then (i, n) :: buckets tx by
-          else (j, m) :: buckets bx ty
-    in
-    {
-      count = x.count + y.count;
-      sum = x.sum + y.sum;
-      min_v = min x.min_v y.min_v;
-      max_v = max x.max_v y.max_v;
-      buckets = buckets x.buckets y.buckets;
-    }
+    (* A count-0 side carries no samples: its (normalized, all-zero)
+       min/max must not clamp the other side's extremes. *)
+    if x.count = 0 then y
+    else if y.count = 0 then x
+    else begin
+      let rec buckets bx by =
+        match (bx, by) with
+        | [], rest | rest, [] -> rest
+        | (i, n) :: tx, (j, m) :: ty ->
+            if i = j then (i, n + m) :: buckets tx ty
+            else if i < j then (i, n) :: buckets tx by
+            else (j, m) :: buckets bx ty
+      in
+      {
+        count = x.count + y.count;
+        sum = x.sum + y.sum;
+        min_v = min x.min_v y.min_v;
+        max_v = max x.max_v y.max_v;
+        buckets = buckets x.buckets y.buckets;
+      }
+    end
   in
   {
     taken_at = max a.taken_at b.taken_at;
     counters = assoc_diff ~combine:add_c a.counters b.counters;
-    gauges = assoc_diff ~combine:last_write a.gauges b.gauges;
+    gauges = assoc_diff ~combine:(fun x y -> gauge_dist x y) a.gauges b.gauges;
     histograms = assoc_diff ~combine:hist_add a.histograms b.histograms;
   }
 
@@ -213,7 +256,13 @@ let counter_value snap name = Option.value (List.assoc_opt name snap.counters) ~
 let pp ppf snap =
   Format.fprintf ppf "@[<v>metrics at t=%dus" snap.taken_at;
   List.iter (fun (name, v) -> Format.fprintf ppf "@,  %-40s %d" name v) snap.counters;
-  List.iter (fun (name, v) -> Format.fprintf ppf "@,  %-40s %d (gauge)" name v) snap.gauges;
+  List.iter
+    (fun (name, g) ->
+      if g.g_sources <= 1 then Format.fprintf ppf "@,  %-40s %d (gauge)" name g.g_last
+      else
+        Format.fprintf ppf "@,  %-40s last=%d min=%d max=%d over %d shards (gauge)" name
+          g.g_last g.g_min g.g_max g.g_sources)
+    snap.gauges;
   List.iter
     (fun (name, h) ->
       Format.fprintf ppf "@,  %-40s n=%d sum=%d%s" name h.count h.sum

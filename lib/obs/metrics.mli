@@ -57,20 +57,36 @@ val observe_named : t -> string -> int -> unit
 type hist_snapshot = {
   count : int;
   sum : int;
-  min_v : int;  (** meaningless when [count = 0] *)
-  max_v : int;
+  min_v : int;  (** 0 when [count = 0] (normalized; never a sentinel) *)
+  max_v : int;  (** 0 when [count = 0] *)
   buckets : (int * int) list;  (** (bucket index, count), non-empty buckets only, ascending *)
 }
+
+type gauge_snapshot = {
+  g_last : int;  (** the gauge's value in the highest-indexed shard *)
+  g_shard : int;  (** the shard index that supplied [g_last] *)
+  g_min : int;  (** smallest value over every merged shard *)
+  g_max : int;  (** largest value over every merged shard *)
+  g_sources : int;  (** how many shard registries carried the gauge *)
+}
+(** A gauge as seen by a snapshot.  Fresh snapshots of one registry
+    have [g_min = g_max = g_last] and [g_sources = 1]; {!merge}
+    promotes colliding gauges to a distribution over shards, keyed by
+    shard index so the result is independent of merge order. *)
 
 type snapshot = {
   taken_at : int;  (** virtual time the snapshot was taken (caller-supplied) *)
   counters : (string * int) list;  (** sorted by name *)
-  gauges : (string * int) list;
+  gauges : (string * gauge_snapshot) list;
   histograms : (string * hist_snapshot) list;
 }
 
-val snapshot : ?at:int -> t -> snapshot
-(** Immutable copy of every instrument ([at] defaults to 0). *)
+val snapshot : ?at:int -> ?shard:int -> t -> snapshot
+(** Immutable copy of every instrument ([at] defaults to 0).  [shard]
+    (default 0) tags the snapshot's gauges with the trial/shard index
+    that produced them — the key {!merge} resolves gauge collisions
+    by; pass the trial's campaign index when the snapshot will be
+    merged. *)
 
 val diff : snapshot -> snapshot -> snapshot
 (** [diff before after] is the activity between the two snapshots:
@@ -87,17 +103,22 @@ val merge : snapshot -> snapshot -> snapshot
     per-trial registries into one campaign report:
 
     - counters present in either side {e sum};
-    - gauges are {e last-write-wins}: [b]'s value when [b] has the
-      gauge, otherwise [a]'s ([b] is "later" — pass the older snapshot
-      first);
+    - colliding gauges are promoted to a {e distribution} keyed by
+      shard index: [g_min]/[g_max] cover every source, [g_last] is the
+      value set by the highest-indexed shard and [g_sources] counts
+      the sources — never dependent on merge order (a same-shard
+      collision breaks the tie by the larger value);
     - histograms add bucket-wise; [count]/[sum] sum, [min_v]/[max_v]
       combine ([count = 0] sides contribute nothing);
     - [taken_at] is the max of the two.
 
+    [merge] is commutative and associative, and
     [merge empty s = merge s empty = s]. *)
 
 val merge_all : snapshot list -> snapshot
-(** Left fold of {!merge} over the list, starting from {!empty}. *)
+(** Left fold of {!merge} over the list, starting from {!empty};
+    merge-order-independent, so any reassociation (e.g. a parallel
+    tree reduce) yields the same snapshot. *)
 
 val counter_value : snapshot -> string -> int
 (** Value of a counter in a snapshot; 0 when absent. *)

@@ -1,0 +1,86 @@
+(* Paper-scale jobs-invariance checks, gated behind RESILIX_SLOW_TESTS=1.
+
+   `dune runtest` exercises the determinism contract at smoke scale
+   (see test/test_harness.ml); this binary reruns it at the paper's
+   actual workload sizes — Fig. 7 at 512 MB and Fig. 8 at 1 GB, every
+   kill interval — comparing a sequential run against a 4-domain run
+   with the progress observer enabled.  Rows, JSONL observability
+   bytes and the experiments' internal integrity checks must all
+   agree.
+
+   Invoke via the @slow alias:
+
+     RESILIX_SLOW_TESTS=1 dune build @slow
+
+   Without the gate variable the binary skips (exit 0) so the alias is
+   always safe to build.  RESILIX_SLOW_FIG7_MB / RESILIX_SLOW_FIG8_MB
+   override the workload sizes for a quicker manual run. *)
+
+module E = Resilix_experiments
+module Campaign = Resilix_harness.Campaign
+
+let env_mb var default =
+  match Sys.getenv_opt var with
+  | None -> default
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> n
+      | _ -> Printf.eprintf "slow: ignoring %s=%S (want a positive MB count)\n%!" var s; default)
+
+let mb = 1024 * 1024
+let failures = ref 0
+
+let check what ok =
+  if ok then Printf.printf "slow: OK   %s\n%!" what
+  else begin
+    incr failures;
+    Printf.printf "slow: FAIL %s\n%!" what
+  end
+
+(* Run one sweep, collecting the JSONL observability bytes and the
+   number of progress events (the observer must be live during the
+   comparison — that is the point of the test). *)
+let sweep run ~jobs =
+  let buf = Buffer.create (1 lsl 16) in
+  let events = ref 0 in
+  let rows =
+    run ~jobs
+      ~on_progress:(fun (_ : Campaign.progress) -> incr events)
+      ~obs:(fun line -> Buffer.add_string buf line; Buffer.add_char buf '\n')
+  in
+  (rows, Buffer.contents buf, !events)
+
+let invariant name ~trials run ok =
+  let t0 = Unix.gettimeofday () in
+  let rows1, obs1, ev1 = sweep run ~jobs:1 in
+  let rows4, obs4, ev4 = sweep run ~jobs:4 in
+  check (name ^ ": rows identical for jobs=1 and jobs=4") (rows1 = rows4);
+  check (name ^ ": observability bytes identical") (obs1 = obs4);
+  check (name ^ ": integrity check passes") (ok rows1);
+  check (Printf.sprintf "%s: progress observer saw every trial (%d)" name trials)
+    (ev1 = trials && ev4 = trials);
+  Printf.printf "slow: %s done in %.1fs host wall clock\n%!" name (Unix.gettimeofday () -. t0)
+
+let () =
+  if Sys.getenv_opt "RESILIX_SLOW_TESTS" <> Some "1" then begin
+    print_endline "slow: skipped (set RESILIX_SLOW_TESTS=1 to run the paper-scale checks)";
+    exit 0
+  end;
+  let fig7_mb = env_mb "RESILIX_SLOW_FIG7_MB" 512 in
+  let fig8_mb = env_mb "RESILIX_SLOW_FIG8_MB" 1024 in
+  let intervals = [ 1; 2; 4; 8; 15 ] in
+  let trials = 1 + List.length intervals (* baseline + one per interval *) in
+  Printf.printf "slow: fig7 at %d MB, fig8 at %d MB, intervals 1,2,4,8,15\n%!" fig7_mb fig8_mb;
+  invariant "fig7 (paper scale)" ~trials
+    (fun ~jobs ~on_progress ~obs ->
+      E.Fig7.run ~jobs ~on_progress ~size:(fig7_mb * mb) ~intervals ~seed:42 ~obs ())
+    E.Fig7.ok;
+  invariant "fig8 (paper scale)" ~trials
+    (fun ~jobs ~on_progress ~obs ->
+      E.Fig8.run ~jobs ~on_progress ~size:(fig8_mb * mb) ~intervals ~seed:42 ~obs ())
+    E.Fig8.ok;
+  if !failures > 0 then begin
+    Printf.eprintf "slow: %d check(s) failed\n%!" !failures;
+    exit 1
+  end;
+  print_endline "slow: all paper-scale invariance checks passed"

@@ -87,7 +87,7 @@ let test_campaign_preserves_order () =
     (List.init 17 (fun i -> (Printf.sprintf "t%d" i, i * i)))
     named
 
-let test_campaign_reraises_lowest_index () =
+let test_campaign_collects_every_failure () =
   let trials =
     List.init 8 (fun i ->
         Trial.make ~name:(Printf.sprintf "t%d" i) ~seed:i (fun () ->
@@ -97,13 +97,100 @@ let test_campaign_reraises_lowest_index () =
   in
   List.iter
     (fun jobs ->
-      Alcotest.check_raises
-        (Printf.sprintf "jobs=%d re-raises the lowest failing trial" jobs)
-        (Failure "two")
-        (fun () -> ignore (Campaign.run ~jobs trials)))
+      match Campaign.run ~jobs trials with
+      | (_ : int list) -> Alcotest.failf "jobs=%d: expected Partial" jobs
+      | exception Campaign.Partial failures ->
+          Alcotest.(check (list (pair int string)))
+            (Printf.sprintf "jobs=%d reports every failed trial, lowest index first" jobs)
+            [ (2, "t2"); (5, "t5") ]
+            (List.map (fun f -> (f.Campaign.f_index, f.Campaign.f_name)) failures);
+          List.iter
+            (fun f ->
+              Alcotest.(check string)
+                "the original exception is preserved"
+                (if f.Campaign.f_index = 2 then {|Failure("two")|} else {|Failure("five")|})
+                (Printexc.to_string f.Campaign.f_error))
+            failures;
+          let summary = Campaign.failures_summary failures in
+          List.iter
+            (fun needle ->
+              let found =
+                let n = String.length needle and l = String.length summary in
+                let rec go i = i + n <= l && (String.sub summary i n = needle || go (i + 1)) in
+                go 0
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "summary mentions %S" needle)
+                true found)
+            [ "2 trial(s) failed"; "t2"; "t5"; "two"; "five" ])
     [ 1; 4 ];
+  (* run_result is the non-raising face of the same contract. *)
+  (match Campaign.run_result ~jobs:4 trials with
+  | Ok _ -> Alcotest.fail "run_result: expected Error"
+  | Error failures ->
+      Alcotest.(check (list int)) "run_result reports the same failures" [ 2; 5 ]
+        (List.map (fun f -> f.Campaign.f_index) failures));
   Alcotest.check_raises "jobs < 1 rejected" (Invalid_argument "Campaign.run: jobs must be >= 1")
     (fun () -> ignore (Campaign.run ~jobs:0 trials))
+
+(* ------------------------------------------------------------------ *)
+(* Progress observer                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_campaign_progress_events () =
+  let n = 9 in
+  let trials =
+    List.init n (fun i -> Trial.make ~name:(Printf.sprintf "t%d" i) ~seed:i (fun () -> i))
+  in
+  (* jobs=1: events arrive strictly in trial order with an exact
+     completed counter. *)
+  let seen = ref [] in
+  let got = Campaign.run ~jobs:1 ~on_progress:(fun p -> seen := p :: !seen) trials in
+  Alcotest.(check (list int)) "results unaffected by the observer" (List.init n Fun.id) got;
+  let events = List.rev !seen in
+  Alcotest.(check int) "one event per trial" n (List.length events);
+  List.iteri
+    (fun k p ->
+      Alcotest.(check int) "sequential events follow trial order" k p.Campaign.p_index;
+      Alcotest.(check string) "event names the trial" (Printf.sprintf "t%d" k) p.Campaign.p_name;
+      Alcotest.(check int) "completed counts up" (k + 1) p.Campaign.p_completed;
+      Alcotest.(check int) "total is the campaign size" n p.Campaign.p_total;
+      Alcotest.(check bool) "trial succeeded" false p.Campaign.p_failed;
+      Alcotest.(check bool) "elapsed is non-negative" true (p.Campaign.p_elapsed_s >= 0.))
+    events;
+  (* jobs=4: completion order is scheduling-dependent, but every trial
+     reports exactly once and the completed counters are a permutation
+     of 1..n. *)
+  let seen = ref [] in
+  let got = Campaign.run ~jobs:4 ~on_progress:(fun p -> seen := p :: !seen) trials in
+  Alcotest.(check (list int)) "parallel results still in input order" (List.init n Fun.id) got;
+  let events = !seen in
+  Alcotest.(check int) "one event per trial under jobs=4" n (List.length events);
+  let sorted_indices = List.sort compare (List.map (fun p -> p.Campaign.p_index) events) in
+  Alcotest.(check (list int)) "every trial index reported once" (List.init n Fun.id)
+    sorted_indices;
+  let sorted_completed = List.sort compare (List.map (fun p -> p.Campaign.p_completed) events) in
+  Alcotest.(check (list int))
+    "completed counters are a permutation of 1..n"
+    (List.init n (fun i -> i + 1))
+    sorted_completed;
+  (* Failed trials still emit progress, flagged as failures. *)
+  let failing =
+    List.init 4 (fun i ->
+        Trial.make ~name:(Printf.sprintf "f%d" i) ~seed:i (fun () ->
+            if i = 1 then failwith "boom";
+            i))
+  in
+  let seen = ref [] in
+  (match Campaign.run ~jobs:1 ~on_progress:(fun p -> seen := p :: !seen) failing with
+  | _ -> Alcotest.fail "expected Partial"
+  | exception Campaign.Partial _ -> ());
+  Alcotest.(check int) "failures still emit a progress event" 4 (List.length !seen);
+  let by_index = List.sort (fun a b -> compare a.Campaign.p_index b.Campaign.p_index) !seen in
+  Alcotest.(check (list bool))
+    "exactly the failing trial is flagged"
+    [ false; true; false; false ]
+    (List.map (fun p -> p.Campaign.p_failed) by_index)
 
 (* ------------------------------------------------------------------ *)
 (* Parallel sweeps are byte-identical to sequential ones               *)
@@ -115,14 +202,21 @@ let collect_obs run =
   (rows, Buffer.contents buf)
 
 let test_fig7_jobs_invariant () =
+  (* The acceptance criterion for the progress observer: enabling it
+     must leave the stdout/JSONL path byte-identical for every job
+     count — the observer only ever sees the stderr-side sink. *)
   let sweep jobs =
     collect_obs (fun sink ->
-        E.Fig7.run ~jobs ~size:(2 * mb) ~intervals:[ 1 ] ~seed:42 ~obs:sink ())
+        E.Fig7.run ~jobs
+          ~on_progress:(fun (_ : Campaign.progress) -> ())
+          ~size:(2 * mb) ~intervals:[ 1 ] ~seed:42 ~obs:sink ())
   in
-  let rows1, obs1 = sweep 1 and rows4, obs4 = sweep 4 in
+  let rows1, obs1 = sweep 1 and rows2, obs2 = sweep 2 and rows4, obs4 = sweep 4 in
   Alcotest.(check int) "baseline + one interval" 2 (List.length rows1);
+  Alcotest.(check bool) "fig7 rows identical for jobs=1 and jobs=2" true (rows1 = rows2);
   Alcotest.(check bool) "fig7 rows identical for jobs=1 and jobs=4" true (rows1 = rows4);
-  Alcotest.(check string) "fig7 observability byte-identical" obs1 obs4;
+  Alcotest.(check string) "fig7 observability byte-identical (jobs=2)" obs1 obs2;
+  Alcotest.(check string) "fig7 observability byte-identical (jobs=4)" obs1 obs4;
   Alcotest.(check bool) "sweep passes its own integrity check" true (E.Fig7.ok rows1)
 
 let test_sec72_jobs_invariant () =
@@ -140,8 +234,9 @@ let tests =
   [
     Alcotest.test_case "same seed, same run" `Quick test_same_seed_same_run;
     Alcotest.test_case "campaign preserves trial order" `Quick test_campaign_preserves_order;
-    Alcotest.test_case "campaign re-raises lowest failing trial" `Quick
-      test_campaign_reraises_lowest_index;
+    Alcotest.test_case "campaign collects every failure" `Quick
+      test_campaign_collects_every_failure;
+    Alcotest.test_case "campaign progress observer" `Quick test_campaign_progress_events;
     Alcotest.test_case "fig7 sweep is jobs-invariant" `Quick test_fig7_jobs_invariant;
     Alcotest.test_case "sec7_2 campaign is jobs-invariant" `Quick test_sec72_jobs_invariant;
   ]

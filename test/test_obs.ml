@@ -22,13 +22,17 @@ let test_counters_and_gauges () =
   Metrics.set_named m "queue_depth" 9;
   Metrics.set_named m "queue_depth" 2;
   Alcotest.(check int) "counter accumulates" 7 (Metrics.value (Metrics.counter m "ipc"));
-  let snap = Metrics.snapshot ~at:123 m in
+  let snap = Metrics.snapshot ~at:123 ~shard:3 m in
   Alcotest.(check int) "snapshot at" 123 snap.Metrics.taken_at;
   Alcotest.(check (list (pair string int))) "counters" [ ("ipc", 7) ] snap.Metrics.counters;
-  Alcotest.(check (list (pair string int)))
-    "gauge keeps last value"
-    [ ("queue_depth", 2) ]
-    snap.Metrics.gauges
+  match snap.Metrics.gauges with
+  | [ ("queue_depth", g) ] ->
+      Alcotest.(check int) "gauge keeps last value" 2 g.Metrics.g_last;
+      Alcotest.(check int) "single-shard min is the value" 2 g.Metrics.g_min;
+      Alcotest.(check int) "single-shard max is the value" 2 g.Metrics.g_max;
+      Alcotest.(check int) "snapshot tags the shard" 3 g.Metrics.g_shard;
+      Alcotest.(check int) "one source" 1 g.Metrics.g_sources
+  | gs -> Alcotest.failf "expected one gauge, got %d" (List.length gs)
 
 let test_counter_handles_are_shared () =
   let m = Metrics.create () in
@@ -132,21 +136,59 @@ let test_merge_counters_sum () =
     [ ("faults", 9); ("ipc", 7); ("spawns", 1) ]
     u.Metrics.counters
 
-let test_merge_gauge_last_write () =
-  let a = snap_of (fun m -> Metrics.set_named m "depth" 5; Metrics.set_named m "only_a" 1) in
-  let b = snap_of (fun m -> Metrics.set_named m "depth" 2) in
+let shard_snap_of shard build =
+  let m = Metrics.create () in
+  build m;
+  Metrics.snapshot ~shard m
+
+let test_merge_gauge_distribution () =
+  let a = shard_snap_of 0 (fun m -> Metrics.set_named m "depth" 5; Metrics.set_named m "only_a" 1) in
+  let b = shard_snap_of 1 (fun m -> Metrics.set_named m "depth" 2) in
   let u = Metrics.merge a b in
-  (* Documented policy: the right (later) operand wins when it has the
-     gauge; gauges only the left has survive unchanged. *)
-  Alcotest.(check (list (pair string int)))
-    "last write wins, left-only survives"
-    [ ("depth", 2); ("only_a", 1) ]
-    u.Metrics.gauges;
-  let u' = Metrics.merge b a in
-  Alcotest.(check (list (pair string int)))
-    "merge is order-sensitive for gauges by design"
-    [ ("depth", 5); ("only_a", 1) ]
-    u'.Metrics.gauges
+  (match u.Metrics.gauges with
+  | [ ("depth", d); ("only_a", o) ] ->
+      Alcotest.(check int) "last comes from the highest shard" 2 d.Metrics.g_last;
+      Alcotest.(check int) "distribution min" 2 d.Metrics.g_min;
+      Alcotest.(check int) "distribution max" 5 d.Metrics.g_max;
+      Alcotest.(check int) "two sources" 2 d.Metrics.g_sources;
+      Alcotest.(check int) "left-only survives unchanged" 1 o.Metrics.g_last;
+      Alcotest.(check int) "left-only stays one source" 1 o.Metrics.g_sources
+  | gs -> Alcotest.failf "expected two gauges, got %d" (List.length gs));
+  (* The regression the old [last_write] combiner had: merging in the
+     reverse order must produce the identical snapshot, because "last"
+     is keyed on the shard index carried by the snapshot, not on merge
+     order. *)
+  Alcotest.(check bool) "gauge merge is commutative" true (Metrics.merge b a = u)
+
+let test_merge_all_reversed_order_identical () =
+  (* Satellite regression: reducing shard snapshots in reversed (or
+     any) order yields the same aggregate a sequential in-order fold
+     does — the property the campaign runner's deterministic reduce
+     relies on. *)
+  let shards =
+    List.init 5 (fun i ->
+        shard_snap_of i (fun m ->
+            Metrics.set_named m "depth" (10 - (2 * i));
+            Metrics.add_named m "events" (i + 1);
+            Metrics.observe_named m "lat" (1 lsl i)))
+  in
+  let fwd = Metrics.merge_all shards in
+  let rev = Metrics.merge_all (List.rev shards) in
+  Alcotest.(check bool) "merge_all agrees with reversed input" true (fwd = rev);
+  (* Reassociation must not matter either. *)
+  let split =
+    Metrics.merge
+      (Metrics.merge_all (List.filteri (fun i _ -> i < 2) shards))
+      (Metrics.merge_all (List.filteri (fun i _ -> i >= 2) shards))
+  in
+  Alcotest.(check bool) "merge reassociates freely" true (fwd = split);
+  match fwd.Metrics.gauges with
+  | [ ("depth", d) ] ->
+      Alcotest.(check int) "last from shard 4" 2 d.Metrics.g_last;
+      Alcotest.(check int) "min across shards" 2 d.Metrics.g_min;
+      Alcotest.(check int) "max across shards" 10 d.Metrics.g_max;
+      Alcotest.(check int) "five sources" 5 d.Metrics.g_sources
+  | gs -> Alcotest.failf "expected one gauge, got %d" (List.length gs)
 
 let test_merge_histograms () =
   let a = snap_of (fun m -> List.iter (Metrics.observe_named m "lat") [ 1; 2; 100 ]) in
@@ -176,16 +218,36 @@ let test_merge_empty_identity () =
   Alcotest.(check bool) "empty is right identity" true (Metrics.merge s Metrics.empty = s);
   Alcotest.(check bool) "empty is left identity" true (Metrics.merge Metrics.empty s = s);
   Alcotest.(check bool) "merge_all [] is empty" true (Metrics.merge_all [] = Metrics.empty);
-  (* Merging an empty-count histogram keeps the fresh-histogram min/max
-     sentinels rather than inventing extremes. *)
+  (* A registered-but-never-observed histogram snapshots as all zeros —
+     the internal max_int/min_int accumulator sentinels must never leak
+     into a snapshot — and merging it is a no-op. *)
   let e = snap_of (fun m -> ignore (Metrics.histogram m "h")) in
-  let u = Metrics.merge e e in
-  match u.Metrics.histograms with
+  (match e.Metrics.histograms with
   | [ ("h", h) ] ->
-      Alcotest.(check int) "empty histogram count" 0 h.Metrics.count;
-      Alcotest.(check int) "min sentinel preserved" max_int h.Metrics.min_v;
-      Alcotest.(check int) "max sentinel preserved" min_int h.Metrics.max_v
-  | _ -> Alcotest.fail "expected the h histogram"
+      Alcotest.(check int) "empty snapshot count" 0 h.Metrics.count;
+      Alcotest.(check int) "empty snapshot min normalized" 0 h.Metrics.min_v;
+      Alcotest.(check int) "empty snapshot max normalized" 0 h.Metrics.max_v;
+      Alcotest.(check (list (pair int int))) "no buckets" [] h.Metrics.buckets
+  | _ -> Alcotest.fail "expected the h histogram");
+  let u = Metrics.merge e e in
+  (match u.Metrics.histograms with
+  | [ ("h", h) ] ->
+      Alcotest.(check int) "empty merge count" 0 h.Metrics.count;
+      Alcotest.(check int) "empty merge min" 0 h.Metrics.min_v;
+      Alcotest.(check int) "empty merge max" 0 h.Metrics.max_v
+  | _ -> Alcotest.fail "expected the h histogram");
+  (* Empty on one side must not drag min/max toward zero on the other:
+     hist_add short-circuits the count=0 operand entirely. *)
+  let full = snap_of (fun m -> List.iter (Metrics.observe_named m "h") [ 5; 9 ]) in
+  List.iter
+    (fun merged ->
+      match merged.Metrics.histograms with
+      | [ ("h", h) ] ->
+          Alcotest.(check int) "count unchanged" 2 h.Metrics.count;
+          Alcotest.(check int) "min survives empty operand" 5 h.Metrics.min_v;
+          Alcotest.(check int) "max survives empty operand" 9 h.Metrics.max_v
+      | _ -> Alcotest.fail "expected the h histogram")
+    [ Metrics.merge e full; Metrics.merge full e ]
 
 let test_merge_all_associative_on_counters () =
   let mk v = snap_of (fun m -> Metrics.add_named m "c" v) in
@@ -284,6 +346,7 @@ let test_mttr_report () =
 let test_export_jsonl () =
   let m = Metrics.create () in
   Metrics.add_named m "kernel.ipc.messages" 5;
+  Metrics.set_named m "rs.restarts_pending" 2;
   Metrics.observe_named m "mttr_us" 100;
   let c = Span.create () in
   ignore (Span.open_span c ~component:"eth" ~defect:Status.D_heartbeat ~repetition:2 ~now:10);
@@ -299,6 +362,8 @@ let test_export_jsonl () =
   in
   Alcotest.(check bool) "meta line" true (has {|"type":"meta"|});
   Alcotest.(check bool) "counter line" true (has {|"name":"kernel.ipc.messages","value":5|});
+  Alcotest.(check bool) "gauge line carries the distribution" true
+    (has {|"type":"gauge","label":"t","name":"rs.restarts_pending","value":2,"min":2,"max":2,"shards":1|});
   Alcotest.(check bool) "histogram line" true (has {|"type":"histogram"|});
   Alcotest.(check bool) "span line" true (has {|"type":"span"|});
   Alcotest.(check bool) "span total" true (has {|"total_us":50|});
@@ -323,7 +388,10 @@ let tests =
     Alcotest.test_case "histogram bucket edges (0, max_int)" `Quick test_bucket_edges;
     Alcotest.test_case "histogram observe" `Quick test_histogram_observe;
     Alcotest.test_case "merge sums counters" `Quick test_merge_counters_sum;
-    Alcotest.test_case "merge gauge last-write policy" `Quick test_merge_gauge_last_write;
+    Alcotest.test_case "merge promotes gauges to distributions" `Quick
+      test_merge_gauge_distribution;
+    Alcotest.test_case "merge_all is order- and association-free" `Quick
+      test_merge_all_reversed_order_identical;
     Alcotest.test_case "merge adds histograms bucket-wise" `Quick test_merge_histograms;
     Alcotest.test_case "merge identity and empty histograms" `Quick test_merge_empty_identity;
     Alcotest.test_case "merge_all folds every operand" `Quick
