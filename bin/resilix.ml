@@ -13,6 +13,7 @@
 module E = Resilix_experiments
 module Campaign = Resilix_harness.Campaign
 module Progress = Resilix_harness.Progress
+module Dst = Resilix_dst
 
 let mb = 1024 * 1024
 
@@ -101,6 +102,92 @@ let run_ablations jobs progress seed =
         (E.Ablations.ipc_microbench ?jobs ?on_progress:(progress_for progress "ablation/ipc") ());
       0)
 
+let print_outcome_failures (result : Dst.Explore.result) =
+  List.iter
+    (fun (o : Dst.Explore.outcome) ->
+      Printf.printf "run %04d (seed %d) FAILED:\n" o.Dst.Explore.o_index o.Dst.Explore.o_seed;
+      List.iter
+        (fun v -> Printf.printf "  %s\n" (Dst.Invariant.pp_violation v))
+        o.Dst.Explore.o_violations;
+      Printf.printf "  plan: %s\n" (Dst.Fault_plan.pp_compact o.Dst.Explore.o_plan);
+      Printf.printf "  decisions: %d recorded\n" (Array.length o.Dst.Explore.o_decisions))
+    result.Dst.Explore.failures
+
+(* Exploration exits like a fuzzer: 0 when every run upheld the
+   invariants, 1 when a finding was made (and, with --repro-out, a
+   minimized repro file written). *)
+let run_explore jobs progress scenario_name seed runs faults bound repro_out no_shrink =
+  match Dst.Scenario.find scenario_name with
+  | None ->
+      Printf.eprintf "unknown scenario %S (known: %s)\n" scenario_name
+        (String.concat ", " (List.map (fun s -> s.Dst.Scenario.name) Dst.Scenario.builtins));
+      2
+  | Some sc -> (
+      let result =
+        Dst.Explore.run ?jobs
+          ?on_progress:(progress_for progress ("explore/" ^ scenario_name))
+          ?faults ~bound sc ~seed ~runs ()
+      in
+      Printf.printf "explored %s: %d run(s), %d failing\n" result.Dst.Explore.scenario
+        result.Dst.Explore.runs
+        (List.length result.Dst.Explore.failures);
+      print_outcome_failures result;
+      match result.Dst.Explore.failures with
+      | [] -> 0
+      | first :: _ ->
+          let repro = Dst.Explore.to_repro result first in
+          let repro =
+            if no_shrink then repro
+            else
+              match Dst.Replay.shrink repro with
+              | Ok minimized ->
+                  Printf.printf "shrunk: %d -> %d fault(s), %d -> %d decision(s)\n"
+                    (List.length repro.Dst.Repro.plan)
+                    (List.length minimized.Dst.Repro.plan)
+                    (Array.length repro.Dst.Repro.decisions)
+                    (Array.length minimized.Dst.Repro.decisions);
+                  minimized
+              | Error m ->
+                  Printf.eprintf "shrink failed (%s); keeping the original repro\n" m;
+                  repro
+          in
+          (match repro_out with
+          | Some file ->
+              Dst.Repro.save repro file;
+              Printf.printf "repro written to %s\n" file
+          | None -> ());
+          1)
+
+let run_replay file do_shrink out =
+  match Dst.Repro.load file with
+  | Error m ->
+      Printf.eprintf "cannot load %s: %s\n" file m;
+      2
+  | Ok repro -> (
+      match Dst.Replay.run repro with
+      | Error m ->
+          Printf.eprintf "cannot replay %s: %s\n" file m;
+          2
+      | Ok outcome ->
+          List.iter
+            (fun v -> Printf.printf "%s\n" (Dst.Invariant.pp_violation v))
+            outcome.Dst.Replay.violations;
+          Printf.printf "reproduced: %b\n" outcome.Dst.Replay.reproduced;
+          let rc = ref (if outcome.Dst.Replay.reproduced then 0 else 1) in
+          if do_shrink && outcome.Dst.Replay.reproduced then begin
+            match Dst.Replay.shrink repro with
+            | Ok minimized ->
+                let dest = Option.value out ~default:(file ^ ".min") in
+                Dst.Repro.save minimized dest;
+                Printf.printf "shrunk repro written to %s (%d fault(s), %d decision(s))\n" dest
+                  (List.length minimized.Dst.Repro.plan)
+                  (Array.length minimized.Dst.Repro.decisions)
+            | Error m ->
+                Printf.eprintf "shrink failed: %s\n" m;
+                rc := max !rc 1
+          end;
+          !rc)
+
 open Cmdliner
 
 let seed_t =
@@ -155,6 +242,50 @@ let metrics_out_t =
     & info [ "metrics-out" ] ~docv:"FILE"
         ~doc:"Write JSONL observability output (metric snapshots, recovery spans, MTTR reports).")
 
+let scenario_t =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"SCENARIO" ~doc:"Scenario to explore: $(b,wget) or $(b,dp-inject).")
+
+let runs_t =
+  Arg.(value & opt int 16 & info [ "runs" ] ~doc:"Number of seeded runs to explore.")
+
+let explore_faults_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "faults" ] ~doc:"Fault-plan length per run (default: the scenario's).")
+
+let bound_t =
+  Arg.(
+    value
+    & opt int Dst.Explore.default_bound
+    & info [ "bound" ] ~docv:"US"
+        ~doc:"Recovery-span completeness bound in microseconds of virtual time.")
+
+let repro_out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "repro-out" ] ~docv:"FILE"
+        ~doc:"Write the first finding as a JSONL repro file (shrunk unless --no-shrink).")
+
+let no_shrink_t =
+  Arg.(value & flag & info [ "no-shrink" ] ~doc:"Skip minimization of the finding.")
+
+let repro_file_t =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"JSONL repro file.")
+
+let shrink_t =
+  Arg.(value & flag & info [ "shrink" ] ~doc:"Also minimize the repro after replaying it.")
+
+let out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"FILE" ~doc:"Where --shrink writes the minimized repro (default: FILE.min).")
+
 let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
 
 let fig3_cmd =
@@ -181,6 +312,16 @@ let fig9_cmd =
 
 let ablations_cmd =
   cmd "ablations" "Design-choice ablations" Term.(const run_ablations $ jobs_t $ progress_t $ seed_t)
+
+let explore_cmd =
+  cmd "explore" "Seeded schedule/fault exploration of a scenario (DST)"
+    Term.(
+      const run_explore $ jobs_t $ progress_t $ scenario_t $ seed_t $ runs_t $ explore_faults_t
+      $ bound_t $ repro_out_t $ no_shrink_t)
+
+let replay_cmd =
+  cmd "replay" "Re-execute a JSONL repro file and check it reproduces"
+    Term.(const run_replay $ repro_file_t $ shrink_t $ out_t)
 
 let all_cmd =
   cmd "all" "Run every experiment with default parameters"
@@ -221,4 +362,14 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ fig3_cmd; fig7_cmd; fig8_cmd; sec72_cmd; fig9_cmd; ablations_cmd; all_cmd ]))
+          [
+            fig3_cmd;
+            fig7_cmd;
+            fig8_cmd;
+            sec72_cmd;
+            fig9_cmd;
+            ablations_cmd;
+            explore_cmd;
+            replay_cmd;
+            all_cmd;
+          ]))

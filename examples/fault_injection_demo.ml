@@ -1,95 +1,58 @@
-(* Software fault injection (the paper's Sec. 7.2): corrupt the
-   running DP8390 driver's code image with the seven binary-mutation
-   fault types while UDP traffic flows, and watch defects being
-   detected and recovered.
+(* Software fault injection (the paper's Sec. 7.2), driven through the
+   deterministic-simulation-testing layer (lib/dst): explore seeded
+   fault plans against the DP8390 driver while UDP traffic flows,
+   check the recovery invariants, and minimize a failing run to a
+   replayable repro.
 
    Run with:  dune exec examples/fault_injection_demo.exe *)
 
-module System = Resilix_system.System
-module Hwmap = Resilix_system.Hwmap
-module Engine = Resilix_sim.Engine
-module Message = Resilix_proto.Message
-module Status = Resilix_proto.Status
-module Reincarnation = Resilix_core.Reincarnation
-module Fault = Resilix_vm.Fault
-module Sockets = Resilix_apps.Sockets
-module Api = Resilix_kernel.Sysif.Api
-module Dp8390 = Resilix_drivers.Netdriver_dp8390
+module Explore = Resilix_dst.Explore
+module Scenario = Resilix_dst.Scenario
+module Invariant = Resilix_dst.Invariant
+module Replay = Resilix_dst.Replay
+module Repro = Resilix_dst.Repro
+module Fault_plan = Resilix_dst.Fault_plan
 
 let () =
-  let opts = { System.default_opts with System.inet_driver = "eth.dp8390"; disk_mb = 8 } in
-  let t = System.boot ~opts () in
-  System.start_services t [ System.spec_dp8390 ~policy:"direct" ~heartbeat_period:200_000 () ];
+  let sc = Scenario.dp_inject in
 
-  (* Background UDP traffic keeps the driver's code hot. *)
-  let received = ref 0 in
-  ignore
-    (System.spawn_app t ~name:"udp-sink" (fun () ->
-         match Sockets.socket Message.Udp with
-         | Error _ -> ()
-         | Ok sock ->
-             ignore (Sockets.listen sock ~port:9);
-             let rec pump () =
-               (match Sockets.recvfrom sock ~len:2048 with
-               | Ok _ -> incr received
-               | Error _ -> Api.sleep 50_000);
-               pump ()
-             in
-             pump ()));
-  let _stop =
-    Resilix_net.Peer.start_udp_stream t.System.dp_peer ~dst_ip:Hwmap.local_ip
-      ~dst_mac:Hwmap.dp8390_mac ~dst_port:9 ~src_port:7777 ~payload_len:700 ~interval:10_000
-  in
-  System.run t ~until:500_000;
-
-  (* Inject one random fault every 50 ms until the driver has crashed
-     and recovered five times.  Some faults are silent but disabling
-     (the driver looks healthy, traffic stops); as in the paper's
-     defect class 3, the "user" notices and requests a restart. *)
-  let image = Dp8390.image_info ~base:Hwmap.dp8390_base in
-  let injected = ref 0 in
-  let last_rx = ref 0 and last_progress = ref 0 in
-  let rec inject () =
-    if Reincarnation.restarts_of t.System.rs "eth.dp8390" < 5 && !injected < 3000 then begin
-      let now = Engine.now t.System.engine in
-      if !received > !last_rx then begin
-        last_rx := !received;
-        last_progress := now
-      end
-      else if now - !last_progress > 1_500_000 then begin
-        last_progress := now;
-        Printf.printf "[%.2fs] traffic stalled (silent fault): user requests a restart\n%!"
-          (float_of_int now /. 1e6);
-        ignore (System.kill_service_once t ~target:"eth.dp8390")
-      end;
-      let ft = Fault.random_type t.System.rng in
-      (match System.inject_fault t ~target:"eth.dp8390" ~image ft with
-      | Some what ->
-          incr injected;
-          if !injected <= 10 then
-            Printf.printf "[%.2fs] injected %-22s (%s)\n%!"
-              (float_of_int (Engine.now t.System.engine) /. 1e6)
-              (Fault.to_string ft) what
-      | None -> ());
-      ignore (Engine.schedule t.System.engine ~after:50_000 inject)
-    end
-  in
-  inject ();
-  ignore
-    (System.run_until t ~timeout:600_000_000 (fun () ->
-         Reincarnation.restarts_of t.System.rs "eth.dp8390" >= 5));
-  System.run t ~until:(Engine.now t.System.engine + 1_000_000);
-
-  Printf.printf "\n%d faults injected; %d datagrams delivered despite the crashes\n" !injected
-    !received;
-  Printf.printf "defects detected and recovered:\n";
+  (* The scenario boots a machine, streams UDP through the driver, and
+     fires a seeded fault plan at it — the same workload the old
+     hand-rolled version of this demo built by hand.  Under the
+     default recovery bound (1 s of virtual time against ~6 ms
+     restarts), every seeded schedule upholds the invariants. *)
+  let clean = Explore.run sc ~seed:42 ~runs:3 () in
+  Printf.printf "explored %s: %d seeded runs, %d invariant violations\n" clean.Explore.scenario
+    clean.Explore.runs
+    (List.length clean.Explore.failures);
   List.iter
-    (fun e ->
-      Printf.printf "  [%.2fs] class %d (%s)%s\n"
-        (float_of_int e.Reincarnation.detected_at /. 1e6)
-        (Status.defect_number e.Reincarnation.defect)
-        (Status.defect_name e.Reincarnation.defect)
-        (match e.Reincarnation.recovered_at with
-        | Some r -> Printf.sprintf " — recovered in %.1f ms" (float_of_int (r - e.Reincarnation.detected_at) /. 1e3)
-        | None -> " — NOT recovered"))
-    (Reincarnation.events t.System.rs)
+    (fun (e : Fault_plan.entry) -> Printf.printf "  plan of run 0: %s\n" (Fault_plan.entry_to_string e))
+    (sc.Scenario.plan ~seed:(Resilix_sim.Rng.derive ~seed:42 ~index:0) ~faults:3);
+
+  (* Tighten the bound to 1 ms — no real restart fits — and every
+     injected crash becomes a finding.  This is how a genuine recovery
+     regression would surface: as a minimized, replayable repro. *)
+  let failing = Explore.run sc ~seed:42 ~runs:3 ~faults:3 ~bound:1_000 () in
+  Printf.printf "\nwith a 1 ms recovery bound: %d of %d runs fail\n"
+    (List.length failing.Explore.failures)
+    failing.Explore.runs;
+  match failing.Explore.failures with
+  | [] -> print_endline "no findings (unexpected under this bound)"
+  | first :: _ -> (
+      List.iter
+        (fun v -> Printf.printf "  %s\n" (Invariant.pp_violation v))
+        first.Explore.o_violations;
+      let repro = Explore.to_repro failing first in
+      match Replay.shrink repro with
+      | Error m -> Printf.printf "shrink failed: %s\n" m
+      | Ok min -> (
+          Printf.printf "\nshrunk: %d -> %d fault(s), %d -> %d recorded tie-break(s)\n"
+            (List.length repro.Repro.plan)
+            (List.length min.Repro.plan)
+            (Array.length repro.Repro.decisions)
+            (Array.length min.Repro.decisions);
+          Printf.printf "minimized plan: %s\n" (Fault_plan.pp_compact min.Repro.plan);
+          match Replay.run min with
+          | Error m -> Printf.printf "replay failed: %s\n" m
+          | Ok outcome ->
+              Printf.printf "replay reproduces the violation: %b\n" outcome.Replay.reproduced))

@@ -24,6 +24,11 @@ let pattern_matches ~pattern key =
 
 let keys t = List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.registry [])
 
+let lookup t name =
+  match Hashtbl.find_opt t.registry name with
+  | Some (Message.V_endpoint ep) -> Some ep
+  | Some (Message.V_str _) | Some (Message.V_int _) | None -> None
+
 let subscriber_for t ep =
   match List.find_opt (fun s -> Endpoint.equal s.ep ep) t.subscribers with
   | Some s -> s

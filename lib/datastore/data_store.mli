@@ -28,3 +28,9 @@ val pattern_matches : pattern:string -> string -> bool
 
 val keys : t -> string list
 (** Current registry keys (sorted), for tests and the harness. *)
+
+val lookup : t -> string -> Resilix_proto.Endpoint.t option
+(** The endpoint the naming table currently maps [name] to ([None]
+    when the key is absent or holds a non-endpoint value).  The DST
+    endpoint-consistency probe compares this against the kernel's
+    live process table. *)

@@ -1,0 +1,92 @@
+module Rng = Resilix_sim.Rng
+module Engine = Resilix_sim.Engine
+module Trial = Resilix_harness.Trial
+module Campaign = Resilix_harness.Campaign
+
+type outcome = {
+  o_index : int;
+  o_seed : int;
+  o_plan : Fault_plan.t;
+  o_decisions : int array;
+  o_violations : Invariant.violation list;
+}
+
+type result = {
+  scenario : string;
+  runs : int;
+  bound : int;
+  failures : outcome list;  (** violating runs only, in run-index order *)
+}
+
+let default_bound = 1_000_000
+
+let run ?jobs ?on_progress ?faults ?(bound = default_bound) (scenario : Scenario.t) ~seed
+    ~runs () =
+  if runs <= 0 then invalid_arg "Explore.run: runs must be positive";
+  let faults = Option.value faults ~default:scenario.Scenario.default_faults in
+  let trials =
+    List.init runs (fun i ->
+        let child = Rng.derive ~seed ~index:i in
+        Trial.make
+          ~name:(Printf.sprintf "%s/run-%04d" scenario.Scenario.name i)
+          ~seed:child
+          (fun () ->
+            let plan = scenario.Scenario.plan ~seed:child ~faults in
+            let report = scenario.Scenario.run ~seed:child ~policy:(Engine.Seeded child) ~plan in
+            (plan, report)))
+  in
+  let collected = Campaign.run_collect ?jobs ?on_progress trials in
+  let failures = ref [] in
+  List.iteri
+    (fun i outcome ->
+      let child = Rng.derive ~seed ~index:i in
+      match outcome with
+      | Ok (plan, report) -> (
+          match Invariant.check ~bound report with
+          | [] -> ()
+          | violations ->
+              failures :=
+                {
+                  o_index = i;
+                  o_seed = child;
+                  o_plan = plan;
+                  o_decisions = report.Scenario.r_decisions;
+                  o_violations = violations;
+                }
+                :: !failures)
+      | Error exn ->
+          (* A crashed run is the strongest finding of all; the plan is
+             a pure function of the child seed, so it is recoverable
+             even though the run never reported. *)
+          failures :=
+            {
+              o_index = i;
+              o_seed = child;
+              o_plan = scenario.Scenario.plan ~seed:child ~faults;
+              o_decisions = [||];
+              o_violations =
+                [
+                  {
+                    Invariant.v_invariant = "scenario-crash";
+                    v_detail = Printexc.to_string exn;
+                  };
+                ];
+            }
+            :: !failures)
+    collected;
+  {
+    scenario = scenario.Scenario.name;
+    runs;
+    bound;
+    failures = List.rev !failures;
+  }
+
+let to_repro result outcome =
+  {
+    Repro.scenario = result.scenario;
+    seed = outcome.o_seed;
+    bound = result.bound;
+    plan = outcome.o_plan;
+    decisions = outcome.o_decisions;
+    violations = outcome.o_violations;
+  }

@@ -1,0 +1,47 @@
+(** Seeded exploration: many runs of one scenario, each under a
+    different schedule permutation and fault plan.
+
+    Run [i] of an exploration with master seed [s] uses child seed
+    [Rng.derive ~seed:s ~index:i] for {e everything} — the machine's
+    RNG, the fault-plan generator, and the engine's [Seeded]
+    tie-break policy.  Runs are hermetic {!Resilix_harness.Trial}s
+    executed on the campaign domain pool, and findings come back in
+    run-index order, so an exploration's output is a pure function of
+    [(scenario, seed, runs, faults, bound)] — identical for any
+    [?jobs]. *)
+
+type outcome = {
+  o_index : int;  (** run index within the exploration *)
+  o_seed : int;  (** the run's derived child seed *)
+  o_plan : Fault_plan.t;
+  o_decisions : int array;  (** recorded tie-break trace *)
+  o_violations : Invariant.violation list;  (** non-empty *)
+}
+
+type result = {
+  scenario : string;
+  runs : int;
+  bound : int;
+  failures : outcome list;  (** violating runs only, in run-index order *)
+}
+
+val default_bound : int
+(** 1 s of virtual time — generous against the paper's ~6 ms
+    restarts, so clean runs stay clean. *)
+
+val run :
+  ?jobs:int ->
+  ?on_progress:(Resilix_harness.Campaign.progress -> unit) ->
+  ?faults:int ->
+  ?bound:int ->
+  Scenario.t ->
+  seed:int ->
+  runs:int ->
+  unit ->
+  result
+(** Explore.  [faults] defaults to the scenario's [default_faults];
+    [bound] to {!default_bound}.  A run that raises becomes a
+    ["scenario-crash"] finding rather than aborting the batch. *)
+
+val to_repro : result -> outcome -> Repro.t
+(** Package one finding as a saveable {!Repro.t}. *)

@@ -1,0 +1,38 @@
+module Rng = Resilix_sim.Rng
+module Fault = Resilix_vm.Fault
+
+type action = Kill | Inject of int
+
+type entry = { at : int; target : string; action : action }
+
+type t = entry list
+
+let action_to_string = function
+  | Kill -> "kill"
+  | Inject i -> Printf.sprintf "inject:%s" (Fault.to_string Fault.all.(i))
+
+let entry_to_string e = Printf.sprintf "%dus %s %s" e.at e.target (action_to_string e.action)
+
+let pp_compact plan =
+  String.concat "; " (List.map entry_to_string plan)
+
+let generate ~seed ~targets ~n ?(start = 400_000) ?(horizon = 2_000_000) ?(inject_prob = 0.) () =
+  if n < 0 then invalid_arg "Fault_plan.generate: negative n";
+  if targets = [] then invalid_arg "Fault_plan.generate: no targets";
+  if horizon <= start then invalid_arg "Fault_plan.generate: horizon must exceed start";
+  let rng = Rng.create ~seed in
+  let targets = Array.of_list targets in
+  let entries =
+    List.init n (fun _ ->
+        let at = Rng.int_in rng ~min:start ~max:(horizon - 1) in
+        let target = Rng.pick rng targets in
+        let action =
+          if Rng.bool rng inject_prob then Inject (Rng.int rng (Array.length Fault.all))
+          else Kill
+        in
+        { at; target; action })
+  in
+  (* Stable sort by time: entries drawn earlier keep their relative
+     order at equal instants, so the plan is a pure function of
+     (seed, targets, n, window). *)
+  List.stable_sort (fun a b -> compare a.at b.at) entries

@@ -1,0 +1,31 @@
+module Span = Resilix_obs.Span
+
+type violation = { v_invariant : string; v_detail : string }
+
+let pp_violation v = Printf.sprintf "%s: %s" v.v_invariant v.v_detail
+
+let names vs = List.sort_uniq compare (List.map (fun v -> v.v_invariant) vs)
+
+let same_failure a b = names a = names b
+
+let check ~bound (r : Scenario.report) =
+  let vs = ref [] in
+  let add inv detail = vs := { v_invariant = inv; v_detail = detail } :: !vs in
+  let open_spans = List.length (Span.open_spans r.Scenario.r_spans) in
+  let late = List.length (Span.incomplete ~within:bound r.Scenario.r_spans) in
+  if late > 0 then
+    add "span-completeness"
+      (Printf.sprintf "%d recovery span(s) open or wider than %dus at t=%dus (%d never closed)"
+         late bound r.Scenario.r_end_time open_spans)
+  else if r.Scenario.r_recoveries < r.Scenario.r_expected_spans then
+    add "span-completeness"
+      (Printf.sprintf "%d kill(s) applied but only %d recovery span(s) closed"
+         r.Scenario.r_expected_spans r.Scenario.r_recoveries);
+  if not r.Scenario.r_checksum_ok then
+    add "data-integrity" "workload data did not match its generator digest";
+  if not r.Scenario.r_endpoints_ok then
+    add "endpoint-consistency" "DS naming table disagrees with the kernel process table";
+  if not r.Scenario.r_completed then
+    add "no-deadlock"
+      (Printf.sprintf "workload made no progress by t=%dus" r.Scenario.r_end_time);
+  List.rev !vs

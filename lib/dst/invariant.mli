@@ -1,0 +1,32 @@
+(** The properties every exploration run is judged against.
+
+    Four invariants, all drawn from the paper's recovery story:
+
+    - {b span-completeness} — every applied kill is followed by a
+      recovery span that closes within [bound] microseconds (the
+      reincarnation server always finishes what it starts);
+    - {b data-integrity} — data moved by the workload matches its
+      generator digest (failure transparency: crashes never corrupt
+      payloads);
+    - {b endpoint-consistency} — after the run settles, the DS naming
+      table maps every target service to exactly the kernel's live
+      endpoint (the pub/sub rebind protocol converges);
+    - {b no-deadlock} — the workload made progress (no lost-wakeup /
+      stuck-IPC schedule exists).
+
+    Details are deterministic strings of virtual-time values, so equal
+    runs produce byte-equal violations. *)
+
+type violation = { v_invariant : string; v_detail : string }
+
+val check : bound:int -> Scenario.report -> violation list
+(** All violations of a run's report, in fixed invariant order. *)
+
+val names : violation list -> string list
+(** Sorted, deduplicated invariant names — the identity of a failure. *)
+
+val same_failure : violation list -> violation list -> bool
+(** Whether two runs failed the same way ({!names} agree) — the
+    predicate shrinking preserves. *)
+
+val pp_violation : violation -> string

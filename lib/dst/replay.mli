@@ -1,0 +1,41 @@
+(** Replay and shrinking of repro files.
+
+    Replay re-executes a {!Repro.t} exactly: same scenario, same child
+    seed, same fault plan, and the engine driven by the recorded
+    decision trace as a [Scripted] tie-break policy.  Because a run is
+    a pure function of those inputs, replay reproduces the original
+    violation bit for bit.
+
+    Shrinking then minimizes the repro greedily while preserving the
+    {e failure identity} (the set of violated invariant names,
+    {!Invariant.same_failure}):
+
+    + drop fault-plan entries one at a time, keeping each removal that
+      still fails the same way;
+    + revert divergent tie-breaks (nonzero decisions) to FIFO one at a
+      time, re-recording the trace after each accepted flip;
+    + repeat both passes to a fixpoint.
+
+    A candidate is adopted only when the lexicographic measure
+    [(plan length, nonzero decisions, trace length)] strictly
+    decreases, so shrinking terminates and the result is never larger
+    than the input.  Trailing zeros are trimmed from traces — a
+    [Scripted] policy that runs out of script falls back to FIFO,
+    which is what a zero means. *)
+
+type outcome = {
+  violations : Invariant.violation list;  (** what the replay tripped *)
+  decisions : int array;  (** the trace the replay itself recorded *)
+  reproduced : bool;  (** replay failed the same way the file says *)
+}
+
+val run : ?scenario:Scenario.t -> Repro.t -> (outcome, string) result
+(** Re-execute a repro.  [?scenario] overrides {!Scenario.find} —
+    how tests replay custom scenarios that are not in the registry. *)
+
+val shrink : ?scenario:Scenario.t -> Repro.t -> (Repro.t, string) result
+(** Minimize a repro.  [Error] when the scenario is unknown or the
+    repro does not reproduce its own violations. *)
+
+val trim_trailing_zeros : int array -> int array
+(** Exposed for tests. *)

@@ -1,0 +1,245 @@
+module Fault = Resilix_vm.Fault
+
+let esc = Resilix_obs.Event.json_escape
+
+type t = {
+  scenario : string;
+  seed : int;
+  bound : int;
+  plan : Fault_plan.t;
+  decisions : int array;
+  violations : Invariant.violation list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let fault_line (e : Fault_plan.entry) =
+  match e.action with
+  | Fault_plan.Kill ->
+      Printf.sprintf {|{"type":"fault","at":%d,"target":"%s","action":"kill"}|} e.at
+        (esc e.target)
+  | Fault_plan.Inject fi ->
+      Printf.sprintf {|{"type":"fault","at":%d,"target":"%s","action":"inject","fault":%d}|}
+        e.at (esc e.target) fi
+
+let to_lines r =
+  let header =
+    Printf.sprintf {|{"type":"dst-repro","version":1,"scenario":"%s","seed":%d,"bound":%d}|}
+      (esc r.scenario) r.seed r.bound
+  in
+  let decisions =
+    Printf.sprintf {|{"type":"decisions","values":[%s]}|}
+      (String.concat "," (List.map string_of_int (Array.to_list r.decisions)))
+  in
+  let violations =
+    List.map
+      (fun v ->
+        Printf.sprintf {|{"type":"violation","invariant":"%s","detail":"%s"}|}
+          (esc v.Invariant.v_invariant) (esc v.Invariant.v_detail))
+      r.violations
+  in
+  (header :: List.map fault_line r.plan) @ (decisions :: violations)
+
+let save r path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> List.iter (fun l -> output_string oc (l ^ "\n")) (to_lines r))
+
+(* ------------------------------------------------------------------ *)
+(* A small parser for the flat JSON objects above                      *)
+(* ------------------------------------------------------------------ *)
+
+type jv = J_str of string | J_int of int | J_ints of int list
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+(* Parse one serialized line: a single-level object whose values are
+   strings, integers, or integer arrays — all this format ever emits. *)
+let parse_line line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some line.[!pos] else None in
+  let next () =
+    match peek () with
+    | Some c ->
+        incr pos;
+        c
+    | None -> bad "unexpected end of line"
+  in
+  let expect c =
+    let g = next () in
+    if g <> c then bad "expected '%c', got '%c'" c g
+  in
+  let skip_ws () =
+    while (match peek () with Some (' ' | '\t') -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match next () with
+      | '"' -> Buffer.contents buf
+      | '\\' -> (
+          (match next () with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 'u' ->
+              let hex = String.init 4 (fun _ -> next ()) in
+              Buffer.add_char buf (Char.chr (int_of_string ("0x" ^ hex) land 0xff))
+          | c -> bad "bad escape '\\%c'" c);
+          go ())
+      | c ->
+          Buffer.add_char buf c;
+          go ()
+    in
+    go ()
+  in
+  let parse_int () =
+    let start = !pos in
+    if peek () = Some '-' then incr pos;
+    while (match peek () with Some ('0' .. '9') -> true | _ -> false) do
+      incr pos
+    done;
+    if !pos = start then bad "expected integer";
+    int_of_string (String.sub line start (!pos - start))
+  in
+  let parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> J_str (parse_string ())
+    | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then begin
+          incr pos;
+          J_ints []
+        end
+        else begin
+          let items = ref [ parse_int () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            incr pos;
+            skip_ws ();
+            items := parse_int () :: !items;
+            skip_ws ()
+          done;
+          expect ']';
+          J_ints (List.rev !items)
+        end
+    | _ -> J_int (parse_int ())
+  in
+  skip_ws ();
+  expect '{';
+  let fields = ref [] in
+  skip_ws ();
+  if peek () = Some '}' then incr pos
+  else begin
+    let rec members () =
+      skip_ws ();
+      let key = parse_string () in
+      skip_ws ();
+      expect ':';
+      let v = parse_value () in
+      fields := (key, v) :: !fields;
+      skip_ws ();
+      match next () with
+      | ',' -> members ()
+      | '}' -> ()
+      | c -> bad "expected ',' or '}', got '%c'" c
+    in
+    members ()
+  end;
+  List.rev !fields
+
+let str fields key =
+  match List.assoc_opt key fields with
+  | Some (J_str s) -> s
+  | _ -> bad "missing string field %S" key
+
+let int fields key =
+  match List.assoc_opt key fields with
+  | Some (J_int i) -> i
+  | _ -> bad "missing integer field %S" key
+
+let of_lines lines =
+  let lines = List.filter (fun l -> String.trim l <> "") lines in
+  try
+    match List.map parse_line lines with
+    | [] -> Error "empty repro file"
+    | header :: rest ->
+        if List.assoc_opt "type" header <> Some (J_str "dst-repro") then
+          bad "not a dst-repro file";
+        (match List.assoc_opt "version" header with
+        | Some (J_int 1) -> ()
+        | _ -> bad "unsupported repro version");
+        let scenario = str header "scenario" in
+        let seed = int header "seed" in
+        let bound = int header "bound" in
+        let plan = ref [] and decisions = ref [||] and violations = ref [] in
+        List.iter
+          (fun fields ->
+            match str fields "type" with
+            | "fault" ->
+                let at = int fields "at" in
+                let target = str fields "target" in
+                let action =
+                  match str fields "action" with
+                  | "kill" -> Fault_plan.Kill
+                  | "inject" ->
+                      let fi = int fields "fault" in
+                      if fi < 0 || fi >= Array.length Fault.all then
+                        bad "fault index %d out of range" fi;
+                      Fault_plan.Inject fi
+                  | a -> bad "unknown fault action %S" a
+                in
+                plan := { Fault_plan.at; target; action } :: !plan
+            | "decisions" -> (
+                match List.assoc_opt "values" fields with
+                | Some (J_ints vs) -> decisions := Array.of_list vs
+                | _ -> bad "decisions line without values")
+            | "violation" ->
+                violations :=
+                  {
+                    Invariant.v_invariant = str fields "invariant";
+                    v_detail = str fields "detail";
+                  }
+                  :: !violations
+            | ty -> bad "unknown line type %S" ty)
+          rest;
+        Ok
+          {
+            scenario;
+            seed;
+            bound;
+            plan = List.rev !plan;
+            decisions = !decisions;
+            violations = List.rev !violations;
+          }
+  with
+  | Bad m -> Error m
+  | Failure m -> Error m
+
+let load path =
+  let ic = open_in path in
+  let lines =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | line -> go (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        go [])
+  in
+  of_lines lines

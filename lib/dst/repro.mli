@@ -1,0 +1,33 @@
+(** Repro files: a failing exploration run as portable JSONL.
+
+    One line per fact, so repros diff and shrink cleanly:
+    {v
+    {"type":"dst-repro","version":1,"scenario":"wget","seed":9,"bound":1000}
+    {"type":"fault","at":150000,"target":"eth.rtl8139","action":"kill"}
+    {"type":"decisions","values":[1,0,2]}
+    {"type":"violation","invariant":"span-completeness","detail":"..."}
+    v}
+
+    [fault] lines are the (possibly shrunk) {!Fault_plan.t} in time
+    order; [decisions] is the engine's recorded tie-break trace, fed
+    back as a [Scripted] policy on replay; [violation] lines are what
+    the original run tripped, which replay must reproduce. *)
+
+type t = {
+  scenario : string;  (** resolved via {!Scenario.find} on replay *)
+  seed : int;  (** the run's derived seed (machine RNG, plan) *)
+  bound : int;  (** recovery-span bound the invariants used, us *)
+  plan : Fault_plan.t;
+  decisions : int array;
+  violations : Invariant.violation list;
+}
+
+val to_lines : t -> string list
+val of_lines : string list -> (t, string) result
+
+val save : t -> string -> unit
+(** Write the JSONL file (one line per {!to_lines} element). *)
+
+val load : string -> (t, string) result
+(** Parse a file produced by {!save}; [Error] describes the first
+    malformed line. *)

@@ -1,0 +1,221 @@
+module System = Resilix_system.System
+module Hwmap = Resilix_system.Hwmap
+module Engine = Resilix_sim.Engine
+module Kernel = Resilix_kernel.Kernel
+module Endpoint = Resilix_proto.Endpoint
+module Message = Resilix_proto.Message
+module Span = Resilix_obs.Span
+module Fault = Resilix_vm.Fault
+module Data_store = Resilix_datastore.Data_store
+module Wget = Resilix_apps.Wget
+module Sockets = Resilix_apps.Sockets
+module Filegen = Resilix_net.Filegen
+
+type report = {
+  r_completed : bool;
+  r_checksum_ok : bool;
+  r_endpoints_ok : bool;
+  r_applied : int;
+  r_expected_spans : int;
+  r_recoveries : int;
+  r_spans : Span.t;
+  r_end_time : int;
+  r_decisions : int array;
+}
+
+type t = {
+  name : string;
+  targets : string list;
+  default_faults : int;
+  plan : seed:int -> faults:int -> Fault_plan.t;
+  run : seed:int -> policy:Engine.policy -> plan:Fault_plan.t -> report;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Helpers for scenario bodies                                         *)
+(* ------------------------------------------------------------------ *)
+
+let image_of_target = function
+  | "eth.rtl8139" ->
+      Some (Resilix_drivers.Netdriver_rtl8139.image_info ~base:Hwmap.rtl8139_base)
+  | "eth.dp8390" -> Some (Resilix_drivers.Netdriver_dp8390.image_info ~base:Hwmap.dp8390_base)
+  | "blk.sata" -> Some (Resilix_drivers.Blockdriver_disk.image_info ~base:Hwmap.sata_base)
+  | _ -> None
+
+(* Schedule every plan entry on the machine's engine.  An entry only
+   "applies" when its target has a live process at fire time (kills on
+   a mid-restart service miss, exactly like the paper's crash script);
+   the returned counters are reduced into the report. *)
+let apply_plan t plan =
+  let applied = ref 0 and expected_spans = ref 0 in
+  List.iter
+    (fun (e : Fault_plan.entry) ->
+      ignore
+        (Engine.schedule_at t.System.engine ~at:e.at (fun () ->
+             match e.action with
+             | Fault_plan.Kill -> (
+                 match System.kill_service_once t ~target:e.target with
+                 | Ok () ->
+                     incr applied;
+                     incr expected_spans
+                 | Error _ -> ())
+             | Fault_plan.Inject fi -> (
+                 match image_of_target e.target with
+                 | None -> ()
+                 | Some image -> (
+                     match
+                       System.inject_fault t ~target:e.target ~image Fault.all.(fi)
+                     with
+                     | Some _ -> incr applied
+                     | None -> ())))))
+    plan;
+  (applied, expected_spans)
+
+let endpoints_consistent t targets =
+  List.for_all
+    (fun name ->
+      match (Kernel.find_by_name t.System.kernel name, Data_store.lookup t.System.ds name) with
+      | Some live, Some published -> Endpoint.compare live published = 0
+      | _ -> false)
+    targets
+
+let report_of t ~completed ~checksum_ok ~applied ~expected_spans ~targets =
+  {
+    r_completed = completed;
+    r_checksum_ok = checksum_ok;
+    r_endpoints_ok = endpoints_consistent t targets;
+    r_applied = applied;
+    r_expected_spans = expected_spans;
+    r_recoveries =
+      List.length (List.filter (fun s -> s.Span.closed_at <> None) (Span.spans t.System.spans));
+    r_spans = t.System.spans;
+    r_end_time = Engine.now t.System.engine;
+    r_decisions = Engine.decisions t.System.engine;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Built-in scenario: wget under Ethernet-driver kills                 *)
+(* ------------------------------------------------------------------ *)
+
+let wget_file_seed = 77
+
+let wget_run ~size ~seed ~policy ~plan =
+  let opts =
+    {
+      System.default_opts with
+      System.seed;
+      engine_policy = policy;
+      peer_files = [ ("file.bin", (size, wget_file_seed)) ];
+      disk_mb = 8;
+    }
+  in
+  let t = System.boot ~opts () in
+  System.start_services t [ System.spec_rtl8139 ~policy:"direct" () ];
+  let result = Wget.fresh_result () in
+  ignore
+    (System.spawn_app t ~name:"wget"
+       (Wget.make ~server:Hwmap.rtl_peer_ip ~port:80 ~file:"file.bin" result));
+  let applied, expected_spans = apply_plan t plan in
+  let finished = System.run_until t ~timeout:60_000_000 (fun () -> result.Wget.finished) in
+  (* Let the last recovery close and dependents re-bind before the
+     consistency probes run. *)
+  System.run t ~until:(Engine.now t.System.engine + 1_500_000);
+  report_of t ~completed:finished
+    ~checksum_ok:
+      (finished && result.Wget.ok
+      && String.equal result.Wget.fnv (Filegen.fnv_digest ~seed:wget_file_seed ~size))
+    ~applied:!applied ~expected_spans:!expected_spans ~targets:[ "eth.rtl8139" ]
+
+let wget_kills =
+  let start = 100_000 and horizon = 450_000 in
+  {
+    name = "wget";
+    targets = [ "eth.rtl8139" ];
+    default_faults = 3;
+    plan =
+      (fun ~seed ~faults ->
+        Fault_plan.generate ~seed ~targets:[ "eth.rtl8139" ] ~n:faults ~start ~horizon ());
+    run = (fun ~seed ~policy ~plan -> wget_run ~size:(1024 * 1024) ~seed ~policy ~plan);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Built-in scenario: fault injection into the DP8390 driver           *)
+(* ------------------------------------------------------------------ *)
+
+let dp_inject_run ~horizon ~seed ~policy ~plan =
+  let opts =
+    {
+      System.default_opts with
+      System.seed;
+      engine_policy = policy;
+      inet_driver = "eth.dp8390";
+      disk_mb = 8;
+    }
+  in
+  let t = System.boot ~opts () in
+  System.start_services t [ System.spec_dp8390 ~policy:"direct" ~heartbeat_period:200_000 () ];
+  let received = ref 0 in
+  ignore
+    (System.spawn_app t ~name:"udp-sink" (fun () ->
+         let module Api = Resilix_kernel.Sysif.Api in
+         match Sockets.socket Message.Udp with
+         | Error _ -> ()
+         | Ok sock -> (
+             match Sockets.listen sock ~port:9 with
+             | Error _ -> ()
+             | Ok () ->
+                 let rec pump () =
+                   (match Sockets.recvfrom sock ~len:2048 with
+                   | Ok _ -> incr received
+                   | Error _ -> Api.sleep 50_000);
+                   pump ()
+                 in
+                 pump ())));
+  let _stop =
+    Resilix_net.Peer.start_udp_stream t.System.dp_peer ~dst_ip:Hwmap.local_ip
+      ~dst_mac:Hwmap.dp8390_mac ~dst_port:9 ~src_port:7777 ~payload_len:700 ~interval:10_000
+  in
+  let applied, expected_spans = apply_plan t plan in
+  (* Silent-but-disabling faults (the paper's defect class 3): when
+     traffic stalls with a healthy-looking driver, the "user" requests
+     a restart so the run can make progress again. *)
+  let last_rx = ref 0 and last_progress = ref 0 in
+  let rec watchdog () =
+    let now = Engine.now t.System.engine in
+    if now < horizon + 2_000_000 then begin
+      if !received > !last_rx then begin
+        last_rx := !received;
+        last_progress := now
+      end
+      else if now - !last_progress > 1_000_000 then begin
+        last_progress := now;
+        match Kernel.find_by_name t.System.kernel "eth.dp8390" with
+        | Some _ -> ignore (System.kill_service_once t ~target:"eth.dp8390")
+        | None -> ()
+      end;
+      ignore (Engine.schedule t.System.engine ~after:100_000 watchdog)
+    end
+  in
+  watchdog ();
+  System.run t ~until:(horizon + 2_000_000);
+  report_of t
+    ~completed:(!received > 0)
+    ~checksum_ok:true ~applied:!applied ~expected_spans:!expected_spans
+    ~targets:[ "eth.dp8390" ]
+
+let dp_inject =
+  let start = 500_000 and horizon = 2_500_000 in
+  {
+    name = "dp-inject";
+    targets = [ "eth.dp8390" ];
+    default_faults = 10;
+    plan =
+      (fun ~seed ~faults ->
+        Fault_plan.generate ~seed ~targets:[ "eth.dp8390" ] ~n:faults ~start ~horizon
+          ~inject_prob:1.0 ());
+    run = (fun ~seed ~policy ~plan -> dp_inject_run ~horizon ~seed ~policy ~plan);
+  }
+
+let builtins = [ wget_kills; dp_inject ]
+
+let find name = List.find_opt (fun s -> s.name = name) builtins

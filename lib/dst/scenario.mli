@@ -1,0 +1,63 @@
+(** Exploration scenarios: boot + workload + fault plan, in a box.
+
+    A scenario is the unit the explorer permutes: it boots a fresh
+    machine under a given engine tie-break {!Resilix_sim.Engine.policy},
+    runs a workload while a {!Fault_plan.t} fires against it, and
+    distills the run into a {!report} that the invariant checker can
+    judge without re-inspecting the machine.
+
+    The record is public on purpose: tests and examples build custom
+    scenarios (e.g. with an artificially tight bound or a broken
+    workload) to force violations deterministically. *)
+
+type report = {
+  r_completed : bool;  (** the workload made progress / finished *)
+  r_checksum_ok : bool;  (** transferred data matched its digest *)
+  r_endpoints_ok : bool;
+      (** DS naming table agrees with the kernel's live process table
+          for every target service *)
+  r_applied : int;  (** plan entries that actually hit a live process *)
+  r_expected_spans : int;
+      (** applied kills — each must produce a closed recovery span *)
+  r_recoveries : int;  (** closed recovery spans observed *)
+  r_spans : Resilix_obs.Span.t;  (** the machine's span collector *)
+  r_end_time : int;  (** virtual clock at probe time, us *)
+  r_decisions : int array;  (** the engine's recorded tie-break trace *)
+}
+
+type t = {
+  name : string;  (** stable id used in repro files ([find name]) *)
+  targets : string list;  (** services the plan generator aims at *)
+  default_faults : int;  (** plan length when the caller has no opinion *)
+  plan : seed:int -> faults:int -> Fault_plan.t;
+      (** pure plan generator; the explorer calls it with per-run
+          derived seeds *)
+  run : seed:int -> policy:Resilix_sim.Engine.policy -> plan:Fault_plan.t -> report;
+      (** boot a fresh machine with [engine_policy = policy], execute
+          the workload under [plan], and report.  Must be hermetic: a
+          pure function of its three arguments. *)
+}
+
+val apply_plan : Resilix_system.System.t -> Fault_plan.t -> int ref * int ref
+(** Schedule every plan entry on the machine's engine.  Returns the
+    [(applied, expected_spans)] counters, live until the engine has
+    run past the last entry. *)
+
+val endpoints_consistent : Resilix_system.System.t -> string list -> bool
+(** The DST endpoint-consistency probe: for each named service, the
+    kernel has a live process {e and} DS publishes exactly its
+    endpoint. *)
+
+val wget_kills : t
+(** ["wget"]: a 1 MB HTTP transfer over the RTL8139 while the plan
+    SIGKILLs the driver (the paper's Sec. 7.1 workload, explorable). *)
+
+val dp_inject : t
+(** ["dp-inject"]: receive-side UDP traffic through the DP8390 while
+    the plan injects binary faults (Sec. 7.2, explorable). *)
+
+val builtins : t list
+
+val find : string -> t option
+(** Resolve a scenario by [name] — how replay maps a repro file back
+    to executable code. *)

@@ -31,7 +31,7 @@ let () =
    user callback never needs its own synchronization — and it writes
    to stderr (or a buffer), never stdout, keeping the table/JSONL
    byte-stream identical for every [jobs] value. *)
-let run_result ?jobs ?on_progress trials =
+let run_collect ?jobs ?on_progress trials =
   let arr = Array.of_list trials in
   let n = Array.length arr in
   let jobs =
@@ -40,7 +40,7 @@ let run_result ?jobs ?on_progress trials =
     | Some j -> min j (max n 1)
     | None -> min (default_jobs ()) (max n 1)
   in
-  if n = 0 then Ok []
+  if n = 0 then []
   else begin
     let results = Array.make n None in
     let completed = Atomic.make 0 in
@@ -88,18 +88,24 @@ let run_result ?jobs ?on_progress trials =
       worker ();
       List.iter Domain.join others
     end;
-    (* Every failed trial is reported, lowest index first — never just
-       the first exception a worker happened to hit. *)
-    let failures = ref [] and values = ref [] in
-    for i = n - 1 downto 0 do
-      match results.(i) with
-      | Some (Ok v) -> values := v :: !values
-      | Some (Error e) ->
-          failures := { f_index = i; f_name = arr.(i).Trial.name; f_error = e } :: !failures
-      | None -> assert false (* every index was claimed *)
-    done;
-    match !failures with [] -> Ok !values | fs -> Error fs
+    List.init n (fun i ->
+        match results.(i) with
+        | Some r -> r
+        | None -> assert false (* every index was claimed *))
   end
+
+let run_result ?jobs ?on_progress trials =
+  let names = Array.of_list (List.map (fun t -> t.Trial.name) trials) in
+  let collected = Array.of_list (run_collect ?jobs ?on_progress trials) in
+  (* Every failed trial is reported, lowest index first — never just
+     the first exception a worker happened to hit. *)
+  let failures = ref [] and values = ref [] in
+  for i = Array.length collected - 1 downto 0 do
+    match collected.(i) with
+    | Ok v -> values := v :: !values
+    | Error e -> failures := { f_index = i; f_name = names.(i); f_error = e } :: !failures
+  done;
+  match !failures with [] -> Ok !values | fs -> Error fs
 
 let run ?jobs ?on_progress trials =
   match run_result ?jobs ?on_progress trials with

@@ -50,6 +50,16 @@ val failures_summary : failure list -> string
     failed" followed by one indented line per failure) for callers
     that report and exit non-zero. *)
 
+val run_collect :
+  ?jobs:int -> ?on_progress:(progress -> unit) -> 'a Trial.t list -> ('a, exn) result list
+(** [run_collect trials] executes every trial and returns one
+    per-trial result in input order — [Ok v] for trials that returned,
+    [Error e] for trials that raised.  Unlike {!run_result}, the
+    successful results are kept even when some trials failed; the DST
+    explorer uses this to treat a crashed exploration run as a finding
+    rather than a campaign abort.  Same [jobs] clamping and dynamic
+    hand-out as {!run_result}. *)
+
 val run_result :
   ?jobs:int -> ?on_progress:(progress -> unit) -> 'a Trial.t list -> ('a list, failure list) result
 (** [run_result trials] executes every trial; [Ok results] in input

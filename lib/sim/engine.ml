@@ -2,14 +2,45 @@ type handle = { mutable cancelled : bool }
 
 type event = { fire : unit -> unit; handle : handle }
 
+type policy = Fifo | Seeded of int | Scripted of int array
+
 type t = {
   mutable clock : Time.t;
   mutable seq : int;
   queue : event Heap.t;
+  policy : policy;
+  (* Decision trace: one entry per instant at which >= 2 live events
+     competed, newest first.  Empty under [Fifo] (no overhead on the
+     default path). *)
+  mutable decisions : int list;
+  mutable n_decisions : int;
+  mutable script_pos : int;
 }
 
-let create () = { clock = Time.zero; seq = 0; queue = Heap.create () }
+let create ?(policy = Fifo) () =
+  {
+    clock = Time.zero;
+    seq = 0;
+    queue = Heap.create ();
+    policy;
+    decisions = [];
+    n_decisions = 0;
+    script_pos = 0;
+  }
+
 let now t = t.clock
+let policy t = t.policy
+
+let decisions t =
+  let arr = Array.make t.n_decisions 0 in
+  let rec fill i = function
+    | [] -> ()
+    | d :: rest ->
+        arr.(i) <- d;
+        fill (i - 1) rest
+  in
+  fill (t.n_decisions - 1) t.decisions;
+  arr
 
 let schedule_at t ~at fire =
   if Time.compare at t.clock < 0 then
@@ -26,13 +57,79 @@ let schedule t ~after fire =
 
 let cancel handle = handle.cancelled <- true
 
-let step t =
+(* Pop every live event scheduled for [at], in scheduling (seq) order.
+   Cancelled entries are reaped here: they never fire, so dropping
+   them does not change behaviour, only the [pending] count. *)
+let same_instant_live t ~at first =
+  let acc = ref (match first with Some se -> [ se ] | None -> []) in
+  let rec go () =
+    match Heap.peek t.queue with
+    | Some (at2, _, _) when at2 = at -> (
+        match Heap.pop t.queue with
+        | Some (_, s, e) ->
+            if not e.handle.cancelled then acc := (s, e) :: !acc;
+            go ()
+        | None -> ())
+    | _ -> ()
+  in
+  go ();
+  List.rev !acc
+
+(* Which of the [k] live candidates (listed in seq order) fires next.
+   [Fifo] would be 0; [Seeded] orders same-instant events by the
+   derived rank of their scheduling seq, i.e. a seeded permutation
+   that is a pure function of (seed, seq); [Scripted] replays a
+   recorded trace, falling back to FIFO when it runs out. *)
+let choose t ~k candidates =
+  match t.policy with
+  | Fifo -> 0
+  | Seeded seed ->
+      let best = ref 0 and best_rank = ref max_int in
+      List.iteri
+        (fun i (s, _) ->
+          let r = Rng.derive ~seed ~index:s in
+          if r < !best_rank then begin
+            best := i;
+            best_rank := r
+          end)
+        candidates;
+      !best
+  | Scripted arr ->
+      let d = if t.script_pos < Array.length arr then arr.(t.script_pos) else 0 in
+      t.script_pos <- t.script_pos + 1;
+      if d < 0 then 0 else min d (k - 1)
+
+let step_choice t =
   match Heap.pop t.queue with
   | None -> false
-  | Some (at, _, ev) ->
+  | Some (at, seq, ev) ->
       t.clock <- at;
-      if not ev.handle.cancelled then ev.fire ();
+      let first = if ev.handle.cancelled then None else Some (seq, ev) in
+      (match same_instant_live t ~at first with
+      | [] -> () (* every event at this instant was cancelled *)
+      | [ (_, e) ] -> e.fire () (* forced: no decision recorded *)
+      | candidates ->
+          let k = List.length candidates in
+          let choice = choose t ~k candidates in
+          t.decisions <- choice :: t.decisions;
+          t.n_decisions <- t.n_decisions + 1;
+          List.iteri
+            (fun i (s, e) -> if i <> choice then Heap.push t.queue ~key:at ~seq:s e)
+            candidates;
+          let _, chosen = List.nth candidates choice in
+          chosen.fire ());
       true
+
+let step t =
+  match t.policy with
+  | Seeded _ | Scripted _ -> step_choice t
+  | Fifo -> (
+      match Heap.pop t.queue with
+      | None -> false
+      | Some (at, _, ev) ->
+          t.clock <- at;
+          if not ev.handle.cancelled then ev.fire ();
+          true)
 
 let run ?until ?max_events t =
   let fired = ref 0 in

@@ -1,10 +1,16 @@
 (** Discrete-event simulation engine.
 
     The engine owns the virtual clock and a queue of pending events.
-    Events scheduled for the same instant fire in the order they were
-    scheduled.  The entire simulated operating system — kernel, device
-    models, timers — is driven by this single queue, which is what
-    makes runs deterministic and replayable. *)
+    Events scheduled for the same instant fire, by default, in the
+    order they were scheduled.  The entire simulated operating system —
+    kernel, device models, timers — is driven by this single queue,
+    which is what makes runs deterministic and replayable.
+
+    The same-instant order is pluggable ({!policy}): a seeded
+    permutation lets the deterministic-simulation-testing layer
+    ({!Resilix_dst}) explore adversarial interleavings, and every
+    choice it makes is recorded into a compact {!decisions} trace so a
+    failing schedule can be replayed exactly ([Scripted]). *)
 
 type t
 (** An engine instance. *)
@@ -12,8 +18,36 @@ type t
 type handle
 (** A cancellation handle for a scheduled event. *)
 
-val create : unit -> t
-(** A fresh engine with the clock at {!Time.zero}. *)
+(** How same-instant events are ordered.
+
+    - [Fifo] (the default): scheduling order — the historical
+      behaviour; no decisions are recorded and the hot path is
+      unchanged.
+    - [Seeded seed]: whenever [k >= 2] live events compete for the
+      same instant, the one with the smallest
+      [Rng.derive ~seed ~index:scheduling_seq] fires first — a seeded
+      permutation that is a pure function of the seed and each event's
+      scheduling position.
+    - [Scripted trace]: replays a recorded decision trace; each entry
+      is the index (in scheduling order) of the candidate that fired
+      at the corresponding choice point, clamped to the candidate
+      count.  When the trace runs out, further choices fall back to
+      FIFO (index 0). *)
+type policy = Fifo | Seeded of int | Scripted of int array
+
+val create : ?policy:policy -> unit -> t
+(** A fresh engine with the clock at {!Time.zero}.  [policy] defaults
+    to [Fifo]. *)
+
+val policy : t -> policy
+(** The tie-break policy the engine was created with. *)
+
+val decisions : t -> int array
+(** The decision trace so far: one entry per instant at which at least
+    two live events competed, each the chosen candidate's index in
+    scheduling order.  Instants with a single (forced) event record
+    nothing, which keeps the trace compact.  Always empty under
+    [Fifo]. *)
 
 val now : t -> Time.t
 (** Current virtual time. *)
@@ -29,7 +63,8 @@ val cancel : handle -> unit
 (** Prevents the event from firing.  Idempotent; safe after firing. *)
 
 val step : t -> bool
-(** Runs the single earliest pending event.  Returns [false] when the
+(** Runs the single earliest pending event (under a non-[Fifo] policy,
+    the candidate the policy chooses).  Returns [false] when the
     queue is empty. *)
 
 val run : ?until:Time.t -> ?max_events:int -> t -> unit
@@ -38,5 +73,6 @@ val run : ?until:Time.t -> ?max_events:int -> t -> unit
     fired.  Defaults: no time bound, no event bound. *)
 
 val pending : t -> int
-(** Number of events waiting (including cancelled ones not yet
-    reaped). *)
+(** Number of events waiting (under [Fifo], including cancelled ones
+    not yet reaped; choice policies reap cancelled same-instant
+    events while gathering candidates). *)

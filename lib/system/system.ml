@@ -16,6 +16,7 @@ module Service = Resilix_core.Service
 
 type opts = {
   seed : int;
+  engine_policy : Engine.policy;
   trace_echo : bool;
   inet_driver : string;
   disk_mb : int;
@@ -33,6 +34,7 @@ type opts = {
 let default_opts =
   {
     seed = 42;
+    engine_policy = Engine.Fifo;
     trace_echo = false;
     inet_driver = "eth.rtl8139";
     disk_mb = 64;
@@ -169,7 +171,7 @@ let spec_cd ?(policy = "direct") () =
 let server_priv = Privilege.server ~ipc_to:Privilege.All
 
 let boot ?(opts = default_opts) () =
-  let engine = Engine.create () in
+  let engine = Engine.create ~policy:opts.engine_policy () in
   let trace = Trace.create ~echo:opts.trace_echo () in
   let master_rng = Rng.create ~seed:opts.seed in
   let rng_kernel = Rng.split master_rng in

@@ -13,6 +13,9 @@ module Errno := Resilix_proto.Errno
 
 type opts = {
   seed : int;  (** master RNG seed; everything derives from it *)
+  engine_policy : Resilix_sim.Engine.policy;
+      (** same-instant event ordering (default FIFO; the DST layer
+          boots machines under seeded/scripted tie-breaking) *)
   trace_echo : bool;  (** mirror the trace to stderr *)
   inet_driver : string;  (** which Ethernet driver INET binds, e.g. ["eth.rtl8139"] *)
   disk_mb : int;  (** SATA disk size *)
@@ -28,8 +31,9 @@ type opts = {
 }
 
 val default_opts : opts
-(** Seed 42, 64 MB disk, no loss, no wedging, RTL8139 bound, 100 ms RS
-    tick, policies [direct] and [generic] predefined. *)
+(** Seed 42, FIFO tie-breaking, 64 MB disk, no loss, no wedging,
+    RTL8139 bound, 100 ms RS tick, policies [direct] and [generic]
+    predefined. *)
 
 type t = {
   engine : Resilix_sim.Engine.t;

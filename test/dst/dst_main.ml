@@ -1,0 +1,82 @@
+(* The @dst batch: a small fixed-seed exploration of the real machine,
+   run as part of `dune runtest`.
+
+   Everything here is deterministic — fixed seeds, fixed run counts —
+   and fast (a few seconds): it proves the full pipeline on actual
+   boots (explore -> finding -> shrink -> save -> load -> replay ->
+   reproduced) and that exploration output is identical for any job
+   count.  The paper-scale batch lives in test/slow behind
+   RESILIX_SLOW_TESTS=1. *)
+
+module Explore = Resilix_dst.Explore
+module Replay = Resilix_dst.Replay
+module Repro = Resilix_dst.Repro
+module Scenario = Resilix_dst.Scenario
+module Invariant = Resilix_dst.Invariant
+
+let failures = ref 0
+
+let check name ok =
+  if ok then Printf.printf "ok   %s\n%!" name
+  else begin
+    incr failures;
+    Printf.printf "FAIL %s\n%!" name
+  end
+
+let outcome_key (o : Explore.outcome) =
+  (o.Explore.o_index, o.Explore.o_seed, o.Explore.o_plan, Array.to_list o.Explore.o_decisions,
+   o.Explore.o_violations)
+
+let () =
+  let wget =
+    match Scenario.find "wget" with Some s -> s | None -> failwith "wget scenario missing"
+  in
+  (* 1. A clean batch: under the default (generous) bound, seeded
+     schedule exploration of driver kills must uphold every
+     invariant. *)
+  let clean = Explore.run ~jobs:2 wget ~seed:42 ~runs:2 () in
+  check "clean batch has no findings" (clean.Explore.failures = []);
+
+  (* 2. A violating batch: a 1 ms recovery bound is tighter than any
+     real restart, so every kill trips span-completeness —
+     deterministic findings without hunting for races. *)
+  let explore jobs = Explore.run ~jobs wget ~seed:42 ~runs:3 ~bound:1_000 () in
+  let r1 = explore 1 in
+  let r2 = explore 2 in
+  check "tight bound produces findings" (r1.Explore.failures <> []);
+  check "exploration is jobs-invariant"
+    (List.map outcome_key r1.Explore.failures = List.map outcome_key r2.Explore.failures);
+
+  (* 3. The finding round-trips through shrink, a repro file on disk,
+     and replay. *)
+  (match r1.Explore.failures with
+  | [] -> ()
+  | first :: _ -> (
+      let repro = Explore.to_repro r1 first in
+      match Replay.shrink repro with
+      | Error m -> check ("shrink succeeds: " ^ m) false
+      | Ok min -> (
+          check "shrunk plan is never larger"
+            (List.length min.Repro.plan <= List.length repro.Repro.plan);
+          check "shrunk trace is never larger"
+            (Array.length min.Repro.decisions <= Array.length repro.Repro.decisions);
+          check "shrinking preserves the failure"
+            (Invariant.same_failure min.Repro.violations repro.Repro.violations);
+          let path = Filename.temp_file "dst-batch" ".jsonl" in
+          Fun.protect
+            ~finally:(fun () -> Sys.remove path)
+            (fun () ->
+              Repro.save min path;
+              match Repro.load path with
+              | Error m -> check ("repro loads: " ^ m) false
+              | Ok loaded -> (
+                  check "repro file round-trips" (loaded = min);
+                  match Replay.run loaded with
+                  | Error m -> check ("replay runs: " ^ m) false
+                  | Ok outcome ->
+                      check "replay reproduces the violation" outcome.Replay.reproduced)))));
+  if !failures > 0 then begin
+    Printf.printf "@dst batch: %d check(s) failed\n" !failures;
+    exit 1
+  end;
+  print_endline "@dst batch passed"

@@ -18,4 +18,5 @@ let () =
       ("recovery", Test_recovery.tests);
       ("faultinj", Test_faultinj.tests);
       ("sclc", Test_sclc.tests);
+      ("dst", Test_dst.tests);
     ]

@@ -79,6 +79,34 @@ let () =
     (fun ~jobs ~on_progress ~obs ->
       E.Fig8.run ~jobs ~on_progress ~size:(fig8_mb * mb) ~intervals ~seed:42 ~obs ())
     E.Fig8.ok;
+  (* DST at exploration scale: a large seeded batch over both built-in
+     scenarios.  The runtest batch (test/dst) proves the pipeline on a
+     handful of runs; this proves the determinism contract holds over
+     hundreds of schedule permutations, jobs=1 vs jobs=4. *)
+  let module Explore = Resilix_dst.Explore in
+  let module Scenario = Resilix_dst.Scenario in
+  List.iter
+    (fun (name, runs, bound) ->
+      match Scenario.find name with
+      | None -> check (Printf.sprintf "dst: scenario %s exists" name) false
+      | Some sc ->
+          let t0 = Unix.gettimeofday () in
+          let explore jobs = Explore.run ~jobs sc ~seed:42 ~runs ~bound () in
+          let r1 = explore 1 and r4 = explore 4 in
+          let key (o : Explore.outcome) =
+            (o.Explore.o_index, o.Explore.o_seed, o.Explore.o_plan,
+             Array.to_list o.Explore.o_decisions, o.Explore.o_violations)
+          in
+          check
+            (Printf.sprintf "dst %s: %d-run exploration identical for jobs=1 and jobs=4" name
+               runs)
+            (List.map key r1.Explore.failures = List.map key r4.Explore.failures);
+          check
+            (Printf.sprintf "dst %s: generous bound stays clean" name)
+            (r1.Explore.failures = []);
+          Printf.printf "slow: dst %s done in %.1fs host wall clock\n%!" name
+            (Unix.gettimeofday () -. t0))
+    [ ("wget", 200, Explore.default_bound); ("dp-inject", 100, Explore.default_bound) ];
   if !failures > 0 then begin
     Printf.eprintf "slow: %d check(s) failed\n%!" !failures;
     exit 1

@@ -1,0 +1,349 @@
+(* Tests for lib/dst: fault plans, repro-file round-trips, invariant
+   checking, seeded exploration, replay, and trace shrinking.
+
+   The exploration/replay/shrink tests run on a synthetic "toy"
+   scenario that drives a bare engine instead of booting a full
+   machine, so the whole suite stays instant; the full-machine path is
+   exercised by the @dst batch (test/dst) and the CLI. *)
+
+module Engine = Resilix_sim.Engine
+module Span = Resilix_obs.Span
+module Status = Resilix_proto.Status
+module Fault = Resilix_vm.Fault
+module Fault_plan = Resilix_dst.Fault_plan
+module Scenario = Resilix_dst.Scenario
+module Invariant = Resilix_dst.Invariant
+module Repro = Resilix_dst.Repro
+module Explore = Resilix_dst.Explore
+module Replay = Resilix_dst.Replay
+
+(* ------------------------------------------------------------------ *)
+(* Fault plans                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_plan_pure_and_sorted () =
+  let gen () =
+    Fault_plan.generate ~seed:5 ~targets:[ "a"; "b" ] ~n:12 ~start:100 ~horizon:10_000 ()
+  in
+  let p1 = gen () and p2 = gen () in
+  Alcotest.(check bool) "same seed, same plan" true (p1 = p2);
+  Alcotest.(check int) "requested length" 12 (List.length p1);
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a.Fault_plan.at <= b.Fault_plan.at && sorted rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "sorted by time" true (sorted p1);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "time in window" true (e.Fault_plan.at >= 100 && e.Fault_plan.at < 10_000);
+      Alcotest.(check bool) "known target" true (List.mem e.Fault_plan.target [ "a"; "b" ]))
+    p1
+
+let test_plan_inject_prob () =
+  let all_kills = Fault_plan.generate ~seed:5 ~targets:[ "a" ] ~n:20 () in
+  Alcotest.(check bool) "prob 0 means all kills" true
+    (List.for_all (fun e -> e.Fault_plan.action = Fault_plan.Kill) all_kills);
+  let all_injects = Fault_plan.generate ~seed:5 ~targets:[ "a" ] ~n:20 ~inject_prob:1.0 () in
+  Alcotest.(check bool) "prob 1 means all valid injections" true
+    (List.for_all
+       (fun e ->
+         match e.Fault_plan.action with
+         | Fault_plan.Inject i -> i >= 0 && i < Array.length Fault.all
+         | Fault_plan.Kill -> false)
+       all_injects)
+
+let test_plan_invalid_args () =
+  Alcotest.check_raises "negative n" (Invalid_argument "Fault_plan.generate: negative n")
+    (fun () -> ignore (Fault_plan.generate ~seed:1 ~targets:[ "a" ] ~n:(-1) ()));
+  Alcotest.check_raises "no targets" (Invalid_argument "Fault_plan.generate: no targets")
+    (fun () -> ignore (Fault_plan.generate ~seed:1 ~targets:[] ~n:1 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Repro files                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let sample_repro =
+  {
+    Repro.scenario = "toy";
+    seed = 1234567890123;
+    bound = 1_000;
+    plan =
+      [
+        { Fault_plan.at = 100; target = "eth.rtl8139"; action = Fault_plan.Kill };
+        { Fault_plan.at = 250; target = "eth.dp8390"; action = Fault_plan.Inject 3 };
+      ];
+    decisions = [| 0; 2; 1 |];
+    violations =
+      [
+        {
+          Invariant.v_invariant = "span-completeness";
+          (* Exercises the string escaping on the round-trip. *)
+          v_detail = "says \"late\"\twith \\ and\nnewline";
+        };
+      ];
+  }
+
+let test_repro_roundtrip () =
+  let lines = Repro.to_lines sample_repro in
+  Alcotest.(check int) "header + 2 faults + decisions + violation" 5 (List.length lines);
+  match Repro.of_lines lines with
+  | Error m -> Alcotest.fail ("round-trip failed: " ^ m)
+  | Ok r -> Alcotest.(check bool) "round-trip preserves everything" true (r = sample_repro)
+
+let test_repro_file_roundtrip () =
+  let path = Filename.temp_file "dst-repro" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Repro.save sample_repro path;
+      match Repro.load path with
+      | Error m -> Alcotest.fail ("load failed: " ^ m)
+      | Ok r -> Alcotest.(check bool) "save/load preserves everything" true (r = sample_repro))
+
+let test_repro_rejects_garbage () =
+  let bad lines =
+    match Repro.of_lines lines with Error _ -> true | Ok _ -> false
+  in
+  Alcotest.(check bool) "empty input" true (bad []);
+  Alcotest.(check bool) "not a repro header" true (bad [ {|{"type":"fault","at":1}|} ]);
+  Alcotest.(check bool) "broken json" true
+    (bad [ {|{"type":"dst-repro","version":1,"scenario":"x","seed":|} ]);
+  Alcotest.(check bool) "unknown fault action" true
+    (bad
+       [
+         {|{"type":"dst-repro","version":1,"scenario":"x","seed":1,"bound":2}|};
+         {|{"type":"fault","at":1,"target":"t","action":"frobnicate"}|};
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Invariants                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let report ?(completed = true) ?(checksum = true) ?(endpoints = true) ?(applied = 0)
+    ?(expected_spans = 0) ?(recoveries = 0) ?(spans = Span.create ()) () =
+  {
+    Scenario.r_completed = completed;
+    r_checksum_ok = checksum;
+    r_endpoints_ok = endpoints;
+    r_applied = applied;
+    r_expected_spans = expected_spans;
+    r_recoveries = recoveries;
+    r_spans = spans;
+    r_end_time = 1_000_000;
+    r_decisions = [||];
+  }
+
+let names vs = Invariant.names vs
+
+let test_invariant_clean () =
+  Alcotest.(check (list string)) "clean report has no violations" []
+    (names (Invariant.check ~bound:1_000 (report ())))
+
+let test_invariant_each () =
+  Alcotest.(check (list string)) "deadlock" [ "no-deadlock" ]
+    (names (Invariant.check ~bound:1_000 (report ~completed:false ())));
+  Alcotest.(check (list string)) "checksum" [ "data-integrity" ]
+    (names (Invariant.check ~bound:1_000 (report ~checksum:false ())));
+  Alcotest.(check (list string)) "endpoints" [ "endpoint-consistency" ]
+    (names (Invariant.check ~bound:1_000 (report ~endpoints:false ())));
+  Alcotest.(check (list string)) "missing recovery" [ "span-completeness" ]
+    (names (Invariant.check ~bound:1_000 (report ~applied:2 ~expected_spans:2 ~recoveries:1 ())))
+
+let test_invariant_span_bound () =
+  let spans = Span.create () in
+  let s = Span.open_span spans ~component:"eth" ~defect:Status.D_exit ~repetition:1 ~now:100 in
+  Span.close s ~now:5_000;
+  let wide = report ~spans ~applied:1 ~expected_spans:1 ~recoveries:1 () in
+  Alcotest.(check (list string)) "span wider than the bound" [ "span-completeness" ]
+    (names (Invariant.check ~bound:1_000 wide));
+  Alcotest.(check (list string)) "same span within a looser bound" []
+    (names (Invariant.check ~bound:10_000 wide));
+  let open_spans = Span.create () in
+  ignore (Span.open_span open_spans ~component:"eth" ~defect:Status.D_exit ~repetition:1 ~now:100);
+  Alcotest.(check (list string)) "never-closed span" [ "span-completeness" ]
+    (names (Invariant.check ~bound:1_000 (report ~spans:open_spans ~recoveries:0 ())))
+
+let test_same_failure () =
+  let a = [ { Invariant.v_invariant = "no-deadlock"; v_detail = "x" } ] in
+  let b = [ { Invariant.v_invariant = "no-deadlock"; v_detail = "completely different" } ] in
+  let c = [ { Invariant.v_invariant = "data-integrity"; v_detail = "x" } ] in
+  Alcotest.(check bool) "details are not identity" true (Invariant.same_failure a b);
+  Alcotest.(check bool) "names are" false (Invariant.same_failure a c)
+
+(* ------------------------------------------------------------------ *)
+(* A toy scenario: a bare engine, no machine boot                      *)
+(*                                                                     *)
+(* Six same-instant events create choice points; the report fails      *)
+(* data-integrity when the plan has >= 3 entries, and no-deadlock      *)
+(* when the first tie-break picks candidate 2 — one plan-driven and    *)
+(* one schedule-driven violation for the shrinker to minimize.         *)
+(* ------------------------------------------------------------------ *)
+
+let toy =
+  let run ~seed ~policy ~plan =
+    ignore seed;
+    let engine = Engine.create ~policy () in
+    let first = ref None in
+    for i = 0 to 5 do
+      ignore
+        (Engine.schedule_at engine ~at:100 (fun () ->
+             if !first = None then first := Some i))
+    done;
+    List.iter
+      (fun e -> ignore (Engine.schedule_at engine ~at:e.Fault_plan.at (fun () -> ())))
+      plan;
+    Engine.run engine;
+    {
+      Scenario.r_completed = !first <> Some 2;
+      r_checksum_ok = List.length plan < 3;
+      r_endpoints_ok = true;
+      r_applied = List.length plan;
+      r_expected_spans = 0;
+      r_recoveries = 0;
+      r_spans = Span.create ();
+      r_end_time = Engine.now engine;
+      r_decisions = Engine.decisions engine;
+    }
+  in
+  {
+    Scenario.name = "toy";
+    targets = [ "toy" ];
+    default_faults = 4;
+    plan =
+      (fun ~seed ~faults ->
+        Fault_plan.generate ~seed ~targets:[ "toy" ] ~n:faults ~start:200 ~horizon:1_000 ());
+    run;
+  }
+
+let test_explore_finds_and_is_jobs_invariant () =
+  let outcome_key (o : Explore.outcome) =
+    (o.Explore.o_index, o.Explore.o_seed, o.Explore.o_plan, Array.to_list o.Explore.o_decisions,
+     o.Explore.o_violations)
+  in
+  let explore jobs = Explore.run ~jobs toy ~seed:11 ~runs:12 () in
+  let r1 = explore 1 and r4 = explore 4 in
+  Alcotest.(check bool) "the 4-entry default plan trips data-integrity" true
+    (List.length r1.Explore.failures > 0);
+  List.iter
+    (fun (o : Explore.outcome) ->
+      Alcotest.(check bool) "every failure names data-integrity" true
+        (List.mem "data-integrity" (names o.Explore.o_violations)))
+    r1.Explore.failures;
+  Alcotest.(check bool) "identical findings for jobs=1 and jobs=4" true
+    (List.map outcome_key r1.Explore.failures = List.map outcome_key r4.Explore.failures);
+  let indices = List.map (fun o -> o.Explore.o_index) r1.Explore.failures in
+  Alcotest.(check (list int)) "findings in run order" (List.sort compare indices) indices
+
+let test_explore_crash_is_a_finding () =
+  let crashing = { toy with Scenario.run = (fun ~seed ~policy ~plan ->
+      ignore (seed, policy, plan);
+      failwith "boom") }
+  in
+  let r = Explore.run ~jobs:2 crashing ~seed:3 ~runs:4 () in
+  Alcotest.(check int) "every run is a finding" 4 (List.length r.Explore.failures);
+  List.iter
+    (fun (o : Explore.outcome) ->
+      Alcotest.(check (list string)) "crash invariant" [ "scenario-crash" ]
+        (names o.Explore.o_violations);
+      Alcotest.(check int) "plan recovered from the seed" 4 (List.length o.Explore.o_plan))
+    r.Explore.failures
+
+let test_replay_reproduces () =
+  let result = Explore.run ~jobs:1 toy ~seed:11 ~runs:12 () in
+  match result.Explore.failures with
+  | [] -> Alcotest.fail "expected findings"
+  | first :: _ -> (
+      let repro = Explore.to_repro result first in
+      match Replay.run ~scenario:toy repro with
+      | Error m -> Alcotest.fail m
+      | Ok outcome ->
+          Alcotest.(check bool) "replay reproduces the violation" true
+            outcome.Replay.reproduced;
+          Alcotest.(check bool) "replay observes identical violations" true
+            (outcome.Replay.violations = first.Explore.o_violations))
+
+let test_replay_unknown_scenario () =
+  match Replay.run { sample_repro with Repro.scenario = "no-such" } with
+  | Error m -> Alcotest.(check bool) "names the scenario" true (String.length m > 0)
+  | Ok _ -> Alcotest.fail "expected an error"
+
+let test_shrink_minimizes_plan () =
+  let result = Explore.run ~jobs:1 toy ~seed:11 ~runs:12 () in
+  match result.Explore.failures with
+  | [] -> Alcotest.fail "expected findings"
+  | first :: _ -> (
+      let repro = Explore.to_repro result first in
+      match Replay.shrink ~scenario:toy repro with
+      | Error m -> Alcotest.fail m
+      | Ok min -> (
+          Alcotest.(check int) "plan minimized to the violation threshold" 3
+            (List.length min.Repro.plan);
+          Alcotest.(check bool) "never larger than the input" true
+            (List.length min.Repro.plan <= List.length repro.Repro.plan
+            && Array.length min.Repro.decisions <= Array.length repro.Repro.decisions);
+          Alcotest.(check (list string)) "same failure preserved"
+            (names repro.Repro.violations) (names min.Repro.violations);
+          (* The minimized repro still replays, and shrinking is a
+             fixpoint. *)
+          match Replay.run ~scenario:toy min with
+          | Error m -> Alcotest.fail m
+          | Ok outcome ->
+              Alcotest.(check bool) "minimized repro reproduces" true outcome.Replay.reproduced;
+              (match Replay.shrink ~scenario:toy min with
+              | Error m -> Alcotest.fail m
+              | Ok again ->
+                  Alcotest.(check bool) "shrink of shrunk is identity" true
+                    (again.Repro.plan = min.Repro.plan
+                    && again.Repro.decisions = min.Repro.decisions))))
+
+(* A schedule-driven violation: the failure only exists because a
+   tie-break picked candidate 2, so shrinking may trim the trace but
+   must keep that decision. *)
+let test_shrink_preserves_divergent_decision () =
+  let repro =
+    {
+      Repro.scenario = "toy";
+      seed = 0;
+      bound = 1_000;
+      plan = Fault_plan.generate ~seed:1 ~targets:[ "toy" ] ~n:2 ~start:200 ~horizon:1_000 ();
+      decisions = [| 2; 1; 1 |];
+      violations = [ { Invariant.v_invariant = "no-deadlock"; v_detail = "seed" } ];
+    }
+  in
+  match Replay.shrink ~scenario:toy repro with
+  | Error m -> Alcotest.fail m
+  | Ok min ->
+      Alcotest.(check int) "plan entries are irrelevant and dropped" 0
+        (List.length min.Repro.plan);
+      Alcotest.(check (list int)) "only the divergent tie-break survives" [ 2 ]
+        (Array.to_list min.Repro.decisions)
+
+let test_trim_trailing_zeros () =
+  Alcotest.(check (list int)) "trims" [ 1; 0; 2 ]
+    (Array.to_list (Replay.trim_trailing_zeros [| 1; 0; 2; 0; 0 |]));
+  Alcotest.(check (list int)) "all zeros" []
+    (Array.to_list (Replay.trim_trailing_zeros [| 0; 0 |]));
+  Alcotest.(check (list int)) "empty" [] (Array.to_list (Replay.trim_trailing_zeros [||]))
+
+let tests =
+  [
+    Alcotest.test_case "fault plan is pure and sorted" `Quick test_plan_pure_and_sorted;
+    Alcotest.test_case "fault plan inject probability" `Quick test_plan_inject_prob;
+    Alcotest.test_case "fault plan rejects bad args" `Quick test_plan_invalid_args;
+    Alcotest.test_case "repro line round-trip" `Quick test_repro_roundtrip;
+    Alcotest.test_case "repro file round-trip" `Quick test_repro_file_roundtrip;
+    Alcotest.test_case "repro rejects garbage" `Quick test_repro_rejects_garbage;
+    Alcotest.test_case "invariants: clean report" `Quick test_invariant_clean;
+    Alcotest.test_case "invariants: each violation" `Quick test_invariant_each;
+    Alcotest.test_case "invariants: span bound" `Quick test_invariant_span_bound;
+    Alcotest.test_case "failure identity" `Quick test_same_failure;
+    Alcotest.test_case "explore finds, jobs-invariant" `Quick
+      test_explore_finds_and_is_jobs_invariant;
+    Alcotest.test_case "explore treats crashes as findings" `Quick test_explore_crash_is_a_finding;
+    Alcotest.test_case "replay reproduces" `Quick test_replay_reproduces;
+    Alcotest.test_case "replay rejects unknown scenario" `Quick test_replay_unknown_scenario;
+    Alcotest.test_case "shrink minimizes the plan" `Quick test_shrink_minimizes_plan;
+    Alcotest.test_case "shrink preserves divergent decisions" `Quick
+      test_shrink_preserves_divergent_decision;
+    Alcotest.test_case "trim trailing zeros" `Quick test_trim_trailing_zeros;
+  ]

@@ -46,6 +46,39 @@ let test_run_until () =
   Engine.run engine;
   Alcotest.(check int) "remaining events fire later" 2 !fired
 
+(* Cancellation edge cases: a handle stays inert after its event has
+   fired, and cancelling twice is as harmless as cancelling once. *)
+let test_cancel_edge_cases () =
+  let engine = Engine.create () in
+  let fired = ref 0 in
+  let h = Engine.schedule engine ~after:(Time.usec 10) (fun () -> incr fired) in
+  Engine.run engine;
+  Alcotest.(check int) "event fired" 1 !fired;
+  Engine.cancel h;
+  Engine.cancel h;
+  ignore (Engine.schedule engine ~after:(Time.usec 10) (fun () -> incr fired));
+  Engine.run engine;
+  Alcotest.(check int) "cancel after firing cannot reach later events" 2 !fired;
+  let h2 = Engine.schedule engine ~after:(Time.usec 10) (fun () -> incr fired) in
+  Engine.cancel h2;
+  Engine.cancel h2;
+  Engine.run engine;
+  Alcotest.(check int) "double-cancel is a single cancel" 2 !fired
+
+(* [run ~until] leaves the clock exactly at the bound — whether the
+   queue still holds later events, is empty, or never had any. *)
+let test_run_until_exact_clock () =
+  let engine = Engine.create () in
+  Engine.run engine ~until:(Time.usec 70);
+  Alcotest.(check int) "empty queue still advances to the bound" 70 (Engine.now engine);
+  ignore (Engine.schedule engine ~after:(Time.usec 5) (fun () -> ()));
+  Engine.run engine ~until:(Time.usec 100);
+  Alcotest.(check int) "drained queue advances to the bound" 100 (Engine.now engine);
+  ignore (Engine.schedule engine ~after:(Time.usec 50) (fun () -> ()));
+  Engine.run engine ~until:(Time.usec 120);
+  Alcotest.(check int) "later events do not pull the clock past" 120 (Engine.now engine);
+  Alcotest.(check int) "the late event is still pending" 1 (Engine.pending engine)
+
 let test_nested_schedule () =
   let engine = Engine.create () in
   let times = ref [] in
@@ -127,6 +160,111 @@ let test_rng_derive_streams_independent () =
   Alcotest.check_raises "negative index rejected" (Invalid_argument "Rng.derive: negative index")
     (fun () -> ignore (Rng.derive ~seed:1 ~index:(-1)))
 
+(* The DST explorer seeds run [i] with [derive ~seed ~index:i]: no
+   collisions may exist among the (seed, index) pairs it uses —
+   adjacent indices, and indices far apart. *)
+let test_rng_derive_collision_free () =
+  List.iter
+    (fun seed ->
+      for i = 0 to 63 do
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: children %d and %d differ" seed i (i + 1))
+          true
+          (Rng.derive ~seed ~index:i <> Rng.derive ~seed ~index:(i + 1))
+      done)
+    [ 0; 1; 42; 7; max_int ];
+  let far = [ 0; 1; 1000; 1_000_000; 1 lsl 30; 1 lsl 40; 1 lsl 60 ] in
+  let children = List.map (fun i -> Rng.derive ~seed:7 ~index:i) far in
+  Alcotest.(check int)
+    "distant indices stay collision-free"
+    (List.length far)
+    (List.length (List.sort_uniq compare children))
+
+(* Child seeds are part of the repro-file contract: a repro records
+   the derived seed, so derive must never change across refactors.
+   These values pin the current splitmix64 derivation. *)
+let test_rng_derive_stability () =
+  let pins =
+    [
+      (42, 0, 1773080229305530473);
+      (42, 1, 2958219263312191191);
+      (42, 2, 3069497704473277141);
+      (7, 1_000_000, 4535786310112445390);
+      (7, 1 lsl 40, 834295082196018886);
+    ]
+  in
+  List.iter
+    (fun (seed, index, expected) ->
+      Alcotest.(check int)
+        (Printf.sprintf "derive ~seed:%d ~index:%d" seed index)
+        expected (Rng.derive ~seed ~index))
+    pins
+
+(* ------------------------------------------------------------------ *)
+(* Tie-break policies and the decision trace                           *)
+(* ------------------------------------------------------------------ *)
+
+let firing_order policy =
+  let engine = Engine.create ~policy () in
+  let order = ref [] in
+  for i = 1 to 6 do
+    ignore (Engine.schedule engine ~after:(Time.usec 5) (fun () -> order := i :: !order))
+  done;
+  Engine.run engine;
+  (List.rev !order, Engine.decisions engine)
+
+let test_policy_fifo_records_nothing () =
+  let order, decisions = firing_order Engine.Fifo in
+  Alcotest.(check (list int)) "FIFO order" [ 1; 2; 3; 4; 5; 6 ] order;
+  Alcotest.(check int) "FIFO records no decisions" 0 (Array.length decisions)
+
+let test_policy_seeded_permutation () =
+  let order_a, decisions = firing_order (Engine.Seeded 9) in
+  let order_b, _ = firing_order (Engine.Seeded 9) in
+  Alcotest.(check (list int)) "same seed, same schedule" order_a order_b;
+  Alcotest.(check (list int))
+    "a permutation of the same events"
+    [ 1; 2; 3; 4; 5; 6 ]
+    (List.sort compare order_a);
+  Alcotest.(check bool) "choice points were recorded" true (Array.length decisions > 0);
+  (* Different seeds must be able to produce different schedules. *)
+  let distinct =
+    List.sort_uniq compare (List.init 16 (fun s -> fst (firing_order (Engine.Seeded s))))
+  in
+  Alcotest.(check bool) "seeds explore multiple schedules" true (List.length distinct > 1)
+
+let test_policy_scripted_replays () =
+  let order, decisions = firing_order (Engine.Seeded 9) in
+  let replayed, rerecorded = firing_order (Engine.Scripted decisions) in
+  Alcotest.(check (list int)) "scripted replay reproduces the schedule" order replayed;
+  Alcotest.(check (list int))
+    "replay re-records the same trace"
+    (Array.to_list decisions) (Array.to_list rerecorded)
+
+let test_policy_scripted_fallback () =
+  (* An exhausted or out-of-range script degrades to FIFO, clamped. *)
+  let order, _ = firing_order (Engine.Scripted [||]) in
+  Alcotest.(check (list int)) "empty script is FIFO" [ 1; 2; 3; 4; 5; 6 ] order;
+  let order, rerecorded = firing_order (Engine.Scripted [| 99 |]) in
+  (match order with
+  | first :: _ -> Alcotest.(check int) "out-of-range choice clamps to last" 6 first
+  | [] -> Alcotest.fail "no events fired");
+  Alcotest.(check bool)
+    "the clamped choice is what gets recorded" true
+    (Array.length rerecorded > 0 && rerecorded.(0) = 5)
+
+(* Only real choice points (>= 2 live same-instant candidates) enter
+   the trace: cancelled events and singletons are not decisions. *)
+let test_policy_trace_is_compact () =
+  let engine = Engine.create ~policy:(Engine.Seeded 3) () in
+  ignore (Engine.schedule engine ~after:(Time.usec 1) (fun () -> ()));
+  ignore (Engine.schedule engine ~after:(Time.usec 2) (fun () -> ()));
+  let h = Engine.schedule engine ~after:(Time.usec 3) (fun () -> ()) in
+  ignore (Engine.schedule engine ~after:(Time.usec 3) (fun () -> ()));
+  Engine.cancel h;
+  Engine.run engine;
+  Alcotest.(check int) "no k>=2 choice ever arose" 0 (Array.length (Engine.decisions engine))
+
 let test_trace_query () =
   let trace = Trace.create () in
   Trace.emit trace ~now:(Time.usec 5) Trace.Info "rs" "restarting %s (attempt %d)" "eth" 2;
@@ -188,7 +326,9 @@ let tests =
     Alcotest.test_case "event ordering" `Quick test_event_ordering;
     Alcotest.test_case "FIFO tie-breaking" `Quick test_fifo_ties;
     Alcotest.test_case "cancellation" `Quick test_cancel;
+    Alcotest.test_case "cancellation edge cases" `Quick test_cancel_edge_cases;
     Alcotest.test_case "run ~until" `Quick test_run_until;
+    Alcotest.test_case "run ~until exact clock" `Quick test_run_until_exact_clock;
     Alcotest.test_case "nested scheduling" `Quick test_nested_schedule;
     Alcotest.test_case "no scheduling in the past" `Quick test_schedule_past_rejected;
     Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
@@ -197,6 +337,13 @@ let tests =
       test_rng_derive_order_independent;
     Alcotest.test_case "rng derived streams independent" `Quick
       test_rng_derive_streams_independent;
+    Alcotest.test_case "rng derive collision-free" `Quick test_rng_derive_collision_free;
+    Alcotest.test_case "rng derive pinned values" `Quick test_rng_derive_stability;
+    Alcotest.test_case "policy: fifo records nothing" `Quick test_policy_fifo_records_nothing;
+    Alcotest.test_case "policy: seeded permutation" `Quick test_policy_seeded_permutation;
+    Alcotest.test_case "policy: scripted replay" `Quick test_policy_scripted_replays;
+    Alcotest.test_case "policy: scripted fallback/clamp" `Quick test_policy_scripted_fallback;
+    Alcotest.test_case "policy: trace is compact" `Quick test_policy_trace_is_compact;
     Alcotest.test_case "trace query" `Quick test_trace_query;
     Alcotest.test_case "trace capacity bound" `Quick test_trace_capacity;
     QCheck_alcotest.to_alcotest prop_heap_sorted;
