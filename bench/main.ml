@@ -111,8 +111,8 @@ let measure_speedup ~jobs file =
     (Unix.gettimeofday () -. t0, r)
   in
   let jobs = match jobs with Some j -> j | None -> Campaign.default_jobs () in
-  let seq_s, seq = time (fun () -> Campaign.run ~jobs:1 (trials ())) in
-  let par_s, par = time (fun () -> Campaign.run ~jobs (trials ())) in
+  let seq_s, seq = time (fun () -> Campaign.(values (run ~jobs:1 (trials ())))) in
+  let par_s, par = time (fun () -> Campaign.(values (run ~jobs (trials ())))) in
   let identical = E.Fig7.reduce seq = E.Fig7.reduce par in
   (* A parallel wall clock below the timer resolution makes the ratio
      meaningless: flag the measurement invalid rather than reporting a

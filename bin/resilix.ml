@@ -98,6 +98,10 @@ let run_ablations jobs progress seed =
         (E.Ablations.policy_comparison ?jobs
            ?on_progress:(progress_for progress "ablation/policy")
            ~seed ());
+      E.Ablations.print_availability
+        (E.Ablations.availability_study ?jobs
+           ?on_progress:(progress_for progress "ablation/availability")
+           ~seed ());
       E.Ablations.print_ipc
         (E.Ablations.ipc_microbench ?jobs ?on_progress:(progress_for progress "ablation/ipc") ());
       0)
@@ -157,6 +161,45 @@ let run_explore jobs progress scenario_name seed runs faults bound repro_out no_
               Printf.printf "repro written to %s\n" file
           | None -> ());
           1)
+
+(* [resilix health SCENARIO]: one run of the scenario under the default
+   tie-break policy, judged by the degradation contract.  Exit status
+   is nagios-style: 0 when everything is healthy, 1 when components
+   are degraded, 2 when a circuit breaker is not closed. *)
+let run_health scenario_name seed faults =
+  match Dst.Scenario.find scenario_name with
+  | None ->
+      Printf.eprintf "unknown scenario %S (known: %s)\n" scenario_name
+        (String.concat ", " (List.map (fun s -> s.Dst.Scenario.name) Dst.Scenario.builtins));
+      3
+  | Some sc ->
+      let faults = Option.value faults ~default:sc.Dst.Scenario.default_faults in
+      let plan = sc.Dst.Scenario.plan ~seed ~faults in
+      let report = sc.Dst.Scenario.run ~seed ~policy:Resilix_sim.Engine.Fifo ~plan in
+      List.iter
+        (fun (b : Dst.Scenario.breaker_row) ->
+          Printf.printf "breaker %-16s %-9s trips=%d probes=%d failures=%d\n"
+            b.Dst.Scenario.b_component b.Dst.Scenario.b_state b.Dst.Scenario.b_trips
+            b.Dst.Scenario.b_probes b.Dst.Scenario.b_failures)
+        report.Dst.Scenario.r_breakers;
+      List.iter (Printf.printf "degraded %s\n") report.Dst.Scenario.r_degraded;
+      let breaker_open =
+        List.exists
+          (fun (b : Dst.Scenario.breaker_row) -> b.Dst.Scenario.b_state <> "closed")
+          report.Dst.Scenario.r_breakers
+      in
+      if breaker_open then begin
+        Printf.printf "health: BREAKER OPEN\n";
+        2
+      end
+      else if report.Dst.Scenario.r_degraded <> [] then begin
+        Printf.printf "health: DEGRADED\n";
+        1
+      end
+      else begin
+        Printf.printf "health: OK\n";
+        0
+      end
 
 let run_replay file do_shrink out =
   match Dst.Repro.load file with
@@ -251,6 +294,13 @@ let scenario_t =
 let runs_t =
   Arg.(value & opt int 16 & info [ "runs" ] ~doc:"Number of seeded runs to explore.")
 
+let health_scenario_t =
+  Arg.(
+    value
+    & pos 0 string "flaky"
+    & info [] ~docv:"SCENARIO"
+        ~doc:"Scenario to run the health probe against (default: $(b,flaky)).")
+
 let explore_faults_t =
   Arg.(
     value
@@ -313,6 +363,11 @@ let fig9_cmd =
 let ablations_cmd =
   cmd "ablations" "Design-choice ablations" Term.(const run_ablations $ jobs_t $ progress_t $ seed_t)
 
+let health_cmd =
+  cmd "health"
+    "Run a scenario once and report the degradation contract (exit 0 healthy, 1 degraded, 2      breaker open)"
+    Term.(const run_health $ health_scenario_t $ seed_t $ explore_faults_t)
+
 let explore_cmd =
   cmd "explore" "Seeded schedule/fault exploration of a scenario (DST)"
     Term.(
@@ -369,6 +424,7 @@ let () =
             sec72_cmd;
             fig9_cmd;
             ablations_cmd;
+            health_cmd;
             explore_cmd;
             replay_cmd;
             all_cmd;

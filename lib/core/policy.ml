@@ -15,7 +15,16 @@ type action =
   | Restart_dependents of string list
   | Reboot_after of { max_failures : int }
 
-type t = { actions : action list }
+type breaker_config = {
+  trip_threshold : int;
+  window_us : int;
+  cooldown_us : int;
+  confirm_us : int;
+}
+
+type t =
+  | Script of action list
+  | Breaker of { config : breaker_config; script : action list }
 
 type ctx = {
   component : string;
@@ -24,15 +33,37 @@ type ctx = {
   params : string list;
 }
 
-let direct = { actions = [ Restart ] }
+let script actions = Script actions
+let actions = function Script actions -> actions | Breaker { script; _ } -> script
+let breaker_config = function Script _ -> None | Breaker { config; _ } -> Some config
+
+let default_breaker_config =
+  { trip_threshold = 3; window_us = 10_000_000; cooldown_us = 5_000_000; confirm_us = 1_000_000 }
+
+let direct = Script [ Restart ]
 
 let generic ?alert ?(cap_sec = 32) () =
   let base = [ Backoff { cap_sec }; Restart ] in
-  match alert with None -> { actions = base } | Some a -> { actions = base @ [ Alert a ] }
+  match alert with None -> Script base | Some a -> Script (base @ [ Alert a ])
 
 let guarded ~max_failures ?alert () =
-  let g = generic ?alert () in
-  { actions = (Give_up_after { max_failures } :: g.actions) }
+  Script (Give_up_after { max_failures } :: actions (generic ?alert ()))
+
+let breaker ?(trip_threshold = default_breaker_config.trip_threshold)
+    ?(window_us = default_breaker_config.window_us)
+    ?(cooldown_us = default_breaker_config.cooldown_us)
+    ?(confirm_us = default_breaker_config.confirm_us) ?alert () =
+  let script = Restart :: (match alert with None -> [] | Some a -> [ Alert a ]) in
+  Breaker { config = { trip_threshold; window_us; cooldown_us; confirm_us }; script }
+
+let action_name = function
+  | Backoff _ -> "backoff"
+  | Restart -> "restart"
+  | Alert _ -> "alert"
+  | Log _ -> "log"
+  | Give_up_after _ -> "give-up-after"
+  | Restart_dependents _ -> "restart-dependents"
+  | Reboot_after _ -> "reboot-after"
 
 let request_restart ctx =
   match Api.sendrec Wellknown.rs (Message.Rs_service_restart { name = ctx.component }) with
@@ -62,6 +93,13 @@ let run ctx t =
   let rec go = function
     | [] -> ()
     | action :: rest -> (
+        Api.emit "policy"
+          (Event.Policy_action
+             {
+               component = ctx.component;
+               action = action_name action;
+               repetition = ctx.repetition;
+             });
         match action with
         | Backoff { cap_sec } ->
             (* "Binary exponential backoff is used before restarting,
@@ -121,4 +159,4 @@ let run ctx t =
             end
             else go rest)
   in
-  go t.actions
+  go (actions t)

@@ -18,15 +18,59 @@ type recovery_event = {
   repetition : int;
   detected_at : int;
   mutable recovered_at : int option;
+  mutable degraded : bool; (* the breaker absorbed this failure instead of restarting *)
 }
 
 (*@recovery-end*)
-type service_status = Up | Restarting | Down
+type service_status = Up | Restarting | Down | Degraded
 
 (*@recovery-begin*)
 (* After this much stable uptime the failure count resets, so an old
    crash does not inflate the backoff of an unrelated one much later. *)
 let failure_count_decay = 60_000_000
+
+(* Circuit breaker (policy v2).  The state machine lives here and not
+   in the policy script: scripts are a fresh child process per failure
+   and cannot carry state across invocations. *)
+type breaker_state = B_closed | B_open | B_half_open
+
+let breaker_state_name = function
+  | B_closed -> "closed"
+  | B_open -> "open"
+  | B_half_open -> "half-open"
+
+(* Gauge encoding: 0 closed / 1 open / 2 half-open. *)
+let breaker_state_gauge = function B_closed -> 0 | B_open -> 1 | B_half_open -> 2
+
+type breaker = {
+  bk_config : Policy.breaker_config;
+  mutable bk_state : breaker_state;
+  mutable bk_window : int list; (* failure times inside the window, newest first *)
+  mutable bk_trips : int; (* closed->open and half-open->open transitions *)
+  mutable bk_probes : int; (* half-open probe restarts attempted *)
+  mutable bk_opened_at : int; (* time of the most recent trip *)
+  mutable bk_degraded_since : int; (* first trip of the current degraded episode *)
+  mutable bk_probe_started_at : int; (* when the probe incarnation came up *)
+  (* proactive health-probe machinery (between heartbeats) *)
+  mutable bk_hp_outstanding : bool;
+  mutable bk_hp_misses : int;
+  mutable bk_hp_cycle : int; (* heartbeat cycle already probed (hb_last_request) *)
+}
+
+let fresh_breaker config =
+  {
+    bk_config = config;
+    bk_state = B_closed;
+    bk_window = [];
+    bk_trips = 0;
+    bk_probes = 0;
+    bk_opened_at = 0;
+    bk_degraded_since = 0;
+    bk_probe_started_at = 0;
+    bk_hp_outstanding = false;
+    bk_hp_misses = 0;
+    bk_hp_cycle = 0;
+  }
 
 (*@recovery-end*)
 type service = {
@@ -47,6 +91,8 @@ type service = {
   (* dynamic update: binary to use on next restart *)
   mutable pending_program : string option;
   mutable term_deadline : int option;
+  (* circuit breaker, when the service's policy requests one *)
+  breaker : breaker option;
 }
 
 type t = {
@@ -91,7 +137,53 @@ let service_state t name =
   | Some { status = Up; _ } -> `Up
   | Some { status = Restarting; _ } -> `Restarting
   | Some { status = Down; _ } -> `Down
+  | Some { status = Degraded; _ } -> `Degraded
   | None -> `Unknown
+
+let degraded_components t =
+  List.sort String.compare
+    (Hashtbl.fold
+       (fun name s acc -> if s.status = Degraded then name :: acc else acc)
+       t.services [])
+
+(* Read-only breaker snapshot for the DST invariants and the health
+   tooling; callable from outside the simulation (no [Api]). *)
+type breaker_stat = {
+  bs_component : string;
+  bs_state : breaker_state;
+  bs_trips : int;
+  bs_probes : int;
+  bs_threshold : int;
+  bs_window_us : int;
+  bs_cooldown_us : int;
+  bs_opened_at : int; (* time of the most recent trip; 0 if never tripped *)
+  bs_degraded_since : int option; (* current degraded episode, if any *)
+}
+
+let breaker_stats t =
+  List.sort
+    (fun a b -> String.compare a.bs_component b.bs_component)
+    (Hashtbl.fold
+       (fun name s acc ->
+         match s.breaker with
+         | None -> acc
+         | Some b ->
+             {
+               bs_component = name;
+               bs_state = b.bk_state;
+               bs_trips = b.bk_trips;
+               bs_probes = b.bk_probes;
+               bs_threshold = b.bk_config.Policy.trip_threshold;
+               bs_window_us = b.bk_config.Policy.window_us;
+               bs_cooldown_us = b.bk_config.Policy.cooldown_us;
+               bs_opened_at = b.bk_opened_at;
+               bs_degraded_since =
+                 (match b.bk_state with
+                 | B_open | B_half_open -> Some b.bk_degraded_since
+                 | B_closed -> None);
+             }
+             :: acc)
+       t.services [])
 
 let restarts_of t name =
   List.length
@@ -151,6 +243,11 @@ let start_process t service ~program =
       service.hb_misses <- 0;
       service.hb_last_request <- Api.now ();
       service.term_deadline <- None;
+      (match service.breaker with
+      | Some b ->
+          b.bk_hp_outstanding <- false;
+          b.bk_hp_misses <- 0
+      | None -> ());
       Span.mark_component t.spans spec.Spec.name Span.Respawn ~now:(Api.now ());
       (* Publication is what triggers dependent recovery. *)
       ds_publish spec.Spec.name (Message.V_endpoint ep);
@@ -178,6 +275,123 @@ let restart_now t service =
       complete_recovery t service;
       Ok ()
   | Error e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* Circuit breaker transitions (policy v2)                             *)
+(* ------------------------------------------------------------------ *)
+
+let breaker_gauge name = Printf.sprintf "rs.breaker.%s.state" name
+let degraded_key name = "degraded." ^ name
+
+let set_breaker_state t service b to_ =
+  let name = service.spec.Spec.name in
+  let from_ = b.bk_state in
+  if from_ <> to_ then begin
+    b.bk_state <- to_;
+    Api.metric_set (breaker_gauge name) (breaker_state_gauge to_);
+    Api.emit ~level:Event.Warn "rs"
+      (Event.Breaker
+         {
+           component = name;
+           from_state = breaker_state_name from_;
+           to_state = breaker_state_name to_;
+         });
+    match Span.current t.spans name with
+    | Some span ->
+        Span.tag span "policy" service.spec.Spec.policy;
+        Span.tag span "breaker" (breaker_state_name to_)
+    | None -> ()
+  end
+
+(* Open the breaker: park the service [Degraded], unpublish its
+   endpoint, and publish a ["degraded.<name>"] record so VFS/INET and
+   applications can fail new work cleanly instead of blocking. *)
+let breaker_trip t service b =
+  let name = service.spec.Spec.name in
+  let now = Api.now () in
+  b.bk_trips <- b.bk_trips + 1;
+  if b.bk_state = B_closed then b.bk_degraded_since <- now;
+  b.bk_opened_at <- now;
+  b.bk_window <- [];
+  service.status <- Degraded;
+  service.endpoint <- None;
+  (match t.event_log with
+  | event :: _ when String.equal event.component name -> event.degraded <- true
+  | _ -> ());
+  set_breaker_state t service b B_open;
+  log "breaker for %s tripped (%d failures within %dus); degrading" name
+    b.bk_config.Policy.trip_threshold b.bk_config.Policy.window_us;
+  ds_delete name;
+  ds_publish (degraded_key name) (Message.V_int now);
+  (* The recovery span ends here: degradation is this failure's
+     terminal state.  The half-open probe opens no span of its own. *)
+  Span.mark_component t.spans name Span.Policy ~now;
+  Span.close_component t.spans name ~now
+
+(* One failure landed on a breaker-guarded service.  Returns [true]
+   when the breaker absorbed it (tripped or re-opened) and no policy
+   script should run. *)
+let breaker_on_failure t service b =
+  let now = Api.now () in
+  match b.bk_state with
+  | B_half_open ->
+      (* The probe incarnation failed: straight back to open, with a
+         fresh cooldown. *)
+      breaker_trip t service b;
+      true
+  | B_open ->
+      (* A straggler defect while already parked; stay open. *)
+      breaker_trip t service b;
+      true
+  | B_closed ->
+      b.bk_window <-
+        now :: List.filter (fun ts -> now - ts <= b.bk_config.Policy.window_us) b.bk_window;
+      if List.length b.bk_window >= b.bk_config.Policy.trip_threshold then begin
+        breaker_trip t service b;
+        true
+      end
+      else false
+
+(* Cooldown expired: half-open, restart the component once as a probe.
+   [handle_tick] closes the breaker if the probe survives
+   [confirm_us]; a failure in between re-opens it. *)
+let breaker_probe t service b =
+  let name = service.spec.Spec.name in
+  let now = Api.now () in
+  b.bk_probes <- b.bk_probes + 1;
+  set_breaker_state t service b B_half_open;
+  log "breaker for %s half-open: probing with a fresh incarnation" name;
+  let program =
+    match service.pending_program with Some p -> p | None -> service.spec.Spec.program
+  in
+  service.pending_program <- None;
+  service.status <- Restarting;
+  match start_process t service ~program with
+  | Ok _ -> b.bk_probe_started_at <- Api.now ()
+  | Error _ ->
+      (* Could not even spawn: back to open, retry after another
+         cooldown. *)
+      service.status <- Degraded;
+      b.bk_opened_at <- now;
+      set_breaker_state t service b B_open
+
+(* The probe incarnation survived [confirm_us]: close the breaker and
+   lift the degradation.  Publishing a 0 value before deleting lets
+   subscribers (VFS, INET) observe the clearing — deletions alone do
+   not fan out. *)
+let breaker_close t service b =
+  let name = service.spec.Spec.name in
+  let now = Api.now () in
+  set_breaker_state t service b B_closed;
+  b.bk_window <- [];
+  Api.metric_observe "rs.degraded_us" (now - b.bk_degraded_since);
+  ds_publish (degraded_key name) (Message.V_int 0);
+  ds_delete (degraded_key name);
+  log "breaker for %s closed after %dus degraded" name (now - b.bk_degraded_since);
+  (* The degraded episode counts as one (slow) completed recovery. *)
+  match List.find_opt (fun e -> String.equal e.component name) t.event_log with
+  | Some event when event.recovered_at = None -> event.recovered_at <- Some now
+  | Some _ | None -> ()
 
 (* Launch the policy script in its own child process, mirroring the
    shell scripts of Sec. 5.2. *)
@@ -237,14 +451,25 @@ let initiate_recovery t service ~defect =
       repetition = service.failures;
       detected_at = Api.now ();
       recovered_at = None;
+      degraded = false;
     }
     :: t.event_log;
-  ignore
-    (Span.open_span t.spans ~component:spec.Spec.name ~defect ~repetition:service.failures
-       ~now:(Api.now ()));
+  let span =
+    Span.open_span t.spans ~component:spec.Spec.name ~defect ~repetition:service.failures
+      ~now:(Api.now ())
+  in
+  (match service.breaker with
+  | Some b ->
+      Span.tag span "policy" spec.Spec.policy;
+      Span.tag span "breaker" (breaker_state_name b.bk_state)
+  | None -> ());
   Api.emit ~level:Event.Warn "rs"
     (Event.Defect { component = spec.Spec.name; defect; repetition = service.failures });
-  if String.equal spec.Spec.policy "" then ignore (restart_now t service)
+  let absorbed =
+    match service.breaker with Some b -> breaker_on_failure t service b | None -> false
+  in
+  if absorbed then ()
+  else if String.equal spec.Spec.policy "" then ignore (restart_now t service)
   else
     match Hashtbl.find_opt t.policies spec.Spec.policy with
     | Some policy -> run_policy_script t service policy ~reason:defect
@@ -339,7 +564,52 @@ let handle_tick t =
                 (* Endpoint already dead; SIGCHLD is on its way. *)
                 ())
         | Some _ | None -> ()
-      end)
+      end;
+      (* Circuit breaker (policy v2): cooldown expiry, probe
+         confirmation, and proactive health probes between
+         heartbeats. *)
+      match service.breaker with
+      | None -> ()
+      | Some b -> (
+          match b.bk_state with
+          | B_open
+            when service.status = Degraded
+                 && now - b.bk_opened_at >= b.bk_config.Policy.cooldown_us ->
+              breaker_probe t service b
+          | B_half_open
+            when service.status = Up
+                 && now - b.bk_probe_started_at >= b.bk_config.Policy.confirm_us ->
+              breaker_close t service b
+          | _ ->
+              (* Health probe at the midpoint of each heartbeat cycle:
+                 catches a stuck component about half a period before
+                 the heartbeat machinery would. *)
+              if
+                service.status = Up && period > 0
+                && service.hb_last_request > b.bk_hp_cycle
+                && now - service.hb_last_request >= period / 2
+              then begin
+                if b.bk_hp_outstanding then begin
+                  b.bk_hp_misses <- b.bk_hp_misses + 1;
+                  Api.metric_incr "rs.health_probe.misses";
+                  Api.emit ~level:Event.Warn "rs"
+                    (Event.Heartbeat_miss
+                       { component = service.spec.Spec.name; misses = b.bk_hp_misses });
+                  if b.bk_hp_misses >= service.spec.Spec.max_heartbeat_misses then begin
+                    log "%s missed %d health probes; killing for recovery"
+                      service.spec.Spec.name b.bk_hp_misses;
+                    service.pending_defect <- Some Status.D_heartbeat;
+                    ignore (pm_kill ~pid:service.pid ~signal:Signal.Sig_kill)
+                  end
+                end;
+                match service.endpoint with
+                | Some ep when service.status = Up ->
+                    b.bk_hp_outstanding <- true;
+                    b.bk_hp_cycle <- service.hb_last_request;
+                    Api.metric_incr "rs.health_probe.sent";
+                    ignore (Api.notify ep Message.N_health_probe)
+                | Some _ | None -> ()
+              end))
     t.services;
   ignore (Api.alarm t.heartbeat_tick)
 
@@ -353,6 +623,16 @@ let handle_heartbeat_reply t src =
       | Some _ | None -> ())
     t.services
 
+let handle_health_reply t src =
+  Hashtbl.iter
+    (fun _name service ->
+      match (service.endpoint, service.breaker) with
+      | Some ep, Some b when Endpoint.equal ep src ->
+          b.bk_hp_outstanding <- false;
+          b.bk_hp_misses <- 0
+      | _ -> ())
+    t.services
+
 (*@recovery-end*)
 (* ------------------------------------------------------------------ *)
 (* Requests                                                            *)
@@ -364,6 +644,11 @@ let handle_up t ~src spec =
   match Hashtbl.find_opt t.services spec.Spec.name with
   | Some existing when existing.status <> Down -> rs_reply src (Error Errno.E_busy)
   | Some _ | None ->
+      let breaker =
+        match Hashtbl.find_opt t.policies spec.Spec.policy with
+        | Some policy -> Option.map fresh_breaker (Policy.breaker_config policy)
+        | None -> None
+      in
       let service =
         {
           spec;
@@ -378,6 +663,7 @@ let handle_up t ~src spec =
           pending_defect = None;
           pending_program = None;
           term_deadline = None;
+          breaker;
         }
       in
       Hashtbl.replace t.services spec.Spec.name service;
@@ -392,6 +678,15 @@ let handle_down t ~src name =
       service.status <- Down;
       if service.pid >= 0 then ignore (pm_kill ~pid:service.pid ~signal:Signal.Sig_kill);
       ds_delete name;
+      (* A deliberately stopped service is no longer degraded — clear
+         the record (publishing 0 first so subscribers see it). *)
+      (match service.breaker with
+      | Some b when b.bk_state <> B_closed ->
+          ds_publish (degraded_key name) (Message.V_int 0);
+          ds_delete (degraded_key name);
+          set_breaker_state t service b B_closed;
+          b.bk_window <- []
+      | Some _ | None -> ());
       rs_reply src (Ok ())
 
 (*@recovery-begin*)
@@ -470,11 +765,22 @@ let handle_reboot t ~src =
     t.services;
   (* Phase 2: boot every service afresh with a clean slate. *)
   Hashtbl.iter
-    (fun _name service ->
+    (fun name service ->
       service.failures <- 0;
       service.pending_defect <- None;
       service.pending_program <- None;
       service.term_deadline <- None;
+      (match service.breaker with
+      | Some b ->
+          if b.bk_state <> B_closed then begin
+            ds_publish (degraded_key name) (Message.V_int 0);
+            ds_delete (degraded_key name)
+          end;
+          set_breaker_state t service b B_closed;
+          b.bk_window <- [];
+          b.bk_hp_outstanding <- false;
+          b.bk_hp_misses <- 0
+      | None -> ());
       ignore (start_process t service ~program:service.spec.Spec.program))
     t.services;
   rs_reply src (Ok ())
@@ -502,6 +808,7 @@ let body t () =
     | Ok (Sysif.Rx_notify { kind = Message.N_sig Signal.Sig_chld; _ }) -> handle_sigchld t
     | Ok (Sysif.Rx_notify { kind = Message.N_alarm; _ }) -> handle_tick t
     | Ok (Sysif.Rx_notify { src; kind = Message.N_heartbeat_reply }) -> handle_heartbeat_reply t src
+    | Ok (Sysif.Rx_notify { src; kind = Message.N_health_reply }) -> handle_health_reply t src
     | Ok (Sysif.Rx_notify _) -> ()
     | Ok (Sysif.Rx_msg { src; body }) -> begin
         match body with

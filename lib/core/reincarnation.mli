@@ -17,7 +17,19 @@
     - {b Post-restart reintegration} (Sec. 5.3): after a restart RS
       publishes the service's new endpoint in the data store, whose
       publish/subscribe machinery pushes the update to dependents
-      (network server, VFS) that then re-integrate the driver. *)
+      (network server, VFS) that then re-integrate the driver.
+    - {b Circuit breakers and degradation} (policy v2): a service whose
+      policy is a {!Policy.Breaker} gets a per-component breaker.
+      [trip_threshold] failures within [window_us] park the service in
+      an explicit [`Degraded] state — its endpoint is unpublished and a
+      ["degraded.<name>"] record appears in the data store so VFS/INET
+      reject new work with [E_degraded] instead of blocking.  After
+      [cooldown_us] RS half-opens the breaker and probes with one fresh
+      incarnation; surviving [confirm_us] closes it again (publishing a
+      0-valued degraded record first so subscribers observe the
+      clearing), a failure re-opens it.  While the breaker is closed,
+      RS also sends proactive [N_health_probe] notifications at the
+      midpoint of each heartbeat cycle. *)
 
 module Status := Resilix_proto.Status
 module Endpoint := Resilix_proto.Endpoint
@@ -29,6 +41,31 @@ type recovery_event = {
   repetition : int;  (** failure count at detection time *)
   detected_at : int;  (** virtual time of defect detection *)
   mutable recovered_at : int option;  (** virtual time service was back up (None = not recovered) *)
+  mutable degraded : bool;
+      (** the breaker absorbed this failure (tripped or re-opened)
+          instead of restarting; [recovered_at] is then set only if a
+          later probe closed the breaker again *)
+}
+
+(** Circuit-breaker states (policy v2). *)
+type breaker_state = B_closed | B_open | B_half_open
+
+val breaker_state_name : breaker_state -> string
+(** ["closed"] / ["open"] / ["half-open"]. *)
+
+(** Read-only breaker snapshot, for the DST invariants and the
+    [resilix health] tooling.  Safe to call from outside the
+    simulation. *)
+type breaker_stat = {
+  bs_component : string;
+  bs_state : breaker_state;
+  bs_trips : int;  (** closed->open and half-open->open transitions *)
+  bs_probes : int;  (** half-open probe restarts attempted *)
+  bs_threshold : int;
+  bs_window_us : int;
+  bs_cooldown_us : int;
+  bs_opened_at : int;  (** time of the most recent trip; 0 if never tripped *)
+  bs_degraded_since : int option;  (** start of the current degraded episode, if any *)
 }
 
 type t
@@ -68,9 +105,18 @@ val spans : t -> Resilix_obs.Span.t
 val service_up : t -> string -> bool
 (** Whether the named service is currently believed up. *)
 
-val service_state : t -> string -> [ `Up | `Restarting | `Down | `Unknown ]
+val service_state : t -> string -> [ `Up | `Restarting | `Down | `Degraded | `Unknown ]
 (** Current lifecycle state of the named service ([`Restarting]
-    includes a policy script mid-backoff). *)
+    includes a policy script mid-backoff; [`Degraded] means the
+    circuit breaker is open and the service is parked). *)
+
+val degraded_components : t -> string list
+(** Services currently parked [`Degraded], sorted by name (RS's own
+    view; the data store serves the same list to other processes via
+    [Ds_degraded_list]). *)
+
+val breaker_stats : t -> breaker_stat list
+(** One snapshot per breaker-guarded service, sorted by name. *)
 
 val restarts_of : t -> string -> int
 (** Number of completed recoveries of the named service. *)

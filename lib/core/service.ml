@@ -21,6 +21,14 @@ let lookup name =
   | Ok _ -> Error Errno.E_io
   | Error e -> Error e
 
+(* The degradation contract's application-side query: ask DS which
+   components currently have an open circuit breaker. *)
+let degraded_components () =
+  match Api.sendrec Wellknown.ds Message.Ds_degraded_list with
+  | Ok (Sysif.Rx_msg { body = Message.Ds_degraded_list_reply { result }; _ }) -> result
+  | Ok _ -> Error Errno.E_io
+  | Error e -> Error e
+
 let wait_until_up ?(timeout = 5_000_000) name =
   let deadline = Api.now () + timeout in
   let rec poll () =

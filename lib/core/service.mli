@@ -25,6 +25,11 @@ val refresh : ?program:string -> string -> (unit, Errno.t) result
 val lookup : string -> (Endpoint.t * int, Errno.t) result
 (** Current endpoint and pid of a service. *)
 
+val degraded_components : unit -> (string list, Errno.t) result
+(** Ask the data store which components are currently degraded (open
+    circuit breaker) — the application-side query of the degradation
+    contract. *)
+
 val wait_until_up : ?timeout:int -> string -> (Endpoint.t, Errno.t) result
 (** Poll {!lookup} (with small sleeps) until the service is up or
     [timeout] (default 5 s) elapses. *)

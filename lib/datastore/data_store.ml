@@ -29,6 +29,26 @@ let lookup t name =
   | Some (Message.V_endpoint ep) -> Some ep
   | Some (Message.V_str _) | Some (Message.V_int _) | None -> None
 
+(* The components currently published as degraded: every non-zero
+   ["degraded.<name>"] record, name sorted.  RS publishes these when a
+   circuit breaker opens and clears them (0-publish then delete) when
+   it closes. *)
+let degraded_prefix = "degraded."
+
+let degraded t =
+  List.sort String.compare
+    (Hashtbl.fold
+       (fun key value acc ->
+         let plen = String.length degraded_prefix in
+         match value with
+         | Message.V_int v
+           when v <> 0
+                && String.length key > plen
+                && String.sub key 0 plen = degraded_prefix ->
+             String.sub key plen (String.length key - plen) :: acc
+         | _ -> acc)
+       t.registry [])
+
 let subscriber_for t ep =
   match List.find_opt (fun s -> Endpoint.equal s.ep ep) t.subscribers with
   | Some s -> s
@@ -99,6 +119,8 @@ let body t () =
               | None -> Ok None
             in
             reply src (Message.Ds_check_reply { result })
+        | Message.Ds_degraded_list ->
+            reply src (Message.Ds_degraded_list_reply { result = Ok (degraded t) })
         | Message.Ds_snapshot_store { key; data } ->
             let result =
               match stable_name_of t src with

@@ -34,3 +34,9 @@ val lookup : t -> string -> Resilix_proto.Endpoint.t option
     when the key is absent or holds a non-endpoint value).  The DST
     endpoint-consistency probe compares this against the kernel's
     live process table. *)
+
+val degraded : t -> string list
+(** The components currently published as degraded (non-zero
+    ["degraded.<name>"] records), sorted.  Processes inside the
+    simulation get the same list via the [Ds_degraded_list] request;
+    this accessor serves the DST report and the health tooling. *)

@@ -37,10 +37,12 @@ let reply src result = ignore (Api.send src (Message.Dev_reply { result }))
 let handle_common_notify ~src ~kind ~on_irq ~on_alarm =
   match kind with
   | Message.N_heartbeat_request -> ignore (Api.notify src Message.N_heartbeat_reply) (*@recovery*)
+  | Message.N_health_probe -> ignore (Api.notify src Message.N_health_reply) (*@recovery*)
   | Message.N_sig Signal.Sig_term -> Api.exit (Status.Exited 0) (*@recovery*)
   | Message.N_irq line -> on_irq ~line
   | Message.N_alarm -> on_alarm ()
-  | Message.N_sig _ | Message.N_heartbeat_reply | Message.N_ds_update -> ()
+  | Message.N_sig _ | Message.N_heartbeat_reply | Message.N_health_reply | Message.N_ds_update ->
+      ()
 
 let run_dev handlers =
   (* One requests counter per driver, its name computed once so the

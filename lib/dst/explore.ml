@@ -35,7 +35,7 @@ let run ?jobs ?on_progress ?faults ?(bound = default_bound) (scenario : Scenario
             let report = scenario.Scenario.run ~seed:child ~policy:(Engine.Seeded child) ~plan in
             (plan, report)))
   in
-  let collected = Campaign.run_collect ?jobs ?on_progress trials in
+  let collected = (Campaign.run ?jobs ?on_progress trials).Campaign.outcomes in
   let failures = ref [] in
   List.iteri
     (fun i outcome ->

@@ -28,4 +28,20 @@ let check ~bound (r : Scenario.report) =
   if not r.Scenario.r_completed then
     add "no-deadlock"
       (Printf.sprintf "workload made no progress by t=%dus" r.Scenario.r_end_time);
+  List.iter
+    (fun (b : Scenario.breaker_row) ->
+      (* Each closed episode allows at most [threshold] failures before
+         tripping, there are at most [probes + 1] closed episodes, and
+         each probe can contribute one more failure. *)
+      let allowed = (b.Scenario.b_threshold * (b.Scenario.b_probes + 1)) + b.Scenario.b_probes in
+      if b.Scenario.b_failures > allowed then
+        add "breaker-bound"
+          (Printf.sprintf "%s failed %d time(s); its breaker bounds churn at %d (%d trip(s), %d probe(s))"
+             b.Scenario.b_component b.Scenario.b_failures allowed b.Scenario.b_trips
+             b.Scenario.b_probes);
+      if b.Scenario.b_overdue then
+        add "degraded-probe"
+          (Printf.sprintf "%s breaker open past its cooldown with no half-open probe at t=%dus"
+             b.Scenario.b_component r.Scenario.r_end_time))
+    r.Scenario.r_breakers;
   List.rev !vs

@@ -12,7 +12,13 @@
       table maps every target service to exactly the kernel's live
       endpoint (the pub/sub rebind protocol converges);
     - {b no-deadlock} — the workload made progress (no lost-wakeup /
-      stuck-IPC schedule exists).
+      stuck-IPC schedule exists);
+    - {b breaker-bound} — a breaker-guarded component never flaps more
+      than its breaker allows (at most [threshold] failures per closed
+      episode, one more per half-open probe);
+    - {b degraded-probe} — a degraded component is eventually probed: a
+      breaker never sits open past its cooldown (plus scheduling
+      slack) without a half-open probe attempt.
 
     Details are deterministic strings of virtual-time values, so equal
     runs produce byte-equal violations. *)

@@ -9,7 +9,21 @@ module Fault = Resilix_vm.Fault
 module Data_store = Resilix_datastore.Data_store
 module Wget = Resilix_apps.Wget
 module Sockets = Resilix_apps.Sockets
+module Fslib = Resilix_apps.Fslib
 module Filegen = Resilix_net.Filegen
+module Reincarnation = Resilix_core.Reincarnation
+module Spec = Resilix_proto.Spec
+module Privilege = Resilix_proto.Privilege
+
+type breaker_row = {
+  b_component : string;
+  b_state : string;
+  b_trips : int;
+  b_probes : int;
+  b_threshold : int;
+  b_failures : int;
+  b_overdue : bool;
+}
 
 type report = {
   r_completed : bool;
@@ -21,6 +35,8 @@ type report = {
   r_spans : Span.t;
   r_end_time : int;
   r_decisions : int array;
+  r_degraded : string list;
+  r_breakers : breaker_row list;
 }
 
 type t = {
@@ -30,6 +46,10 @@ type t = {
   plan : seed:int -> faults:int -> Fault_plan.t;
   run : seed:int -> policy:Engine.policy -> plan:Fault_plan.t -> report;
 }
+
+let make ~name ?(targets = []) ?(default_faults = 0)
+    ?(plan = fun ~seed:_ ~faults:_ -> []) ~run () =
+  { name; targets; default_faults; plan; run }
 
 (* ------------------------------------------------------------------ *)
 (* Helpers for scenario bodies                                         *)
@@ -72,12 +92,50 @@ let apply_plan t plan =
   (applied, expected_spans)
 
 let endpoints_consistent t targets =
+  let degraded = Data_store.degraded t.System.ds in
   List.for_all
     (fun name ->
-      match (Kernel.find_by_name t.System.kernel name, Data_store.lookup t.System.ds name) with
-      | Some live, Some published -> Endpoint.compare live published = 0
-      | _ -> false)
+      if List.mem name degraded then
+        (* A degraded component is parked on purpose: consistency means
+           DS does NOT publish an endpoint for it (nobody is routed to
+           the parked driver). *)
+        Option.is_none (Data_store.lookup t.System.ds name)
+      else
+        match (Kernel.find_by_name t.System.kernel name, Data_store.lookup t.System.ds name) with
+        | Some live, Some published -> Endpoint.compare live published = 0
+        | _ -> false)
     targets
+
+(* One second of slack past the cooldown: RS half-opens on its 100 ms
+   tick, so an open breaker strictly older than cooldown + 1 s means
+   the probe machinery is stuck — the "degraded components are
+   eventually probed" half of the DST invariant. *)
+let probe_slack_us = 1_000_000
+
+let breaker_rows t =
+  let now = Engine.now t.System.engine in
+  let events = Reincarnation.events t.System.rs in
+  List.map
+    (fun (b : Reincarnation.breaker_stat) ->
+      {
+        b_component = b.Reincarnation.bs_component;
+        b_state = Reincarnation.breaker_state_name b.Reincarnation.bs_state;
+        b_trips = b.Reincarnation.bs_trips;
+        b_probes = b.Reincarnation.bs_probes;
+        b_threshold = b.Reincarnation.bs_threshold;
+        b_failures =
+          List.length
+            (List.filter
+               (fun (e : Reincarnation.recovery_event) ->
+                 String.equal e.Reincarnation.component b.Reincarnation.bs_component)
+               events);
+        b_overdue =
+          (match b.Reincarnation.bs_state with
+          | Reincarnation.B_open ->
+              now - b.Reincarnation.bs_opened_at > b.Reincarnation.bs_cooldown_us + probe_slack_us
+          | Reincarnation.B_closed | Reincarnation.B_half_open -> false);
+      })
+    (Reincarnation.breaker_stats t.System.rs)
 
 let report_of t ~completed ~checksum_ok ~applied ~expected_spans ~targets =
   {
@@ -91,6 +149,8 @@ let report_of t ~completed ~checksum_ok ~applied ~expected_spans ~targets =
     r_spans = t.System.spans;
     r_end_time = Engine.now t.System.engine;
     r_decisions = Engine.decisions t.System.engine;
+    r_degraded = Data_store.degraded t.System.ds;
+    r_breakers = breaker_rows t;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -216,6 +276,64 @@ let dp_inject =
     run = (fun ~seed ~policy ~plan -> dp_inject_run ~horizon ~seed ~policy ~plan);
   }
 
-let builtins = [ wget_kills; dp_inject ]
+(* ------------------------------------------------------------------ *)
+(* Built-in scenario: a permanently-faulty driver under a breaker      *)
+(* ------------------------------------------------------------------ *)
+
+(* The audio driver is respawned as a program that panics shortly
+   after coming up, forever.  Under the paper's flat scripts RS would
+   restart it until the give-up bound (or without one, forever); under
+   the breaker policy the component must end parked — [`Degraded],
+   breaker open, endpoint unpublished — while the workload keeps
+   getting clean [E_degraded]/[E_io] errors instead of hanging. *)
+let flaky_horizon = 12_000_000
+
+let flaky_run ~seed ~policy ~plan =
+  let opts = { System.default_opts with System.seed; engine_policy = policy; disk_mb = 8 } in
+  let t = System.boot ~opts () in
+  Kernel.register_program t.System.kernel "chr.audio.flaky" (fun () ->
+      let module Api = Resilix_kernel.Sysif.Api in
+      Api.sleep 60_000;
+      Api.exit (Resilix_proto.Status.Panicked "flaky hardware"));
+  let spec =
+    Spec.make ~name:"chr.audio" ~program:"chr.audio.flaky"
+      ~privileges:(Privilege.driver ~ipc_to:[ "vfs" ] ~io_ports:[] ~irqs:[])
+      ~policy:"breaker" ~mem_kb:64 ()
+  in
+  System.start_services t [ spec ];
+  let iterations = ref 0 and clean_errors = ref 0 and hung = ref false in
+  ignore
+    (System.spawn_app t ~name:"audio-user" (fun () ->
+         let module Api = Resilix_kernel.Sysif.Api in
+         let rec pump () =
+           let t0 = Api.now () in
+           (match Fslib.open_file "/dev/audio" ~wr:true with
+           | Ok fd ->
+               (match Fslib.write fd (Bytes.make 256 'x') with
+               | Ok _ -> ()
+               | Error _ -> incr clean_errors);
+               ignore (Fslib.close fd)
+           | Error _ -> incr clean_errors);
+           (* A reply (even an error) must come back promptly; a parked
+              driver must never turn into an application hang. *)
+           if Api.now () - t0 > 2_000_000 then hung := true;
+           incr iterations;
+           Api.sleep 100_000;
+           pump ()
+         in
+         pump ()));
+  let applied, expected_spans = apply_plan t plan in
+  System.run t ~until:flaky_horizon;
+  report_of t
+    ~completed:((not !hung) && !iterations >= flaky_horizon / 100_000 / 2)
+    ~checksum_ok:true ~applied:!applied ~expected_spans:!expected_spans
+    ~targets:[ "chr.audio" ]
+
+let flaky =
+  make ~name:"flaky" ~targets:[ "chr.audio" ]
+    ~run:(fun ~seed ~policy ~plan -> flaky_run ~seed ~policy ~plan)
+    ()
+
+let builtins = [ wget_kills; dp_inject; flaky ]
 
 let find name = List.find_opt (fun s -> s.name = name) builtins

@@ -10,12 +10,27 @@
     scenarios (e.g. with an artificially tight bound or a broken
     workload) to force violations deterministically. *)
 
+type breaker_row = {
+  b_component : string;  (** the guarded service's stable name *)
+  b_state : string;  (** ["closed"] / ["open"] / ["half-open"] *)
+  b_trips : int;  (** transitions into [open] *)
+  b_probes : int;  (** half-open probe restarts attempted *)
+  b_threshold : int;  (** the breaker's trip threshold *)
+  b_failures : int;  (** recovery events recorded for the component *)
+  b_overdue : bool;
+      (** the breaker has been open for longer than its cooldown plus
+          slack without a probe — the probe machinery is stuck *)
+}
+(** One circuit breaker's end-of-run snapshot, judged by the
+    [breaker-bound] and [degraded-probe] invariants. *)
+
 type report = {
   r_completed : bool;  (** the workload made progress / finished *)
   r_checksum_ok : bool;  (** transferred data matched its digest *)
   r_endpoints_ok : bool;
       (** DS naming table agrees with the kernel's live process table
-          for every target service *)
+          for every target service (a degraded service counts as
+          consistent exactly when DS publishes no endpoint for it) *)
   r_applied : int;  (** plan entries that actually hit a live process *)
   r_expected_spans : int;
       (** applied kills — each must produce a closed recovery span *)
@@ -23,6 +38,9 @@ type report = {
   r_spans : Resilix_obs.Span.t;  (** the machine's span collector *)
   r_end_time : int;  (** virtual clock at probe time, us *)
   r_decisions : int array;  (** the engine's recorded tie-break trace *)
+  r_degraded : string list;
+      (** components published as degraded in DS at probe time *)
+  r_breakers : breaker_row list;  (** per-breaker snapshots *)
 }
 
 type t = {
@@ -37,6 +55,18 @@ type t = {
           the workload under [plan], and report.  Must be hermetic: a
           pure function of its three arguments. *)
 }
+
+val make :
+  name:string ->
+  ?targets:string list ->
+  ?default_faults:int ->
+  ?plan:(seed:int -> faults:int -> Fault_plan.t) ->
+  run:(seed:int -> policy:Resilix_sim.Engine.policy -> plan:Fault_plan.t -> report) ->
+  unit ->
+  t
+(** Smart constructor: [targets] defaults to none, [default_faults] to
+    0 and [plan] to the empty plan, so workload-only scenarios (and
+    test scenarios) don't have to spell out every field. *)
 
 val apply_plan : Resilix_system.System.t -> Fault_plan.t -> int ref * int ref
 (** Schedule every plan entry on the machine's engine.  Returns the
@@ -55,6 +85,14 @@ val wget_kills : t
 val dp_inject : t
 (** ["dp-inject"]: receive-side UDP traffic through the DP8390 while
     the plan injects binary faults (Sec. 7.2, explorable). *)
+
+val flaky : t
+(** ["flaky"]: the audio driver is replaced by a program that panics
+    forever while an application keeps issuing [/dev/audio] writes.
+    Under the ["breaker"] policy the component must end parked (open
+    breaker, [`Degraded], published in ["degraded.*"]) and the
+    application must keep receiving prompt, clean errors — never a
+    hang, never unbounded restart churn. *)
 
 val builtins : t list
 

@@ -43,6 +43,43 @@ val policy_comparison :
     backoff) and guarded (give-up) policies: backoff bounds the
     restart churn; give-up stops it. *)
 
+type availability_row = {
+  a_policy : string;
+  a_injected : int;  (** faults applied to the driver *)
+  a_crashes : int;  (** recovery events detected by RS *)
+  a_restarts : int;  (** events that ended in a recovery *)
+  a_downtime_us : int;  (** summed detection-to-recovery time *)
+  a_horizon_us : int;  (** measured window, injection start to probe *)
+  a_availability : float;  (** percent of the horizon the driver was serving *)
+  a_by_class : (string * int * int) list;
+      (** defect class name, failures of that class, downtime they
+          contributed (us) *)
+  a_end_state : string;  (** driver lifecycle state at the end *)
+}
+
+val availability_trials :
+  ?faults:int ->
+  ?inject_period:int ->
+  ?seed:int ->
+  unit ->
+  availability_row Resilix_harness.Trial.t list
+
+val availability_study :
+  ?jobs:int ->
+  ?on_progress:(Resilix_harness.Campaign.progress -> unit) ->
+  ?faults:int ->
+  ?inject_period:int ->
+  ?seed:int ->
+  unit ->
+  availability_row list
+(** The policy-v2 ablation: the DP8390 driver absorbs the Sec. 7.2
+    random binary-fault corpus once per policy (direct, generic
+    backoff, guarded give-up, circuit breaker) and each run is scored
+    on availability — downtime from defect detection to recovery,
+    split per defect class.  The breaker's parked (degraded) episodes
+    are charged as downtime, so the table shows the uptime-vs-churn
+    trade honestly. *)
+
 type ipc_row = { operation : string; cost_us : float }
 
 val ipc_trials : ?rounds:int -> unit -> ipc_row list Resilix_harness.Trial.t list
@@ -60,4 +97,5 @@ val ipc_microbench :
 
 val print_heartbeat : heartbeat_row list -> unit
 val print_policy : policy_row list -> unit
+val print_availability : availability_row list -> unit
 val print_ipc : ipc_row list -> unit

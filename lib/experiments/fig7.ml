@@ -104,7 +104,7 @@ let reduce results =
            rest
 
 let run ?jobs ?on_progress ?size ?intervals ?(seed = 42) ?obs () =
-  let results = Campaign.run ?jobs ?on_progress (trials ?size ?intervals ~seed ()) in
+  let results = Campaign.(values (run ?jobs ?on_progress (trials ?size ?intervals ~seed ()))) in
   (match obs with
   | None -> ()
   | Some sink -> List.iter (fun r -> List.iter sink r.obs_lines) results);

@@ -61,7 +61,7 @@ let trials ?root () =
     components
 
 let run ?jobs ?on_progress ?root () =
-  Resilix_harness.Campaign.run ?jobs ?on_progress (trials ?root ())
+  Resilix_harness.Campaign.(values (run ?jobs ?on_progress (trials ?root ())))
 
 let print rows =
   Table.section "Fig. 9 — executable LoC and recovery-specific LoC per component";

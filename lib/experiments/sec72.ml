@@ -242,8 +242,10 @@ let reduce results =
 let run ?jobs ?on_progress ?faults ?seed ?inject_period ?wedge_prob ?has_master_reset ?shard_size
     ?obs () =
   let results =
-    Campaign.run ?jobs ?on_progress
-      (trials ?faults ?seed ?inject_period ?wedge_prob ?has_master_reset ?shard_size ())
+    Campaign.(
+      values
+        (run ?jobs ?on_progress
+           (trials ?faults ?seed ?inject_period ?wedge_prob ?has_master_reset ?shard_size ())))
   in
   (match obs with
   | None -> ()

@@ -21,6 +21,7 @@ type t = {
   mutable next_fd : int;
   drivers : (string, Endpoint.t) Hashtbl.t; (* ds key -> cached endpoint *)
   mutable chardev_errors : int;
+  degraded_drivers : (string, unit) Hashtbl.t; (* ds key -> breaker open *)
 }
 
 let create ?(chardevs = []) () =
@@ -31,12 +32,42 @@ let create ?(chardevs = []) () =
       next_fd = 3;
       drivers = Hashtbl.create 8;
       chardev_errors = 0;
+      degraded_drivers = Hashtbl.create 4;
     }
   in
   List.iter (fun (path, target) -> Hashtbl.replace t.chardevs path target) chardevs;
   t
 
 let chardev_errors t = t.chardev_errors
+let degraded t = List.sort String.compare (Hashtbl.fold (fun k () acc -> k :: acc) t.degraded_drivers [])
+
+(* The degradation contract, VFS side: RS publishes ["degraded.<key>"]
+   when a driver's circuit breaker opens; while the record is live we
+   fail requests for that driver immediately with [E_degraded] instead
+   of letting applications block on (or crash into) a parked driver. *)
+let degraded_prefix = "degraded."
+
+let driver_degraded t key =
+  if Hashtbl.mem t.degraded_drivers key then begin
+    Api.metric_incr "vfs.chardev.degraded_rejects";
+    true
+  end
+  else false
+
+let drain_ds_updates t =
+  let plen = String.length degraded_prefix in
+  let rec drain () =
+    match Api.sendrec Wellknown.ds Message.Ds_check with
+    | Ok (Sysif.Rx_msg { body = Message.Ds_check_reply { result = Ok (Some (key, value)) }; _ }) ->
+        (if String.length key > plen && String.sub key 0 plen = degraded_prefix then
+           let component = String.sub key plen (String.length key - plen) in
+           match value with
+           | Message.V_int v when v <> 0 -> Hashtbl.replace t.degraded_drivers component ()
+           | _ -> Hashtbl.remove t.degraded_drivers component);
+        drain ()
+    | _ -> ()
+  in
+  drain ()
 
 let fd_key (owner : Endpoint.t) fd = (owner.Endpoint.slot, owner.Endpoint.gen, fd)
 
@@ -63,6 +94,8 @@ let resolve_driver t key ~fresh =
    operation is reported up, never silently retried (Sec. 6.3). *)
 let chardev_request t key msg =
   let attempt ep = Api.sendrec ep msg in
+  if driver_degraded t key then Error Errno.E_degraded
+  else
   match resolve_driver t key ~fresh:false with
   | None -> Error Errno.E_nodev
   | Some ep -> (
@@ -172,6 +205,8 @@ let handle_io t ~src ~fd ~grant ~len ~write =
                         | Error e -> Error e)
                   end
                 | F_chr { key; minor } -> begin
+                    if driver_degraded t key then Error Errno.E_degraded
+                    else
                     match resolve_driver t key ~fresh:false with
                     | None -> Error Errno.E_nodev
                     | Some ep -> begin
@@ -214,6 +249,8 @@ let handle_io t ~src ~fd ~grant ~len ~write =
                       r
                 end
               | F_chr { key; minor } -> begin
+                  if driver_degraded t key then Error Errno.E_degraded
+                  else
                   match resolve_driver t key ~fresh:false with
                   | None -> Error Errno.E_nodev
                   | Some ep -> begin
@@ -275,9 +312,12 @@ let handle_ioctl t ~src ~fd ~op ~arg =
   | Some _ -> Error Errno.E_inval
 
 let body t () =
+  (* Watch for breaker-driven degradation markers (policy v2). *)
+  ignore (Api.sendrec Wellknown.ds (Message.Ds_subscribe { pattern = "degraded.*" }));
   let rec loop () =
     (match Api.receive Sysif.Any with
     | Error _ -> ()
+    | Ok (Sysif.Rx_notify { kind = Message.N_ds_update; _ }) -> drain_ds_updates t
     | Ok (Sysif.Rx_notify _) -> ()
     | Ok (Sysif.Rx_msg { src; body }) -> begin
         match body with

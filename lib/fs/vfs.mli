@@ -29,3 +29,10 @@ val memory_kb : int
 val chardev_errors : t -> int
 (** Character-device operations that failed because the driver died —
     each is an error pushed to the application layer. *)
+
+val degraded : t -> string list
+(** The driver keys VFS currently treats as degraded (sorted).  VFS
+    subscribes to the ["degraded.*"] records the reincarnation server
+    publishes when a circuit breaker opens; while a driver is marked,
+    character-device operations on it fail immediately with
+    [E_degraded] instead of blocking on a parked driver. *)

@@ -31,7 +31,7 @@ let () =
    user callback never needs its own synchronization — and it writes
    to stderr (or a buffer), never stdout, keeping the table/JSONL
    byte-stream identical for every [jobs] value. *)
-let run_collect ?jobs ?on_progress trials =
+let collect ?jobs ?on_progress trials =
   let arr = Array.of_list trials in
   let n = Array.length arr in
   let jobs =
@@ -94,23 +94,29 @@ let run_collect ?jobs ?on_progress trials =
         | None -> assert false (* every index was claimed *))
   end
 
-let run_result ?jobs ?on_progress trials =
-  let names = Array.of_list (List.map (fun t -> t.Trial.name) trials) in
-  let collected = Array.of_list (run_collect ?jobs ?on_progress trials) in
-  (* Every failed trial is reported, lowest index first — never just
-     the first exception a worker happened to hit. *)
-  let failures = ref [] and values = ref [] in
-  for i = Array.length collected - 1 downto 0 do
-    match collected.(i) with
-    | Ok v -> values := v :: !values
-    | Error e -> failures := { f_index = i; f_name = names.(i); f_error = e } :: !failures
-  done;
-  match !failures with [] -> Ok !values | fs -> Error fs
+type 'a run_result = { outcomes : ('a, exn) result list; failures : failure list }
 
 let run ?jobs ?on_progress trials =
-  match run_result ?jobs ?on_progress trials with
-  | Ok values -> values
-  | Error fs -> raise (Partial fs)
+  let names = Array.of_list (List.map (fun t -> t.Trial.name) trials) in
+  let outcomes = collect ?jobs ?on_progress trials in
+  (* Every failed trial is reported, lowest index first — never just
+     the first exception a worker happened to hit. *)
+  let failures = ref [] in
+  List.iteri
+    (fun i r ->
+      match r with
+      | Ok _ -> ()
+      | Error e -> failures := { f_index = i; f_name = names.(i); f_error = e } :: !failures)
+    outcomes;
+  { outcomes; failures = List.rev !failures }
+
+let values r =
+  match r.failures with
+  | [] -> List.map (function Ok v -> v | Error e -> raise e) r.outcomes
+  | fs -> raise (Partial fs)
+
+(* Deprecated entry points, kept as one-line shims over [run]. *)
+let run_collect ?jobs ?on_progress trials = (run ?jobs ?on_progress trials).outcomes
 
 let run_named ?jobs ?on_progress trials =
-  List.map2 (fun t r -> (t.Trial.name, r)) trials (run ?jobs ?on_progress trials)
+  List.map2 (fun t r -> (t.Trial.name, r)) trials (values (run ?jobs ?on_progress trials))

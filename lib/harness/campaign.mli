@@ -5,11 +5,15 @@
     which worker picked up which trial — with hermetic trial bodies
     (see {!Trial}), [run ~jobs:1] and [run ~jobs:n] are byte-identical.
 
-    Exceptions raised by trial bodies are caught in the workers and
-    collected: after every worker has drained, {b all} failed trials
-    are reported (as a {!failure} list, lowest index first, each with
-    its trial's name) — via [Error] from {!run_result} or the
-    {!Partial} exception from {!run}.
+    There is one entry point, {!run}, and it is result-typed: every
+    trial's outcome is reported in a {!run_result} record, successful
+    or not, and {b all} failed trials are listed (as a {!failure}
+    list, lowest index first, each with its trial's name) — never just
+    the first exception a worker happened to hit.  Callers that want
+    the historical "give me the values or raise" behaviour compose
+    [values (run ...)]; callers that want to keep partial results (the
+    DST explorer treats a crashed run as a finding, not an abort) read
+    [.outcomes] directly.
 
     Long campaigns are observable through [?on_progress]: an optional
     observer invoked on trial completion from the worker domains,
@@ -41,7 +45,7 @@ type failure = {
 }
 
 exception Partial of failure list
-(** Raised by {!run} when at least one trial failed: every failure,
+(** Raised by {!values} when at least one trial failed: every failure,
     lowest trial index first.  A printer is registered, so an
     uncaught [Partial] still names each failed trial. *)
 
@@ -50,29 +54,35 @@ val failures_summary : failure list -> string
     failed" followed by one indented line per failure) for callers
     that report and exit non-zero. *)
 
+type 'a run_result = {
+  outcomes : ('a, exn) result list;
+      (** one per trial, input order: [Ok v] for trials that returned,
+          [Error e] for trials that raised *)
+  failures : failure list;
+      (** the [Error] outcomes again, with index and name attached,
+          lowest index first; empty iff every trial succeeded *)
+}
+
+val run :
+  ?jobs:int -> ?on_progress:(progress -> unit) -> 'a Trial.t list -> 'a run_result
+(** [run trials] executes every trial and reports every outcome.
+    [jobs] caps the number of domains (clamped to [1 .. length
+    trials]; [jobs:1] runs on the calling domain with no spawns at
+    all; [jobs < 1] is [Invalid_argument]).  Trials are handed out
+    dynamically (an atomic next-index counter), so long trials don't
+    serialize behind short ones. *)
+
+val values : 'a run_result -> 'a list
+(** The successful results, input order — or {!Partial} with the full
+    failure list if any trial failed.  [values (run trials)] is the
+    historical [Campaign.run]. *)
+
 val run_collect :
   ?jobs:int -> ?on_progress:(progress -> unit) -> 'a Trial.t list -> ('a, exn) result list
-(** [run_collect trials] executes every trial and returns one
-    per-trial result in input order — [Ok v] for trials that returned,
-    [Error e] for trials that raised.  Unlike {!run_result}, the
-    successful results are kept even when some trials failed; the DST
-    explorer uses this to treat a crashed exploration run as a finding
-    rather than a campaign abort.  Same [jobs] clamping and dynamic
-    hand-out as {!run_result}. *)
-
-val run_result :
-  ?jobs:int -> ?on_progress:(progress -> unit) -> 'a Trial.t list -> ('a list, failure list) result
-(** [run_result trials] executes every trial; [Ok results] in input
-    order when all succeeded, [Error failures] (lowest index first)
-    when any raised.  [jobs] caps the number of domains (clamped to
-    [1 .. length trials]; [jobs:1] runs on the calling domain with no
-    spawns at all).  Trials are handed out dynamically (an atomic
-    next-index counter), so long trials don't serialize behind short
-    ones. *)
-
-val run : ?jobs:int -> ?on_progress:(progress -> unit) -> 'a Trial.t list -> 'a list
-(** {!run_result}, raising {!Partial} on any failure. *)
+[@@ocaml.deprecated "use (Campaign.run ...).outcomes"]
+(** @deprecated [(run trials).outcomes]. *)
 
 val run_named :
   ?jobs:int -> ?on_progress:(progress -> unit) -> 'a Trial.t list -> (string * 'a) list
-(** {!run}, pairing each result with its trial's name. *)
+[@@ocaml.deprecated "use Campaign.values (Campaign.run ...) and pair with trial names"]
+(** @deprecated [values (run trials)] paired with each trial's name. *)

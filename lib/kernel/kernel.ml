@@ -518,6 +518,9 @@ and handle_syscall : type a. t -> proc -> a Sysif.syscall -> (a, unit) Effect.De
   | Sysif.Metric_observe (name, v) ->
       Metrics.observe_named t.metrics name v;
       ret_now ()
+  | Sysif.Metric_set (name, v) ->
+      Metrics.set_named t.metrics name v;
+      ret_now ()
   | Sysif.Yield cost -> ret ~cost ()
   | Sysif.Sleep d ->
       let abort e = discontinue k e in

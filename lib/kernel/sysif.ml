@@ -48,6 +48,7 @@ type 'a syscall =
   | Obs_emit : Event.level * string * Event.payload -> unit syscall (* level, subsystem, payload *)
   | Metric_add : string * int -> unit syscall (* named counter += n *)
   | Metric_observe : string * int -> unit syscall (* named histogram sample *)
+  | Metric_set : string * int -> unit syscall (* named gauge := v *)
   (* --- kernel calls --- *)
   | Safecopy : {
       dir : [ `Read | `Write ];
@@ -110,7 +111,7 @@ let kcall_name : type a. a syscall -> string option = function
   | Privctl _ -> Some "privctl"
   | Send _ | Asend _ | Receive _ | Sendrec _ | Notify _ | Sleep _ | Yield _ | Now | Self
   | My_memory | My_args | My_name | Random _ | Exit _ | Obs_emit _ | Metric_add _
-  | Metric_observe _ ->
+  | Metric_observe _ | Metric_set _ ->
       None
 
 (* Convenience wrappers used by all process code. *)
@@ -144,6 +145,7 @@ module Api = struct
   let metric_add name n = perform (Metric_add (name, n))
   let metric_incr name = metric_add name 1
   let metric_observe name v = perform (Metric_observe (name, v))
+  let metric_set name v = perform (Metric_set (name, v))
 
   let safecopy_from ~owner ~grant ~grant_off ~local_addr ~len =
     perform (Safecopy { dir = `Read; owner; grant; grant_off; local_addr; len })

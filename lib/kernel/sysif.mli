@@ -52,6 +52,7 @@ type 'a syscall =
   | Obs_emit : Event.level * string * Event.payload -> unit syscall
   | Metric_add : string * int -> unit syscall
   | Metric_observe : string * int -> unit syscall
+  | Metric_set : string * int -> unit syscall
   | Safecopy : {
       dir : [ `Read | `Write ];
       owner : Endpoint.t;
@@ -173,6 +174,9 @@ module Api : sig
 
   val metric_observe : string -> int -> unit
   (** Record a sample in the named histogram. *)
+
+  val metric_set : string -> int -> unit
+  (** Set the named gauge (e.g. a breaker-state indicator). *)
 
   val safecopy_from :
     owner:Endpoint.t -> grant:int -> grant_off:int -> local_addr:int -> len:int ->

@@ -54,6 +54,7 @@ type driver = {
   mutable tx_busy : bool;
   tx_queue : bytes Queue.t;
   mutable generation : int;
+  mutable degraded : bool;
 }
 
 type t = {
@@ -93,6 +94,7 @@ let create ~local_ip ~gateway_mac ~driver_key ?spans () =
         tx_busy = false;
         tx_queue = Queue.create ();
         generation = 0;
+        degraded = false;
       };
     next_ephemeral = 40000;
     outage_queued = 0;
@@ -101,6 +103,17 @@ let create ~local_ip ~gateway_mac ~driver_key ?spans () =
 
 let driver_generation t = t.drv.generation
 let frames_queued_during_outage t = t.outage_queued
+let driver_degraded t = t.drv.degraded
+
+(* The degradation contract, INET side: while the driver's breaker is
+   open we refuse work that would otherwise park forever — new TCP
+   connects and UDP sends fail fast with [E_degraded].  Established
+   connections keep their state; TCP retransmission resupplies them if
+   the driver ever comes back. *)
+let degraded_reject t src reply_msg =
+  ignore t;
+  Api.metric_incr "inet.degraded_rejects";
+  ignore (Api.send src reply_msg)
 
 let log fmt = Api.trace "inet" fmt
 
@@ -486,6 +499,9 @@ let handle_request t ~src body =
     end
   | Message.In_connect { sock; addr; port } -> begin
       match sock_of t sock with
+      | S_tcp_fresh when t.drv.degraded ->
+          ignore (addr, port);
+          degraded_reject t src (Message.In_reply { result = Error Errno.E_degraded })
       | S_tcp_fresh ->
           let local_port = t.next_ephemeral in
           t.next_ephemeral <- t.next_ephemeral + 1;
@@ -535,6 +551,8 @@ let handle_request t ~src body =
     end
   | Message.In_sendto { sock; addr; port; grant; len } -> begin
       match sock_of t sock with
+      | S_udp _ when t.drv.degraded ->
+          degraded_reject t src (Message.In_io_reply { result = Error Errno.E_degraded })
       | S_udp u when len >= 0 && len <= Wire.max_payload -> begin
           match Api.safecopy_from ~owner:src ~grant ~grant_off:0 ~local_addr:app_buf ~len with
           | Error e -> reply src (Message.In_io_reply { result = Error e })
@@ -596,6 +614,10 @@ let drain_ds_updates t =
     | Ok (Sysif.Rx_msg { body = Message.Ds_check_reply { result = Ok (Some (key, value)) }; _ }) ->
         (match value with
         | Message.V_endpoint ep when String.equal key t.driver_key -> integrate_driver t ep
+        | Message.V_int v when String.equal key ("degraded." ^ t.driver_key) ->
+            t.drv.degraded <- v <> 0;
+            if t.drv.degraded then log "driver %s degraded: refusing new work" t.driver_key
+            else log "driver %s degradation cleared" t.driver_key
         | _ -> ());
         loop ()
     | _ -> ()
@@ -617,6 +639,8 @@ let body t () =
   (* Subscribe to Ethernet driver updates (Sec. 5.3: "the network
      server subscribes ... by registering the expression 'eth.*'"). *)
   ignore (Api.sendrec Wellknown.ds (Message.Ds_subscribe { pattern = "eth.*" }));
+  (* ... and to breaker-driven degradation markers (policy v2). *)
+  ignore (Api.sendrec Wellknown.ds (Message.Ds_subscribe { pattern = "degraded.*" }));
   (* The driver may already be up. *)
   (match Api.sendrec Wellknown.ds (Message.Ds_retrieve { key = t.driver_key }) with
   | Ok (Sysif.Rx_msg { body = Message.Ds_retrieve_reply { result = Ok (Message.V_endpoint ep) }; _ })

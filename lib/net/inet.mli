@@ -37,3 +37,9 @@ val frames_queued_during_outage : t -> int
 (** Transmit frames that had to be postponed because the driver was
     dead (Sec. 6.1: "the request fails and is postponed until the
     driver is back"). *)
+
+val driver_degraded : t -> bool
+(** Whether INET currently treats its driver as degraded (open circuit
+    breaker, per the ["degraded.*"] data-store records).  While true,
+    new TCP connects and UDP sends fail fast with [E_degraded] instead
+    of parking until a restart that may never come. *)

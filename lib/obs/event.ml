@@ -15,6 +15,8 @@ type payload =
   | Exit of { ep : Endpoint.t; name : string; status : Status.exit_status }
   | Defect of { component : string; defect : Status.defect; repetition : int }
   | Policy_decision of { component : string; policy : string; decision : string }
+  | Policy_action of { component : string; action : string; repetition : int }
+  | Breaker of { component : string; from_state : string; to_state : string }
   | Restart of { component : string; ep : Endpoint.t; pid : int }
   | Ds_publish of { key : string }
   | Retry of { component : string; operation : string; count : int }
@@ -59,6 +61,10 @@ let message = function
         repetition
   | Policy_decision { component; policy; decision } ->
       Printf.sprintf "policy %s for %s: %s" policy component decision
+  | Policy_action { component; action; repetition } ->
+      Printf.sprintf "policy action %s for %s (failure #%d)" action component repetition
+  | Breaker { component; from_state; to_state } ->
+      Printf.sprintf "breaker for %s: %s -> %s" component from_state to_state
   | Restart { component; ep; pid } ->
       Printf.sprintf "service %s up as %s (pid %d)" component (Endpoint.to_string ep) pid
   | Ds_publish { key } -> Printf.sprintf "ds publish %s" key
@@ -100,6 +106,8 @@ let payload_kind = function
   | Exit _ -> "exit"
   | Defect _ -> "defect"
   | Policy_decision _ -> "policy_decision"
+  | Policy_action _ -> "policy_action"
+  | Breaker _ -> "breaker"
   | Restart _ -> "restart"
   | Ds_publish _ -> "ds_publish"
   | Retry _ -> "retry"

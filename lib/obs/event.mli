@@ -38,6 +38,11 @@ type payload =
       (** RS detected a failure: the start of a recovery (Sec. 5.1). *)
   | Policy_decision of { component : string; policy : string; decision : string }
       (** What the recovery policy chose to do (Sec. 5.2). *)
+  | Policy_action of { component : string; action : string; repetition : int }
+      (** One interpreted step of a policy script, in execution order —
+          lets experiments and DST traces see which action fired. *)
+  | Breaker of { component : string; from_state : string; to_state : string }
+      (** A circuit-breaker state transition (policy v2). *)
   | Restart of { component : string; ep : Endpoint.t; pid : int }
       (** A restarted component is back up with a fresh endpoint. *)
   | Ds_publish of { key : string }

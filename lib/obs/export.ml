@@ -45,12 +45,23 @@ let span_lines ?(label = "run") spans =
     let total =
       match Span.total_us s with None -> "null" | Some u -> string_of_int u
     in
+    (* Tags appended only when present, so runs that never tag a span
+       export byte-identical lines to the pre-tag format. *)
+    let tags =
+      match Span.tags s with
+      | [] -> ""
+      | kvs ->
+          Printf.sprintf ",\"tags\":{%s}"
+            (String.concat ","
+               (List.map (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (esc k) (esc v)) kvs))
+    in
     Printf.sprintf
-      "{\"type\":\"span\",\"label\":\"%s\",\"id\":%d,\"component\":\"%s\",\"defect\":\"%s\",\"repetition\":%d,\"opened_at_us\":%d,\"total_us\":%s,\"phases\":{%s}}"
+      "{\"type\":\"span\",\"label\":\"%s\",\"id\":%d,\"component\":\"%s\",\"defect\":\"%s\",\"repetition\":%d,\"opened_at_us\":%d,\"total_us\":%s,\"phases\":{%s}%s}"
       (esc label) s.id (esc s.component)
       (esc (Status.defect_name s.defect))
       s.repetition s.opened_at total
       (phase_obj (Span.phases s))
+      tags
   in
   let mttr_line (m : Span.mttr) =
     Printf.sprintf

@@ -24,6 +24,7 @@ type span = {
   opened_at : int;
   mutable marks : (phase * int) list;
   mutable closed_at : int option;
+  mutable span_tags : (string * string) list;
 }
 
 type t = { mutable next_id : int; mutable all : span list (* newest first *) }
@@ -40,6 +41,7 @@ let open_span t ~component ~defect ~repetition ~now =
       opened_at = now;
       marks = [ (Detect, now) ];
       closed_at = None;
+      span_tags = [];
     }
   in
   t.next_id <- t.next_id + 1;
@@ -48,6 +50,9 @@ let open_span t ~component ~defect ~repetition ~now =
 
 let mark s phase ~now =
   if not (List.mem_assoc phase s.marks) then s.marks <- (phase, now) :: s.marks
+
+let tag s key value = s.span_tags <- (key, value) :: List.remove_assoc key s.span_tags
+let tags s = List.sort compare s.span_tags
 
 let latest t component =
   List.find_opt (fun s -> String.equal s.component component) t.all

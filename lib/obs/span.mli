@@ -28,6 +28,7 @@ type span = {
   opened_at : int;  (** virtual time of detection *)
   mutable marks : (phase * int) list;  (** newest first *)
   mutable closed_at : int option;
+  mutable span_tags : (string * string) list;  (** free-form annotations, last write wins *)
 }
 
 type t
@@ -40,6 +41,13 @@ val open_span : t -> component:string -> defect:Status.defect -> repetition:int 
 
 val mark : span -> phase -> now:int -> unit
 (** Timestamp a phase.  Re-marking a phase keeps the first mark. *)
+
+val tag : span -> string -> string -> unit
+(** Annotate the span with a key/value tag (e.g. ["policy"],
+    ["breaker"]); re-tagging a key replaces its value. *)
+
+val tags : span -> (string * string) list
+(** All tags, sorted by key (deterministic for export). *)
 
 val mark_component : t -> string -> phase -> now:int -> unit
 (** Mark the component's most recent span.  Only open spans accept

@@ -18,6 +18,7 @@ type t =
   | E_nodev
   | E_range
   | E_nomem
+  | E_degraded
 [@@deriving eq]
 
 let to_string = function
@@ -40,6 +41,7 @@ let to_string = function
   | E_nodev -> "ENODEV"
   | E_range -> "ERANGE"
   | E_nomem -> "ENOMEM"
+  | E_degraded -> "EDEGRADED"
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
 let show = to_string

@@ -20,6 +20,9 @@ type t =
   | E_nodev  (** no driver registered for the device *)
   | E_range  (** offset/length outside the valid range *)
   | E_nomem  (** out of memory / grant slots *)
+  | E_degraded
+      (** target component is degraded: its circuit breaker is open and
+          the servers reject new work cleanly instead of blocking *)
 [@@deriving show, eq]
 
 val to_string : t -> string

@@ -37,6 +37,8 @@ type t =
   | Ds_subscribe of { pattern : string }
   | Ds_check
   | Ds_check_reply of { result : ((string * ds_value) option, Errno.t) result }
+  | Ds_degraded_list
+  | Ds_degraded_list_reply of { result : (string list, Errno.t) result }
   | Ds_snapshot_store of { key : string; data : string }
   | Ds_snapshot_fetch of { key : string }
   | Ds_snapshot_reply of { result : (string, Errno.t) result }
@@ -95,6 +97,8 @@ type notify_kind =
   | N_alarm
   | N_heartbeat_request
   | N_heartbeat_reply
+  | N_health_probe
+  | N_health_reply
   | N_ds_update
 [@@deriving show, eq]
 
@@ -131,6 +135,8 @@ let tag = function
   | Ds_subscribe _ -> "Ds_subscribe"
   | Ds_check -> "Ds_check"
   | Ds_check_reply _ -> "Ds_check_reply"
+  | Ds_degraded_list -> "Ds_degraded_list"
+  | Ds_degraded_list_reply _ -> "Ds_degraded_list_reply"
   | Ds_snapshot_store _ -> "Ds_snapshot_store"
   | Ds_snapshot_fetch _ -> "Ds_snapshot_fetch"
   | Ds_snapshot_reply _ -> "Ds_snapshot_reply"

@@ -70,6 +70,10 @@ type t =
       (** glob-lite pattern: ["eth.*"] matches every Ethernet driver *)
   | Ds_check  (** fetch the next pending update after an [N_ds_update] notification *)
   | Ds_check_reply of { result : ((string * ds_value) option, Errno.t) result }
+  | Ds_degraded_list
+      (** query the components currently published as degraded
+          (["degraded.*"] records with a non-zero value) *)
+  | Ds_degraded_list_reply of { result : (string list, Errno.t) result }
   | Ds_snapshot_store of { key : string; data : string }
       (** private state backup, authenticated by stable name (Sec. 5.3) *)
   | Ds_snapshot_fetch of { key : string }
@@ -131,6 +135,8 @@ type notify_kind =
   | N_alarm  (** kernel alarm set with the [alarm] kernel call *)
   | N_heartbeat_request  (** RS asking "are you alive?" (Sec. 5.1, input 4) *)
   | N_heartbeat_reply  (** driver's non-blocking "yes" *)
+  | N_health_probe  (** RS's proactive liveness probe between heartbeats (policy v2) *)
+  | N_health_reply  (** the component's non-blocking probe answer *)
   | N_ds_update  (** the data store has pending updates for a subscriber *)
 [@@deriving show, eq]
 

@@ -48,7 +48,11 @@ let default_opts =
     nic_wedge_prob = 0.;
     nic_has_master_reset = false;
     policies =
-      [ ("direct", Policy.direct); ("generic", Policy.generic ~alert:"root" ()) ];
+      [
+        ("direct", Policy.direct);
+        ("generic", Policy.generic ~alert:"root" ());
+        ("breaker", Policy.breaker ());
+      ];
     heartbeat_tick = 100_000;
   }
 

@@ -16,6 +16,7 @@ let () =
       ("system", Test_system.tests);
       ("chardev", Test_chardev.tests);
       ("recovery", Test_recovery.tests);
+      ("policy", Test_policy.tests);
       ("faultinj", Test_faultinj.tests);
       ("sclc", Test_sclc.tests);
       ("dst", Test_dst.tests);

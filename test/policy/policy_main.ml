@@ -1,0 +1,57 @@
+(* The @policy batch: the circuit-breaker degradation story on the
+   real machine, run as part of `dune runtest`.
+
+   Deterministic and fast: one full flaky-driver run (the breaker must
+   park the component while the workload keeps getting clean errors)
+   judged by the breaker invariants, then a tiny seeded exploration of
+   the same scenario to show the invariants hold across schedules.
+   Unit tests for the individual state-machine transitions live in
+   test/test_policy.ml. *)
+
+module Engine = Resilix_sim.Engine
+module Explore = Resilix_dst.Explore
+module Scenario = Resilix_dst.Scenario
+module Invariant = Resilix_dst.Invariant
+
+let failures = ref 0
+
+let check name ok =
+  if ok then Printf.printf "ok   %s\n%!" name
+  else begin
+    incr failures;
+    Printf.printf "FAIL %s\n%!" name
+  end
+
+let () =
+  let flaky =
+    match Scenario.find "flaky" with Some s -> s | None -> failwith "flaky scenario missing"
+  in
+  (* 1. One full run: permanently-faulty driver under the breaker
+     policy. *)
+  let plan = flaky.Scenario.plan ~seed:7 ~faults:flaky.Scenario.default_faults in
+  let r = flaky.Scenario.run ~seed:7 ~policy:Engine.Fifo ~plan in
+  check "workload never hangs" r.Scenario.r_completed;
+  check "component published degraded" (r.Scenario.r_degraded = [ "chr.audio" ]);
+  (match r.Scenario.r_breakers with
+  | [ b ] ->
+      check "breaker ends open" (b.Scenario.b_state = "open");
+      check "probes were attempted" (b.Scenario.b_probes >= 1);
+      check "churn stays within the breaker bound"
+        (b.Scenario.b_failures
+        <= (b.Scenario.b_threshold * (b.Scenario.b_probes + 1)) + b.Scenario.b_probes);
+      check "open breaker is never probe-overdue" (not b.Scenario.b_overdue)
+  | bs -> check (Printf.sprintf "one breaker row (got %d)" (List.length bs)) false);
+  check "breaker invariants hold on the run"
+    (Invariant.check ~bound:2_000_000 r = []);
+
+  (* 2. A small seeded exploration: the breaker-bound and
+     degraded-probe invariants must hold under schedule permutation
+     too. *)
+  let batch = Explore.run ~jobs:2 flaky ~seed:42 ~runs:2 () in
+  check "seeded exploration finds no violations" (batch.Explore.failures = []);
+
+  if !failures > 0 then begin
+    Printf.printf "@policy batch: %d check(s) failed\n" !failures;
+    exit 1
+  end;
+  print_endline "@policy batch passed"

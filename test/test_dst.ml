@@ -120,7 +120,8 @@ let test_repro_rejects_garbage () =
 (* ------------------------------------------------------------------ *)
 
 let report ?(completed = true) ?(checksum = true) ?(endpoints = true) ?(applied = 0)
-    ?(expected_spans = 0) ?(recoveries = 0) ?(spans = Span.create ()) () =
+    ?(expected_spans = 0) ?(recoveries = 0) ?(spans = Span.create ()) ?(degraded = [])
+    ?(breakers = []) () =
   {
     Scenario.r_completed = completed;
     r_checksum_ok = checksum;
@@ -131,6 +132,8 @@ let report ?(completed = true) ?(checksum = true) ?(endpoints = true) ?(applied 
     r_spans = spans;
     r_end_time = 1_000_000;
     r_decisions = [||];
+    r_degraded = degraded;
+    r_breakers = breakers;
   }
 
 let names vs = Invariant.names vs
@@ -203,17 +206,14 @@ let toy =
       r_spans = Span.create ();
       r_end_time = Engine.now engine;
       r_decisions = Engine.decisions engine;
+      r_degraded = [];
+      r_breakers = [];
     }
   in
-  {
-    Scenario.name = "toy";
-    targets = [ "toy" ];
-    default_faults = 4;
-    plan =
-      (fun ~seed ~faults ->
-        Fault_plan.generate ~seed ~targets:[ "toy" ] ~n:faults ~start:200 ~horizon:1_000 ());
-    run;
-  }
+  Scenario.make ~name:"toy" ~targets:[ "toy" ] ~default_faults:4
+    ~plan:(fun ~seed ~faults ->
+      Fault_plan.generate ~seed ~targets:[ "toy" ] ~n:faults ~start:200 ~horizon:1_000 ())
+    ~run ()
 
 let test_explore_finds_and_is_jobs_invariant () =
   let outcome_key (o : Explore.outcome) =

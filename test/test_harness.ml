@@ -76,16 +76,23 @@ let test_campaign_preserves_order () =
             i * i))
   in
   let expect = List.init 17 (fun i -> i * i) in
-  Alcotest.(check (list int)) "jobs=1 in input order" expect (Campaign.run ~jobs:1 trials);
-  Alcotest.(check (list int)) "jobs=4 in input order" expect (Campaign.run ~jobs:4 trials);
+  Alcotest.(check (list int))
+    "jobs=1 in input order" expect
+    Campaign.(values (run ~jobs:1 trials));
+  Alcotest.(check (list int))
+    "jobs=4 in input order" expect
+    Campaign.(values (run ~jobs:4 trials));
   Alcotest.(check (list int))
     "jobs beyond trial count is clamped" expect
-    (Campaign.run ~jobs:64 trials);
-  let named = Campaign.run_named ~jobs:3 trials in
+    Campaign.(values (run ~jobs:64 trials));
+  let r = Campaign.run ~jobs:3 trials in
+  Alcotest.(check int) "no failures reported" 0 (List.length r.Campaign.failures);
   Alcotest.(check (list (pair string int)))
-    "run_named pairs names with results"
+    "outcomes pair up with trial names in input order"
     (List.init 17 (fun i -> (Printf.sprintf "t%d" i, i * i)))
-    named
+    (List.map2
+       (fun t o -> (t.Resilix_harness.Trial.name, Result.get_ok o))
+       trials r.Campaign.outcomes)
 
 let test_campaign_collects_every_failure () =
   let trials =
@@ -97,7 +104,7 @@ let test_campaign_collects_every_failure () =
   in
   List.iter
     (fun jobs ->
-      match Campaign.run ~jobs trials with
+      match Campaign.(values (run ~jobs trials)) with
       | (_ : int list) -> Alcotest.failf "jobs=%d: expected Partial" jobs
       | exception Campaign.Partial failures ->
           Alcotest.(check (list (pair int string)))
@@ -124,12 +131,17 @@ let test_campaign_collects_every_failure () =
                 true found)
             [ "2 trial(s) failed"; "t2"; "t5"; "two"; "five" ])
     [ 1; 4 ];
-  (* run_result is the non-raising face of the same contract. *)
-  (match Campaign.run_result ~jobs:4 trials with
-  | Ok _ -> Alcotest.fail "run_result: expected Error"
-  | Error failures ->
-      Alcotest.(check (list int)) "run_result reports the same failures" [ 2; 5 ]
-        (List.map (fun f -> f.Campaign.f_index) failures));
+  (* The run_result record is the non-raising face of the same
+     contract: every outcome present, failures listed alongside. *)
+  (let r = Campaign.run ~jobs:4 trials in
+   Alcotest.(check (list int)) "run reports the same failures" [ 2; 5 ]
+     (List.map (fun f -> f.Campaign.f_index) r.Campaign.failures);
+   Alcotest.(check int) "every outcome is still present" 8
+     (List.length r.Campaign.outcomes);
+   Alcotest.(check (list int))
+     "successful outcomes are kept despite the failures"
+     [ 0; 1; 3; 4; 6; 7 ]
+     (List.filter_map Result.to_option r.Campaign.outcomes));
   Alcotest.check_raises "jobs < 1 rejected" (Invalid_argument "Campaign.run: jobs must be >= 1")
     (fun () -> ignore (Campaign.run ~jobs:0 trials))
 
@@ -145,7 +157,7 @@ let test_campaign_progress_events () =
   (* jobs=1: events arrive strictly in trial order with an exact
      completed counter. *)
   let seen = ref [] in
-  let got = Campaign.run ~jobs:1 ~on_progress:(fun p -> seen := p :: !seen) trials in
+  let got = Campaign.(values (run ~jobs:1 ~on_progress:(fun p -> seen := p :: !seen) trials)) in
   Alcotest.(check (list int)) "results unaffected by the observer" (List.init n Fun.id) got;
   let events = List.rev !seen in
   Alcotest.(check int) "one event per trial" n (List.length events);
@@ -162,7 +174,7 @@ let test_campaign_progress_events () =
      reports exactly once and the completed counters are a permutation
      of 1..n. *)
   let seen = ref [] in
-  let got = Campaign.run ~jobs:4 ~on_progress:(fun p -> seen := p :: !seen) trials in
+  let got = Campaign.(values (run ~jobs:4 ~on_progress:(fun p -> seen := p :: !seen) trials)) in
   Alcotest.(check (list int)) "parallel results still in input order" (List.init n Fun.id) got;
   let events = !seen in
   Alcotest.(check int) "one event per trial under jobs=4" n (List.length events);
@@ -182,7 +194,7 @@ let test_campaign_progress_events () =
             i))
   in
   let seen = ref [] in
-  (match Campaign.run ~jobs:1 ~on_progress:(fun p -> seen := p :: !seen) failing with
+  (match Campaign.(values (run ~jobs:1 ~on_progress:(fun p -> seen := p :: !seen) failing)) with
   | _ -> Alcotest.fail "expected Partial"
   | exception Campaign.Partial _ -> ());
   Alcotest.(check int) "failures still emit a progress event" 4 (List.length !seen);

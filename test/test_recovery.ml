@@ -321,7 +321,7 @@ let test_policy_restarts_dependents () =
   let t =
     boot
       ~policies:
-        [ ("with-deps", { Resilix_core.Policy.actions = [ Restart; Restart_dependents [ "svc.dep" ] ] }) ]
+        [ ("with-deps", Resilix_core.Policy.script [ Restart; Restart_dependents [ "svc.dep" ] ]) ]
       ()
   in
   Kernel.register_program t.System.kernel "docile" docile_program;
@@ -367,7 +367,7 @@ let test_policy_reboots_system () =
       ~policies:
         [
           ( "desperate",
-            { Resilix_core.Policy.actions = [ Reboot_after { max_failures = 2 }; Restart ] } );
+            Resilix_core.Policy.script [ Reboot_after { max_failures = 2 }; Restart ] );
         ]
       ()
   in
