@@ -28,6 +28,13 @@
      --speedup-out FILE  run the smoke sweep sequentially and on the
                          domain pool, record wall-clock + speedup as
                          JSON to FILE (the BENCH_PR<n>.json artifact)
+     --engine-out FILE   run the simulation-core microbench (timer
+                         storm events/sec under Fifo and Seeded, kernel
+                         IPC ping-pong round-trips/sec) and record it
+                         as JSON to FILE (the BENCH_PR7.json artifact);
+                         --smoke shrinks the event counts
+     --engine-only       exit right after --engine-out (skip tables and
+                         Bechamel)
 
    Exit status is non-zero when any experiment's internal integrity
    check fails (digest mismatch, crash-class split inconsistency) or
@@ -148,6 +155,139 @@ let measure_speedup ~jobs file =
   identical
 
 (* ------------------------------------------------------------------ *)
+(* Engine + IPC microbench (BENCH_PR7.json)                            *)
+(* ------------------------------------------------------------------ *)
+
+module Kernel = Resilix_kernel.Kernel
+module SimTrace = Resilix_sim.Trace
+module Rng = Resilix_sim.Rng
+module Sysif = Resilix_kernel.Sysif
+module Api = Sysif.Api
+module Privilege = Resilix_proto.Privilege
+module Msg = Resilix_proto.Message
+
+(* Seed-engine throughput measured on this container immediately before
+   the PR-7 hot-path refactor (commit a108f84, timer storm below at
+   full scale under Fifo).  The refactored engine's speedup in
+   [measure_engine] is reported against this pinned baseline; rerunning
+   on different hardware invalidates the comparison, which is why the
+   artifact records [speedup_valid]. *)
+(* Fifo timer-storm throughput of the seed engine (commit a108f84:
+   boxed heap entries, peek-then-pop, list-based candidate collection),
+   measured on this container with the exact storm below (512 timers,
+   1e6 events).  Kept as the fixed "before" so BENCH_PR7.json reports
+   the refactor's speedup against a stable baseline. *)
+let seed_events_per_sec = 4_686_803.0
+
+(* Timer storm: [timers] concurrent timers firing and rescheduling
+   themselves across 7 colliding instants until [total] events have
+   fired.  The collisions make the same-instant candidate path (and
+   under [Seeded], the decision trace) part of the measured work. *)
+let timer_storm ~policy ~timers ~total () =
+  let engine = Engine.create ~policy () in
+  let fired = ref 0 in
+  let rec tick i () =
+    incr fired;
+    if !fired + timers <= total then
+      ignore (Engine.schedule engine ~after:(1 + ((i + !fired) mod 7)) (tick i))
+  in
+  for i = 0 to timers - 1 do
+    ignore (Engine.schedule engine ~after:(1 + (i mod 7)) (tick i))
+  done;
+  Engine.run engine;
+  !fired
+
+(* Kernel IPC ping-pong: a client sendrecs [rounds] times to an echo
+   server; every round trip is a rendezvous + reply through the
+   kernel's delivery path. *)
+let ipc_pingpong ~rounds () =
+  let engine = Engine.create () in
+  let kernel =
+    Kernel.create ~engine ~trace:(SimTrace.create ()) ~rng:(Rng.create ~seed:7) ()
+  in
+  let all_priv =
+    { Privilege.none with Privilege.ipc_to = Privilege.All; kcalls = Privilege.All }
+  in
+  Kernel.register_program kernel "echo" (fun () ->
+      let rec loop () =
+        (match Api.receive Sysif.Any with
+        | Ok (Sysif.Rx_msg { src; _ }) -> ignore (Api.send src Msg.Ok_reply)
+        | _ -> ());
+        loop ()
+      in
+      loop ());
+  let echo_ep =
+    match
+      Kernel.spawn_dynamic kernel ~name:"echo" ~program:"echo" ~args:[] ~priv:all_priv ~mem_kb:64
+    with
+    | Ok e -> e
+    | Error _ -> failwith "spawn echo"
+  in
+  let done_rounds = ref 0 in
+  Kernel.register_program kernel "ping" (fun () ->
+      for _ = 1 to rounds do
+        (match Api.sendrec echo_ep Msg.Ok_reply with Ok _ -> incr done_rounds | Error _ -> ())
+      done);
+  (match
+     Kernel.spawn_dynamic kernel ~name:"ping" ~program:"ping" ~args:[] ~priv:all_priv ~mem_kb:64
+   with
+  | Ok _ -> ()
+  | Error _ -> failwith "spawn ping");
+  Engine.run engine;
+  !done_rounds
+
+let measure_engine ~smoke file =
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let timers = 512 in
+  let total = if smoke then 20_000 else 1_000_000 in
+  let rounds = if smoke then 2_000 else 50_000 in
+  let fifo_s, fifo_n = time (timer_storm ~policy:Engine.Fifo ~timers ~total) in
+  let seeded_s, seeded_n = time (timer_storm ~policy:(Engine.Seeded 7) ~timers ~total) in
+  let ipc_s, ipc_n = time (ipc_pingpong ~rounds) in
+  let rate n s = if s > 0. then float_of_int n /. s else 0. in
+  let fifo_eps = rate fifo_n fifo_s in
+  let seeded_eps = rate seeded_n seeded_s in
+  let ipc_rps = rate ipc_n ipc_s in
+  (* The speedup against the pinned seed baseline only means something
+     at the baseline's scale and above timer resolution. *)
+  let speedup_valid = (not smoke) && fifo_s > 0.01 && seed_events_per_sec > 0. in
+  let speedup = if seed_events_per_sec > 0. then fifo_eps /. seed_events_per_sec else 0. in
+  let oc = open_out file in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"engine microbench: timer storm (events/sec) + kernel IPC ping-pong \
+     (round-trips/sec)\",\n\
+    \  \"cores\": %d,\n\
+    \  \"smoke\": %b,\n\
+    \  \"timers\": %d,\n\
+    \  \"events\": %d,\n\
+    \  \"events_per_sec_fifo\": %.0f,\n\
+    \  \"events_per_sec_seeded\": %.0f,\n\
+    \  \"ipc_rounds\": %d,\n\
+    \  \"ipc_roundtrips_per_sec\": %.0f,\n\
+    \  \"events_per_sec_before\": %.0f,\n\
+    \  \"events_per_sec_after\": %.0f,\n\
+    \  \"speedup\": %.3f,\n\
+    \  \"speedup_valid\": %b\n\
+     }\n"
+    (Campaign.default_jobs ())
+    smoke timers total fifo_eps seeded_eps rounds ipc_rps seed_events_per_sec fifo_eps speedup
+    speedup_valid;
+  close_out oc;
+  Printf.printf
+    "\nengine microbench: %d events: %.0f ev/s fifo, %.0f ev/s seeded; %d IPC round trips: %.0f/s \
+     -> %s\n"
+    total fifo_eps seeded_eps rounds ipc_rps file;
+  if seed_events_per_sec > 0. then
+    Printf.printf "engine speedup vs seed baseline (%.0f ev/s): %.2fx%s\n" seed_events_per_sec
+      speedup
+      (if speedup_valid then "" else " (not comparable at this scale)")
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel benchmarks                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -257,12 +397,14 @@ let parse_args () =
   let smoke = ref false in
   let metrics_out = ref None in
   let speedup_out = ref None in
+  let engine_out = ref None in
+  let engine_only = ref false in
   let jobs = ref None in
   let progress = ref `Auto in
   let usage arg =
     Printf.eprintf
       "usage: %s [--smoke] [--jobs N] [--progress] [--no-progress] [--metrics-out FILE] \
-       [--speedup-out FILE]\n\
+       [--speedup-out FILE] [--engine-out FILE] [--engine-only]\n\
        (unknown argument %S)\n"
       Sys.executable_name arg;
     exit 2
@@ -274,6 +416,8 @@ let parse_args () =
     | "--no-progress" :: rest -> progress := `Never; go rest
     | "--metrics-out" :: file :: rest -> metrics_out := Some file; go rest
     | "--speedup-out" :: file :: rest -> speedup_out := Some file; go rest
+    | "--engine-out" :: file :: rest -> engine_out := Some file; go rest
+    | "--engine-only" :: rest -> engine_only := true; go rest
     | "--jobs" :: n :: rest -> (
         match int_of_string_opt n with
         | Some j when j >= 1 -> jobs := Some j; go rest
@@ -281,11 +425,13 @@ let parse_args () =
     | arg :: _ -> usage arg
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!smoke, !jobs, !progress, !metrics_out, !speedup_out)
+  (!smoke, !jobs, !progress, !metrics_out, !speedup_out, !engine_out, !engine_only)
 
 let () =
-  let smoke, jobs, progress, metrics_out, speedup_out = parse_args () in
+  let smoke, jobs, progress, metrics_out, speedup_out, engine_out, engine_only = parse_args () in
   try
+    (match engine_out with Some file -> measure_engine ~smoke file | None -> ());
+    if engine_only then exit 0;
     let failed =
       match metrics_out with
       | None -> regenerate_tables ~smoke ~jobs ~progress ~obs:None ()

@@ -9,6 +9,7 @@ module Spec = Resilix_proto.Spec
 module Status = Resilix_proto.Status
 module Wellknown = Resilix_proto.Wellknown
 module Event = Resilix_obs.Event
+module Metrics = Resilix_obs.Metrics
 module Span = Resilix_obs.Span
 
 (*@recovery-begin*)
@@ -55,6 +56,9 @@ type breaker = {
   mutable bk_hp_outstanding : bool;
   mutable bk_hp_misses : int;
   mutable bk_hp_cycle : int; (* heartbeat cycle already probed (hb_last_request) *)
+  (* state-gauge handle, resolved on first transition (the gauge name
+     embeds the service name) and bumped directly thereafter *)
+  mutable bk_gauge : Metrics.gauge option;
 }
 
 let fresh_breaker config =
@@ -70,6 +74,7 @@ let fresh_breaker config =
     bk_hp_outstanding = false;
     bk_hp_misses = 0;
     bk_hp_cycle = 0;
+    bk_gauge = None;
   }
 
 (*@recovery-end*)
@@ -95,6 +100,14 @@ type service = {
   breaker : breaker option;
 }
 
+(* Instrument handles for RS's periodic paths, resolved once at [body]
+   startup (same pattern as the kernel's own counter record). *)
+type rs_ctrs = {
+  c_hp_misses : Metrics.counter;
+  c_hp_sent : Metrics.counter;
+  h_degraded_us : Metrics.histogram;
+}
+
 type t = {
   register_program : string -> (unit -> unit) -> unit;
   policies : (string, Policy.t) Hashtbl.t;
@@ -106,6 +119,8 @@ type t = {
   mutable script_counter : int;
   mutable reboots : int;
   spans : Span.t;
+  (* hot-path instrument handles, resolved once at [body] startup *)
+  mutable ctrs : rs_ctrs option;
 }
 
 let create ~register_program ?(policies = []) ?(complainers = []) ?(heartbeat_tick = 100_000)
@@ -123,6 +138,7 @@ let create ~register_program ?(policies = []) ?(complainers = []) ?(heartbeat_ti
     script_counter = 0;
     reboots = 0;
     spans = (match spans with Some s -> s | None -> Span.create ());
+    ctrs = None;
   }
 
 let events t = List.rev t.event_log
@@ -288,7 +304,15 @@ let set_breaker_state t service b to_ =
   let from_ = b.bk_state in
   if from_ <> to_ then begin
     b.bk_state <- to_;
-    Api.metric_set (breaker_gauge name) (breaker_state_gauge to_);
+    (let g =
+       match b.bk_gauge with
+       | Some g -> g
+       | None ->
+           let g = Api.metric_gauge (breaker_gauge name) in
+           b.bk_gauge <- Some g;
+           g
+     in
+     Metrics.set g (breaker_state_gauge to_));
     Api.emit ~level:Event.Warn "rs"
       (Event.Breaker
          {
@@ -384,7 +408,9 @@ let breaker_close t service b =
   let now = Api.now () in
   set_breaker_state t service b B_closed;
   b.bk_window <- [];
-  Api.metric_observe "rs.degraded_us" (now - b.bk_degraded_since);
+  (match t.ctrs with
+  | Some c -> Metrics.observe c.h_degraded_us (now - b.bk_degraded_since)
+  | None -> Api.metric_observe "rs.degraded_us" (now - b.bk_degraded_since));
   ds_publish (degraded_key name) (Message.V_int 0);
   ds_delete (degraded_key name);
   log "breaker for %s closed after %dus degraded" name (now - b.bk_degraded_since);
@@ -591,7 +617,9 @@ let handle_tick t =
               then begin
                 if b.bk_hp_outstanding then begin
                   b.bk_hp_misses <- b.bk_hp_misses + 1;
-                  Api.metric_incr "rs.health_probe.misses";
+                  (match t.ctrs with
+                  | Some c -> Metrics.incr c.c_hp_misses
+                  | None -> Api.metric_incr "rs.health_probe.misses");
                   Api.emit ~level:Event.Warn "rs"
                     (Event.Heartbeat_miss
                        { component = service.spec.Spec.name; misses = b.bk_hp_misses });
@@ -606,7 +634,9 @@ let handle_tick t =
                 | Some ep when service.status = Up ->
                     b.bk_hp_outstanding <- true;
                     b.bk_hp_cycle <- service.hb_last_request;
-                    Api.metric_incr "rs.health_probe.sent";
+                    (match t.ctrs with
+                    | Some c -> Metrics.incr c.c_hp_sent
+                    | None -> Api.metric_incr "rs.health_probe.sent");
                     ignore (Api.notify ep Message.N_health_probe)
                 | Some _ | None -> ()
               end))
@@ -801,6 +831,13 @@ let handle_lookup t ~src name =
 (* ------------------------------------------------------------------ *)
 
 let body t () =
+  t.ctrs <-
+    Some
+      {
+        c_hp_misses = Api.metric_counter "rs.health_probe.misses";
+        c_hp_sent = Api.metric_counter "rs.health_probe.sent";
+        h_degraded_us = Api.metric_histogram "rs.degraded_us";
+      };
   ignore (Api.alarm t.heartbeat_tick);
   let rec loop () =
     (match Api.receive Sysif.Any with

@@ -5,6 +5,7 @@ module Errno = Resilix_proto.Errno
 module Message = Resilix_proto.Message
 module Signal = Resilix_proto.Signal
 module Status = Resilix_proto.Status
+module Metrics = Resilix_obs.Metrics
 
 type outcome = Reply of (int, Errno.t) result | No_reply
 
@@ -45,16 +46,16 @@ let handle_common_notify ~src ~kind ~on_irq ~on_alarm =
       ()
 
 let run_dev handlers =
-  (* One requests counter per driver, its name computed once so the
-     hot loop does not re-format it per message. *)
-  let requests_metric = Printf.sprintf "driver.%s.requests" (Api.name ()) in
+  (* One requests counter per driver, resolved to a handle once so the
+     hot loop neither formats the name nor looks it up per message. *)
+  let c_requests = Api.metric_counter (Printf.sprintf "driver.%s.requests" (Api.name ())) in
   let rec loop () =
     (match Api.receive Sysif.Any with
     | Error _ -> ()
     | Ok (Sysif.Rx_notify { src; kind }) ->
         handle_common_notify ~src ~kind ~on_irq:handlers.dh_irq ~on_alarm:handlers.dh_alarm
     | Ok (Sysif.Rx_msg { src; body }) -> begin
-        Api.metric_incr requests_metric;
+        Metrics.incr c_requests;
         match body with
         | Message.Dev_open { minor } -> reply src (handlers.dh_open ~minor)
         | Message.Dev_close { minor } -> reply src (handlers.dh_close ~minor)
@@ -91,14 +92,14 @@ let task_reply dst ~sent ~received ~read_len =
   ignore (Api.asend dst (Message.Dl_task_reply { flags = { sent; received }; read_len }))
 
 let run_net handlers =
-  let requests_metric = Printf.sprintf "driver.%s.requests" (Api.name ()) in
+  let c_requests = Api.metric_counter (Printf.sprintf "driver.%s.requests" (Api.name ())) in
   let rec loop () =
     (match Api.receive Sysif.Any with
     | Error _ -> ()
     | Ok (Sysif.Rx_notify { src; kind }) ->
         handle_common_notify ~src ~kind ~on_irq:handlers.nh_irq ~on_alarm:(fun () -> ())
     | Ok (Sysif.Rx_msg { src; body }) -> begin
-        Api.metric_incr requests_metric;
+        Metrics.incr c_requests;
         match body with
         | Message.Dl_conf { mode } -> begin
             match handlers.nh_conf ~src ~mode with

@@ -5,6 +5,7 @@ module Endpoint = Resilix_proto.Endpoint
 module Errno = Resilix_proto.Errno
 module Message = Resilix_proto.Message
 module Wellknown = Resilix_proto.Wellknown
+module Metrics = Resilix_obs.Metrics
 
 let cache_base = 0x40000
 let default_cache_slots = 192
@@ -18,6 +19,8 @@ type t = {
   parked : (Endpoint.t * Message.t) Queue.t;
       (* requests that arrived while we were stalled on a dead driver *)
   spans : Resilix_obs.Span.t;
+  (* outage-counter handle, resolved once at [body] startup *)
+  mutable c_outages : Metrics.counter option;
 }
 
 let create ~driver_key ?(minor = 0) ?(cache_slots = default_cache_slots) ?spans () =
@@ -28,6 +31,7 @@ let create ~driver_key ?(minor = 0) ?(cache_slots = default_cache_slots) ?spans 
     cache = None;
     parked = Queue.create ();
     spans = (match spans with Some s -> s | None -> Resilix_obs.Span.create ());
+    c_outages = None;
   }
 
 let reissued_ios t = match t.cache with Some c -> Cache.reissued c | None -> 0
@@ -83,7 +87,9 @@ let wait_new_driver t dead_ep =
         | Ok (Sysif.Rx_notify _) | Error _ -> wait ())
   in
   Api.trace "mfs" "disk driver %s died; waiting for reincarnation" t.driver_key;
-  Api.metric_incr "mfs.driver.outages";
+  (match t.c_outages with
+  | Some c -> Metrics.incr c
+  | None -> Api.metric_incr "mfs.driver.outages");
   let ep = wait () in
   Api.trace "mfs" "disk driver %s is back as %s; redoing pending I/O" t.driver_key
     (Endpoint.to_string ep);
@@ -458,6 +464,7 @@ let handle_truncate fs ~ino =
 (* ------------------------------------------------------------------ *)
 
 let body t () =
+  t.c_outages <- Some (Api.metric_counter "mfs.driver.outages");
   (* Subscribe to block-driver updates before anything can fail. *)
   ignore (Api.sendrec Wellknown.ds (Message.Ds_subscribe { pattern = "blk.*" }));
   (* Wait for the driver to appear. *)

@@ -332,7 +332,11 @@ let try_deliver t ~(src_proc : proc) ~(dst : proc) ?(async = false) msg =
       false
   | Recv_wait { filter; _ } when filter_accepts filter (ep_of_proc src_proc) ->
       Metrics.incr t.ctr.c_messages;
-      dst.peers <- String_set.add src_proc.p_name dst.peers;
+      (* [add] on a persistent set allocates even when the element is
+         already present; after the first exchange it always is, so
+         guard with [mem] to keep the per-message path allocation-free. *)
+      if not (String_set.mem src_proc.p_name dst.peers) then
+        dst.peers <- String_set.add src_proc.p_name dst.peers;
       wake_receiver t dst ~cost:t.costs.ipc
         (Ok (Sysif.Rx_msg { src = ep_of_proc src_proc; body = msg }));
       true
@@ -400,7 +404,8 @@ let try_complete_receive t (receiver : proc) filter =
       match pop_matching_sender t receiver filter with
       | Some (sender, sw) ->
           Metrics.incr t.ctr.c_messages;
-          receiver.peers <- String_set.add sender.p_name receiver.peers;
+          if not (String_set.mem sender.p_name receiver.peers) then
+            receiver.peers <- String_set.add sender.p_name receiver.peers;
           let sender_ep = ep_of_proc sender in
           (match sw.completion with
           | C_send resume ->
@@ -521,6 +526,9 @@ and handle_syscall : type a. t -> proc -> a Sysif.syscall -> (a, unit) Effect.De
   | Sysif.Metric_set (name, v) ->
       Metrics.set_named t.metrics name v;
       ret_now ()
+  | Sysif.Metric_counter name -> ret_now (Metrics.counter t.metrics name)
+  | Sysif.Metric_gauge name -> ret_now (Metrics.gauge t.metrics name)
+  | Sysif.Metric_histogram name -> ret_now (Metrics.histogram t.metrics name)
   | Sysif.Yield cost -> ret ~cost ()
   | Sysif.Sleep d ->
       let abort e = discontinue k e in

@@ -15,6 +15,7 @@ module Status = Resilix_proto.Status
 module Signal = Resilix_proto.Signal
 module Privilege = Resilix_proto.Privilege
 module Event = Resilix_obs.Event
+module Metrics = Resilix_obs.Metrics
 
 (* What [receive] returns: a rendezvous message or a pending
    notification. *)
@@ -49,6 +50,12 @@ type 'a syscall =
   | Metric_add : string * int -> unit syscall (* named counter += n *)
   | Metric_observe : string * int -> unit syscall (* named histogram sample *)
   | Metric_set : string * int -> unit syscall (* named gauge := v *)
+  (* Handle resolution: look the instrument up once (at registration
+     time) and bump the returned handle directly thereafter, instead
+     of paying a hashtable lookup per event on the fast path. *)
+  | Metric_counter : string -> Metrics.counter syscall
+  | Metric_gauge : string -> Metrics.gauge syscall
+  | Metric_histogram : string -> Metrics.histogram syscall
   (* --- kernel calls --- *)
   | Safecopy : {
       dir : [ `Read | `Write ];
@@ -111,7 +118,7 @@ let kcall_name : type a. a syscall -> string option = function
   | Privctl _ -> Some "privctl"
   | Send _ | Asend _ | Receive _ | Sendrec _ | Notify _ | Sleep _ | Yield _ | Now | Self
   | My_memory | My_args | My_name | Random _ | Exit _ | Obs_emit _ | Metric_add _
-  | Metric_observe _ | Metric_set _ ->
+  | Metric_observe _ | Metric_set _ | Metric_counter _ | Metric_gauge _ | Metric_histogram _ ->
       None
 
 (* Convenience wrappers used by all process code. *)
@@ -146,6 +153,9 @@ module Api = struct
   let metric_incr name = metric_add name 1
   let metric_observe name v = perform (Metric_observe (name, v))
   let metric_set name v = perform (Metric_set (name, v))
+  let metric_counter name = perform (Metric_counter name)
+  let metric_gauge name = perform (Metric_gauge name)
+  let metric_histogram name = perform (Metric_histogram name)
 
   let safecopy_from ~owner ~grant ~grant_off ~local_addr ~len =
     perform (Safecopy { dir = `Read; owner; grant; grant_off; local_addr; len })

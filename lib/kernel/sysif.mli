@@ -19,6 +19,7 @@ module Status := Resilix_proto.Status
 module Signal := Resilix_proto.Signal
 module Privilege := Resilix_proto.Privilege
 module Event := Resilix_obs.Event
+module Metrics := Resilix_obs.Metrics
 
 (** What {!Api.receive} yields: a rendezvous message or a pending
     notification. *)
@@ -53,6 +54,9 @@ type 'a syscall =
   | Metric_add : string * int -> unit syscall
   | Metric_observe : string * int -> unit syscall
   | Metric_set : string * int -> unit syscall
+  | Metric_counter : string -> Metrics.counter syscall
+  | Metric_gauge : string -> Metrics.gauge syscall
+  | Metric_histogram : string -> Metrics.histogram syscall
   | Safecopy : {
       dir : [ `Read | `Write ];
       owner : Endpoint.t;
@@ -177,6 +181,20 @@ module Api : sig
 
   val metric_set : string -> int -> unit
   (** Set the named gauge (e.g. a breaker-state indicator). *)
+
+  val metric_counter : string -> Metrics.counter
+  (** Resolve the named counter to a direct handle, creating it on
+      first use.  Resolve once at startup and bump the handle with
+      {!Resilix_obs.Metrics.incr}/[add] on hot paths — same registry
+      entry as {!metric_add}, without the per-event name lookup. *)
+
+  val metric_gauge : string -> Metrics.gauge
+  (** Resolve the named gauge to a direct handle (see
+      {!metric_counter}). *)
+
+  val metric_histogram : string -> Metrics.histogram
+  (** Resolve the named histogram to a direct handle (see
+      {!metric_counter}). *)
 
   val safecopy_from :
     owner:Endpoint.t -> grant:int -> grant_off:int -> local_addr:int -> len:int ->

@@ -5,6 +5,7 @@ module Endpoint = Resilix_proto.Endpoint
 module Errno = Resilix_proto.Errno
 module Message = Resilix_proto.Message
 module Wellknown = Resilix_proto.Wellknown
+module Metrics = Resilix_obs.Metrics
 
 (* Address-space layout for INET's bounce buffers. *)
 let tx_frame_buf = 0x20000
@@ -57,10 +58,16 @@ type driver = {
   mutable degraded : bool;
 }
 
+(* Counter handles resolved once at [body] startup so per-event bumps
+   skip the by-name registry lookup (the kernel does the same for its
+   own counters). *)
+type ctrs = { c_degraded_rejects : Metrics.counter; c_tx_postponed : Metrics.counter }
+
 type t = {
   local_ip : int;
   gateway_mac : int;
   driver_key : string;
+  mutable ctrs : ctrs option;
   mutable socks : sock array;
   conns : (int * int * int, conn) Hashtbl.t; (* remote ip, remote port, local port *)
   listeners : (int, listener) Hashtbl.t; (* local port -> listener *)
@@ -79,6 +86,7 @@ let create ~local_ip ~gateway_mac ~driver_key ?spans () =
     local_ip;
     gateway_mac;
     driver_key;
+    ctrs = None;
     socks = Array.make 64 S_free;
     conns = Hashtbl.create 32;
     listeners = Hashtbl.create 8;
@@ -111,8 +119,9 @@ let driver_degraded t = t.drv.degraded
    connections keep their state; TCP retransmission resupplies them if
    the driver ever comes back. *)
 let degraded_reject t src reply_msg =
-  ignore t;
-  Api.metric_incr "inet.degraded_rejects";
+  (match t.ctrs with
+  | Some c -> Metrics.incr c.c_degraded_rejects
+  | None -> Api.metric_incr "inet.degraded_rejects");
   ignore (Api.send src reply_msg)
 
 let log fmt = Api.trace "inet" fmt
@@ -141,7 +150,9 @@ let rec pump_tx t =
               t.drv.tx_grant <- None;
               t.drv.up <- false;
               t.outage_queued <- t.outage_queued + 1;
-              Api.metric_incr "inet.tx.postponed";
+              (match t.ctrs with
+              | Some c -> Metrics.incr c.c_tx_postponed
+              | None -> Api.metric_incr "inet.tx.postponed");
               Queue.push frame t.drv.tx_queue)
     end
   | Some _ | None -> ()
@@ -636,6 +647,12 @@ let handle_alarm t =
   rearm_alarm t
 
 let body t () =
+  t.ctrs <-
+    Some
+      {
+        c_degraded_rejects = Api.metric_counter "inet.degraded_rejects";
+        c_tx_postponed = Api.metric_counter "inet.tx.postponed";
+      };
   (* Subscribe to Ethernet driver updates (Sec. 5.3: "the network
      server subscribes ... by registering the expression 'eth.*'"). *)
   ignore (Api.sendrec Wellknown.ds (Message.Ds_subscribe { pattern = "eth.*" }));

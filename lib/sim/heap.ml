@@ -1,73 +1,138 @@
-type 'a entry = { key : int; seq : int; value : 'a }
+(* Pooled binary min-heap: keys and sequence numbers live in inline int
+   arrays (unboxed), values in a parallel array.  Nothing is allocated
+   on push/pop except when the backing arrays grow, and vacated value
+   slots are overwritten with [dummy] so popped elements do not leak
+   through the heap's backing store.
 
-type 'a t = { mutable data : 'a entry array; mutable size : int }
+   The sift loops are hole-based: the moving element is held in locals
+   while parents (or children) shift into the hole, so each level costs
+   one 3-array move instead of a 3-array swap.  Indices are bounded by
+   [size] (checked at every entry point), so the internal accesses use
+   [unsafe_get]/[unsafe_set] — this heap sits on the hot path of every
+   simulated event. *)
 
-let create () = { data = [||]; size = 0 }
+type 'a t = {
+  mutable keys : int array;
+  mutable seqs : int array;
+  mutable vals : 'a array;
+  mutable size : int;
+  dummy : 'a;
+}
+
+let create ~dummy () = { keys = [||]; seqs = [||]; vals = [||]; size = 0; dummy }
 let length h = h.size
 let is_empty h = h.size = 0
 
-let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
-
-let swap h i j =
-  let tmp = h.data.(i) in
-  h.data.(i) <- h.data.(j);
-  h.data.(j) <- tmp
-
-let rec sift_up h i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if less h.data.(i) h.data.(parent) then begin
-      swap h i parent;
-      sift_up h parent
+(* Move the hole at [i] rootward past every parent larger than
+   [(key, seq)], then drop the element in. *)
+let sift_up h i key seq v =
+  let keys = h.keys and seqs = h.seqs and vals = h.vals in
+  let i = ref i in
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let p = (!i - 1) / 2 in
+    let pk = Array.unsafe_get keys p in
+    if pk > key || (pk = key && Array.unsafe_get seqs p > seq) then begin
+      Array.unsafe_set keys !i pk;
+      Array.unsafe_set seqs !i (Array.unsafe_get seqs p);
+      Array.unsafe_set vals !i (Array.unsafe_get vals p);
+      i := p
     end
-  end
+    else continue := false
+  done;
+  Array.unsafe_set keys !i key;
+  Array.unsafe_set seqs !i seq;
+  Array.unsafe_set vals !i v
 
-let rec sift_down h i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < h.size && less h.data.(l) h.data.(!smallest) then smallest := l;
-  if r < h.size && less h.data.(r) h.data.(!smallest) then smallest := r;
-  if !smallest <> i then begin
-    swap h i !smallest;
-    sift_down h !smallest
-  end
+(* Move the hole at the root leafward, pulling the smaller child up,
+   until [(key, seq)] dominates both children; drop the element in. *)
+let sift_down h key seq v =
+  let keys = h.keys and seqs = h.seqs and vals = h.vals in
+  let n = h.size in
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 in
+    if l >= n then continue := false
+    else begin
+      let r = l + 1 in
+      (* index of the smaller child *)
+      let c =
+        if r < n then begin
+          let lk = Array.unsafe_get keys l and rk = Array.unsafe_get keys r in
+          if rk < lk || (rk = lk && Array.unsafe_get seqs r < Array.unsafe_get seqs l) then r
+          else l
+        end
+        else l
+      in
+      let ck = Array.unsafe_get keys c in
+      if ck < key || (ck = key && Array.unsafe_get seqs c < seq) then begin
+        Array.unsafe_set keys !i ck;
+        Array.unsafe_set seqs !i (Array.unsafe_get seqs c);
+        Array.unsafe_set vals !i (Array.unsafe_get vals c);
+        i := c
+      end
+      else continue := false
+    end
+  done;
+  Array.unsafe_set keys !i key;
+  Array.unsafe_set seqs !i seq;
+  Array.unsafe_set vals !i v
 
 let ensure_capacity h =
-  let cap = Array.length h.data in
+  let cap = Array.length h.keys in
   if h.size >= cap then begin
     let ncap = if cap = 0 then 16 else cap * 2 in
-    (* The dummy element is immediately overwritten before being read. *)
-    let ndata = Array.make ncap h.data.(if cap = 0 then 0 else 0) in
-    Array.blit h.data 0 ndata 0 h.size;
-    h.data <- ndata
+    let nkeys = Array.make ncap 0 and nseqs = Array.make ncap 0 in
+    let nvals = Array.make ncap h.dummy in
+    Array.blit h.keys 0 nkeys 0 h.size;
+    Array.blit h.seqs 0 nseqs 0 h.size;
+    Array.blit h.vals 0 nvals 0 h.size;
+    h.keys <- nkeys;
+    h.seqs <- nseqs;
+    h.vals <- nvals
   end
 
 let push h ~key ~seq value =
-  let entry = { key; seq; value } in
-  if Array.length h.data = 0 then h.data <- Array.make 16 entry
-  else ensure_capacity h;
-  h.data.(h.size) <- entry;
-  h.size <- h.size + 1;
-  sift_up h (h.size - 1)
+  ensure_capacity h;
+  let i = h.size in
+  h.size <- i + 1;
+  sift_up h i key seq value
 
-let peek h =
-  if h.size = 0 then None
-  else
-    let e = h.data.(0) in
-    Some (e.key, e.seq, e.value)
+let min_key h =
+  if h.size = 0 then invalid_arg "Heap.min_key: empty heap";
+  h.keys.(0)
+
+let min_seq h =
+  if h.size = 0 then invalid_arg "Heap.min_seq: empty heap";
+  h.seqs.(0)
+
+let pop_min h =
+  if h.size = 0 then invalid_arg "Heap.pop_min: empty heap";
+  let vals = h.vals in
+  let v = Array.unsafe_get vals 0 in
+  let n = h.size - 1 in
+  h.size <- n;
+  if n > 0 then begin
+    let lk = Array.unsafe_get h.keys n and ls = Array.unsafe_get h.seqs n in
+    let lv = Array.unsafe_get vals n in
+    (* The vacated slot must not keep the moved value alive. *)
+    Array.unsafe_set vals n h.dummy;
+    sift_down h lk ls lv
+  end
+  else Array.unsafe_set vals 0 h.dummy;
+  v
+
+let peek h = if h.size = 0 then None else Some (h.keys.(0), h.seqs.(0), h.vals.(0))
 
 let pop h =
   if h.size = 0 then None
-  else begin
-    let e = h.data.(0) in
-    h.size <- h.size - 1;
-    if h.size > 0 then begin
-      h.data.(0) <- h.data.(h.size);
-      sift_down h 0
-    end;
-    Some (e.key, e.seq, e.value)
-  end
+  else
+    let key = h.keys.(0) and seq = h.seqs.(0) in
+    Some (key, seq, pop_min h)
 
 let clear h =
-  h.data <- [||];
+  (* Keep the backing arrays (capacity is sticky across runs of the
+     same engine) but drop every retained value. *)
+  Array.fill h.vals 0 h.size h.dummy;
   h.size <- 0

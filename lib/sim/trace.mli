@@ -25,8 +25,17 @@ type t
 
 val create : ?capacity:int -> ?echo:bool -> unit -> t
 (** [create ()] makes an empty trace keeping the last [capacity]
-    (default 65536) events.  With [echo:true] events are also printed
-    to stderr as they happen. *)
+    (default 65536) events in a ring buffer.  With [echo:true] events
+    are also printed to stderr as they happen.  [capacity:0] (with
+    echo off) detaches the sink entirely: {!emit} then skips even the
+    rendering of its format arguments, making tracing free for
+    benchmark and exploration runs that never read the history. *)
+
+val sink_attached : t -> bool
+(** Whether anything would observe a recorded event (a ring with
+    [capacity > 0], or echo).  Callers building expensive payloads by
+    hand may use this as a guard; {!emit} and {!emit_event} already
+    check it. *)
 
 val set_echo : t -> bool -> unit
 (** Toggle mirroring to stderr. *)

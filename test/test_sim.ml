@@ -265,6 +265,72 @@ let test_policy_trace_is_compact () =
   Engine.run engine;
   Alcotest.(check int) "no k>=2 choice ever arose" 0 (Array.length (Engine.decisions engine))
 
+(* The engine-policy regression for the pooled-representation
+   refactor: firing orders and decision traces below were captured
+   from the seed (boxed-entry, list-based) engine at commit a108f84.
+   They are part of the repro-file contract — a recorded schedule must
+   replay identically forever — so a representation change that
+   shifts any of these values is a bug, not a re-pin. *)
+let pin_scenario policy =
+  let engine = Engine.create ~policy () in
+  let order = ref [] in
+  let mark tag () = order := tag :: !order in
+  for i = 1 to 8 do
+    ignore (Engine.schedule engine ~after:(if i mod 2 = 0 then 10 else 20) (mark i))
+  done;
+  let h = Engine.schedule engine ~after:10 (mark 99) in
+  Engine.cancel h;
+  ignore
+    (Engine.schedule engine ~after:10 (fun () ->
+         ignore (Engine.schedule engine ~after:0 (mark 50))));
+  Engine.run engine;
+  (List.rev !order, Array.to_list (Engine.decisions engine))
+
+let test_policy_pinned_traces () =
+  let order9, dec9 = pin_scenario (Engine.Seeded 9) in
+  Alcotest.(check (list int)) "seeded 9 order" [ 8; 6; 4; 2; 50; 3; 7; 5; 1 ] order9;
+  Alcotest.(check (list int)) "seeded 9 decisions" [ 4; 3; 2; 1; 0; 1; 2; 1 ] dec9;
+  let order42, dec42 = pin_scenario (Engine.Seeded 42) in
+  Alcotest.(check (list int)) "seeded 42 order" [ 8; 6; 50; 2; 4; 3; 7; 1; 5 ] order42;
+  Alcotest.(check (list int)) "seeded 42 decisions" [ 3; 3; 2; 2; 0; 1; 2; 0 ] dec42;
+  let replayed, rerecorded = pin_scenario (Engine.Scripted (Array.of_list dec9)) in
+  Alcotest.(check (list int)) "scripted replay order" order9 replayed;
+  Alcotest.(check (list int)) "scripted replay re-records" dec9 rerecorded
+
+(* Same pin at storm scale: 40 self-rescheduling timers over 7
+   colliding instants.  The order-sensitive checksum pins the complete
+   schedule without spelling out 400 events. *)
+let pin_storm policy =
+  let engine = Engine.create ~policy () in
+  let fired = ref 0 in
+  let sum = ref 0 in
+  let total = 400 in
+  let timers = 40 in
+  let rec tick i () =
+    incr fired;
+    sum := (!sum * 31) + i + Engine.now engine;
+    if !fired + timers <= total then
+      ignore (Engine.schedule engine ~after:(1 + ((i + !fired) mod 7)) (tick i))
+  in
+  for i = 0 to timers - 1 do
+    ignore (Engine.schedule engine ~after:(1 + (i mod 7)) (tick i))
+  done;
+  Engine.run engine;
+  (!fired, !sum, Array.to_list (Engine.decisions engine))
+
+let test_policy_pinned_storm () =
+  let fired, sum, decisions = pin_storm (Engine.Seeded 7) in
+  Alcotest.(check int) "storm fires every event" 400 fired;
+  Alcotest.(check int) "storm schedule checksum (seeded 7)" 1619155989714001184 sum;
+  Alcotest.(check int) "storm decision count" 356 (List.length decisions);
+  Alcotest.(check (list int))
+    "storm decision prefix"
+    [ 2; 0; 0; 2; 1; 1; 4; 0; 1; 1 ]
+    (List.filteri (fun i _ -> i < 10) decisions);
+  let fired_f, sum_f, _ = pin_storm Engine.Fifo in
+  Alcotest.(check int) "fifo storm fires every event" 400 fired_f;
+  Alcotest.(check int) "storm schedule checksum (fifo)" (-4518856617332645823) sum_f
+
 let test_trace_query () =
   let trace = Trace.create () in
   Trace.emit trace ~now:(Time.usec 5) Trace.Info "rs" "restarting %s (attempt %d)" "eth" 2;
@@ -291,7 +357,7 @@ let prop_heap_sorted =
   QCheck.Test.make ~name:"heap pops sorted by (key, seq)" ~count:300
     QCheck.(list (int_bound 50))
     (fun keys ->
-      let h = Heap.create () in
+      let h = Heap.create ~dummy:min_int () in
       List.iteri (fun seq key -> Heap.push h ~key ~seq key) keys;
       let rec drain acc =
         match Heap.pop h with None -> List.rev acc | Some (k, s, _) -> drain ((k, s) :: acc)
@@ -303,6 +369,93 @@ let prop_heap_sorted =
         | [ _ ] | [] -> true
       in
       List.length out = List.length keys && ordered out)
+
+(* Model-based property: an interleaved stream of push/pop/clear
+   operations behaves exactly like a sorted-list reference model.
+   Keys are drawn from a tiny range so duplicate keys (seq
+   tie-breaking) dominate, and ops 10/11 inject clears. *)
+let prop_heap_model =
+  QCheck.Test.make ~name:"heap matches sorted-list model (push/pop/clear)" ~count:300
+    QCheck.(list (int_bound 11))
+    (fun ops ->
+      let h = Heap.create ~dummy:(-1) () in
+      let model = ref [] (* sorted by (key, seq) *) in
+      let seq = ref 0 in
+      let ok = ref true in
+      let check b = if not b then ok := false in
+      let insert key s v =
+        let rec go = function
+          | [] -> [ (key, s, v) ]
+          | ((k2, s2, _) as hd) :: tl ->
+              if key < k2 || (key = k2 && s < s2) then (key, s, v) :: hd :: tl
+              else hd :: go tl
+        in
+        model := go !model
+      in
+      List.iter
+        (fun op ->
+          if op <= 7 then begin
+            (* push with key in 0..3: collisions are the common case *)
+            let key = op land 3 in
+            incr seq;
+            let v = (key * 1000) + !seq in
+            Heap.push h ~key ~seq:!seq v;
+            insert key !seq v
+          end
+          else if op <= 9 then begin
+            (match (Heap.pop h, !model) with
+            | None, [] -> ()
+            | Some (k, s, v), (mk, ms, mv) :: rest ->
+                model := rest;
+                check (k = mk && s = ms && v = mv)
+            | Some _, [] | None, _ :: _ -> check false);
+            check (Heap.length h = List.length !model)
+          end
+          else begin
+            Heap.clear h;
+            model := [];
+            check (Heap.is_empty h)
+          end)
+        ops;
+      (* Drain what is left; the tail must match the model exactly. *)
+      let rec drain () =
+        match (Heap.pop h, !model) with
+        | None, [] -> ()
+        | Some (k, s, v), (mk, ms, mv) :: rest ->
+            model := rest;
+            check (k = mk && s = ms && v = mv);
+            drain ()
+        | Some _, [] | None, _ :: _ -> check false
+      in
+      drain ();
+      !ok)
+
+(* Space-leak regression: a popped value must be collectable even
+   while the heap object itself stays alive (the seed heap kept the
+   popped entry referenced through [data.(size)]). *)
+let test_heap_pop_releases_values () =
+  let h = Heap.create ~dummy:[||] () in
+  let live = Weak.create 3 in
+  for i = 0 to 2 do
+    let v = Array.make 10 i in
+    Weak.set live i (Some v);
+    Heap.push h ~key:i ~seq:i v
+  done;
+  ignore (Heap.pop h);
+  ignore (Heap.pop h);
+  Heap.clear h;
+  Gc.full_major ();
+  for i = 0 to 2 do
+    Alcotest.(check bool)
+      (Printf.sprintf "popped/cleared value %d is collectable" i)
+      true
+      (Weak.get live i = None)
+  done;
+  (* the heap is still usable afterwards *)
+  Heap.push h ~key:7 ~seq:1 [| 7 |];
+  match Heap.pop h with
+  | Some (7, 1, [| 7 |]) -> ()
+  | _ -> Alcotest.fail "heap unusable after clear"
 
 let prop_engine_no_time_travel =
   QCheck.Test.make ~name:"engine clock is monotone" ~count:100
@@ -344,8 +497,12 @@ let tests =
     Alcotest.test_case "policy: scripted replay" `Quick test_policy_scripted_replays;
     Alcotest.test_case "policy: scripted fallback/clamp" `Quick test_policy_scripted_fallback;
     Alcotest.test_case "policy: trace is compact" `Quick test_policy_trace_is_compact;
+    Alcotest.test_case "policy: pinned decision traces" `Quick test_policy_pinned_traces;
+    Alcotest.test_case "policy: pinned storm checksum" `Quick test_policy_pinned_storm;
+    Alcotest.test_case "heap: pop releases values" `Quick test_heap_pop_releases_values;
     Alcotest.test_case "trace query" `Quick test_trace_query;
     Alcotest.test_case "trace capacity bound" `Quick test_trace_capacity;
     QCheck_alcotest.to_alcotest prop_heap_sorted;
+    QCheck_alcotest.to_alcotest prop_heap_model;
     QCheck_alcotest.to_alcotest prop_engine_no_time_travel;
   ]
