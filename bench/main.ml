@@ -35,6 +35,15 @@
                          --smoke shrinks the event counts
      --engine-only       exit right after --engine-out (skip tables and
                          Bechamel)
+     --coverage-out FILE run the coverage-growth microbench (distinct
+                         exploration signatures per run budget, guided
+                         corpus mutation vs blind sampling) and record
+                         it as JSON to FILE (the BENCH_PR8.json
+                         artifact); --smoke shrinks the run budget and
+                         transfer size
+     --coverage-only     exit right after --coverage-out (skip tables
+                         and Bechamel); exit 1 if guided discovered
+                         fewer signatures than blind
 
    Exit status is non-zero when any experiment's internal integrity
    check fails (digest mismatch, crash-class split inconsistency) or
@@ -288,6 +297,71 @@ let measure_engine ~smoke file =
       (if speedup_valid then "" else " (not comparable at this scale)")
 
 (* ------------------------------------------------------------------ *)
+(* Coverage-growth microbench (BENCH_PR8.json)                         *)
+(* ------------------------------------------------------------------ *)
+
+module Dst = Resilix_dst
+
+(* Guided vs blind exploration on the same run budget: how many
+   distinct coverage signatures (violated-invariant set + recovery
+   shape, see lib/dst/corpus.mli) does each discover?  The bound is
+   deliberately tight so the scenario fails in many distinct ways —
+   coverage growth, not bug-finding, is what is measured.  Both modes
+   go through [Explore.run_guided] ([~fresh_only:true] disables
+   mutation, making it blind sampling with signature tracking), so the
+   comparison isolates the corpus-mutation schedule. *)
+let measure_coverage ~smoke file =
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let scenario =
+    if smoke then Dst.Scenario.wget_sized ~size:(64 * 1024) () else Dst.Scenario.wget_kills
+  in
+  let runs = if smoke then 32 else 240 in
+  let seed = 42 and bound = 1_000 and batch = 16 in
+  let explore ~fresh_only () =
+    Dst.Explore.run_guided ~fresh_only ~bound ~batch scenario ~seed ~runs ()
+  in
+  let blind_s, blind = time (explore ~fresh_only:true) in
+  let guided_s, guided = time (explore ~fresh_only:false) in
+  let sigs (g : Dst.Explore.guided) = List.length g.Dst.Explore.g_signatures in
+  let failing (g : Dst.Explore.guided) = List.length g.Dst.Explore.g_failing in
+  let guided_ge_blind = sigs guided >= sigs blind in
+  let oc = open_out file in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"coverage growth: distinct exploration signatures per run budget, \
+     guided (corpus mutation) vs blind (fresh sampling)\",\n\
+    \  \"scenario\": \"%s\",\n\
+    \  \"cores\": %d,\n\
+    \  \"smoke\": %b,\n\
+    \  \"runs\": %d,\n\
+    \  \"seed\": %d,\n\
+    \  \"bound\": %d,\n\
+    \  \"batch\": %d,\n\
+    \  \"signatures_blind\": %d,\n\
+    \  \"signatures_guided\": %d,\n\
+    \  \"failing_signatures_blind\": %d,\n\
+    \  \"failing_signatures_guided\": %d,\n\
+    \  \"guided_ge_blind\": %b,\n\
+    \  \"blind_s\": %.3f,\n\
+    \  \"guided_s\": %.3f\n\
+     }\n"
+    scenario.Dst.Scenario.name
+    (Campaign.default_jobs ())
+    smoke runs seed bound batch (sigs blind) (sigs guided) (failing blind) (failing guided)
+    guided_ge_blind blind_s guided_s;
+  close_out oc;
+  Printf.printf
+    "\ncoverage growth (%s, %d runs): blind %d signature(s) (%d failing) in %.2fs, guided %d \
+     (%d failing) in %.2fs -> %s\n"
+    scenario.Dst.Scenario.name runs (sigs blind) (failing blind) blind_s (sigs guided)
+    (failing guided) guided_s file;
+  guided_ge_blind
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel benchmarks                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -399,12 +473,15 @@ let parse_args () =
   let speedup_out = ref None in
   let engine_out = ref None in
   let engine_only = ref false in
+  let coverage_out = ref None in
+  let coverage_only = ref false in
   let jobs = ref None in
   let progress = ref `Auto in
   let usage arg =
     Printf.eprintf
       "usage: %s [--smoke] [--jobs N] [--progress] [--no-progress] [--metrics-out FILE] \
-       [--speedup-out FILE] [--engine-out FILE] [--engine-only]\n\
+       [--speedup-out FILE] [--engine-out FILE] [--engine-only] [--coverage-out FILE] \
+       [--coverage-only]\n\
        (unknown argument %S)\n"
       Sys.executable_name arg;
     exit 2
@@ -418,6 +495,8 @@ let parse_args () =
     | "--speedup-out" :: file :: rest -> speedup_out := Some file; go rest
     | "--engine-out" :: file :: rest -> engine_out := Some file; go rest
     | "--engine-only" :: rest -> engine_only := true; go rest
+    | "--coverage-out" :: file :: rest -> coverage_out := Some file; go rest
+    | "--coverage-only" :: rest -> coverage_only := true; go rest
     | "--jobs" :: n :: rest -> (
         match int_of_string_opt n with
         | Some j when j >= 1 -> jobs := Some j; go rest
@@ -425,13 +504,35 @@ let parse_args () =
     | arg :: _ -> usage arg
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!smoke, !jobs, !progress, !metrics_out, !speedup_out, !engine_out, !engine_only)
+  ( !smoke,
+    !jobs,
+    !progress,
+    !metrics_out,
+    !speedup_out,
+    !engine_out,
+    !engine_only,
+    !coverage_out,
+    !coverage_only )
 
 let () =
-  let smoke, jobs, progress, metrics_out, speedup_out, engine_out, engine_only = parse_args () in
+  let ( smoke,
+        jobs,
+        progress,
+        metrics_out,
+        speedup_out,
+        engine_out,
+        engine_only,
+        coverage_out,
+        coverage_only ) =
+    parse_args ()
+  in
   try
     (match engine_out with Some file -> measure_engine ~smoke file | None -> ());
     if engine_only then exit 0;
+    let coverage_ok =
+      match coverage_out with None -> true | Some file -> measure_coverage ~smoke file
+    in
+    if coverage_only then exit (if coverage_ok then 0 else 1);
     let failed =
       match metrics_out with
       | None -> regenerate_tables ~smoke ~jobs ~progress ~obs:None ()
@@ -447,7 +548,7 @@ let () =
     in
     if not smoke then run_bechamel ();
     match failed with
-    | [] -> if not speedup_ok then exit 1
+    | [] -> if not (speedup_ok && coverage_ok) then exit 1
     | names ->
         List.iter (Printf.eprintf "INTEGRITY FAILURE: %s\n") names;
         exit 1

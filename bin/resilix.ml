@@ -117,50 +117,97 @@ let print_outcome_failures (result : Dst.Explore.result) =
       Printf.printf "  decisions: %d recorded\n" (Array.length o.Dst.Explore.o_decisions))
     result.Dst.Explore.failures
 
+(* With --repro-out, the first finding is written out, minimized
+   unless --no-shrink. *)
+let write_first_finding repro_out no_shrink repro =
+  let repro =
+    if no_shrink then repro
+    else
+      match Dst.Replay.shrink repro with
+      | Ok minimized ->
+          Printf.printf "shrunk: %d -> %d fault(s), %d -> %d decision(s)\n"
+            (List.length repro.Dst.Repro.plan)
+            (List.length minimized.Dst.Repro.plan)
+            (Array.length repro.Dst.Repro.decisions)
+            (Array.length minimized.Dst.Repro.decisions);
+          minimized
+      | Error m ->
+          Printf.eprintf "shrink failed (%s); keeping the original repro\n" m;
+          repro
+  in
+  match repro_out with
+  | Some file ->
+      Dst.Repro.save repro file;
+      Printf.printf "repro written to %s\n" file
+  | None -> ()
+
+let run_explore_blind jobs progress sc ~seed ~runs faults bound repro_out no_shrink =
+  let result =
+    Dst.Explore.run ?jobs
+      ?on_progress:(progress_for progress ("explore/" ^ sc.Dst.Scenario.name))
+      ?faults ~bound sc ~seed ~runs ()
+  in
+  Printf.printf "explored %s: %d run(s), %d failing\n" result.Dst.Explore.scenario
+    result.Dst.Explore.runs
+    (List.length result.Dst.Explore.failures);
+  print_outcome_failures result;
+  match result.Dst.Explore.failures with
+  | [] -> 0
+  | first :: _ ->
+      write_first_finding repro_out no_shrink (Dst.Explore.to_repro result first);
+      1
+
+let run_explore_guided jobs progress sc ~seed ~runs faults bound repro_out no_shrink
+    corpus_dir batch =
+  let corpus =
+    match corpus_dir with
+    | Some dir when Sys.file_exists dir -> (
+        match Dst.Corpus.load ~dir with
+        | Ok c ->
+            Printf.printf "corpus: loaded %d entries from %s\n" (Dst.Corpus.size c) dir;
+            Ok (Some c)
+        | Error m ->
+            Printf.eprintf "cannot load corpus %s: %s\n" dir m;
+            Error 2)
+    | _ -> Ok None
+  in
+  match corpus with
+  | Error rc -> rc
+  | Ok corpus -> (
+      let g =
+        Dst.Explore.run_guided ?jobs
+          ?on_progress:(progress_for progress ("explore/" ^ sc.Dst.Scenario.name))
+          ?faults ~bound ~batch ?corpus sc ~seed ~runs ()
+      in
+      print_string (Dst.Explore.guided_summary g);
+      (match corpus_dir with
+      | Some dir ->
+          Dst.Corpus.save g.Dst.Explore.g_corpus ~dir;
+          Printf.printf "corpus: %d entries saved to %s (%d new)\n"
+            (Dst.Corpus.size g.Dst.Explore.g_corpus)
+            dir g.Dst.Explore.g_new_entries
+      | None -> ());
+      match g.Dst.Explore.g_failing with
+      | [] -> 0
+      | (_, first) :: _ ->
+          write_first_finding repro_out no_shrink (Dst.Explore.guided_to_repro g first);
+          1)
+
 (* Exploration exits like a fuzzer: 0 when every run upheld the
    invariants, 1 when a finding was made (and, with --repro-out, a
    minimized repro file written). *)
-let run_explore jobs progress scenario_name seed runs faults bound repro_out no_shrink =
+let run_explore jobs progress scenario_name seed runs faults bound repro_out no_shrink
+    guided corpus_dir batch =
   match Dst.Scenario.find scenario_name with
   | None ->
       Printf.eprintf "unknown scenario %S (known: %s)\n" scenario_name
         (String.concat ", " (List.map (fun s -> s.Dst.Scenario.name) Dst.Scenario.builtins));
       2
-  | Some sc -> (
-      let result =
-        Dst.Explore.run ?jobs
-          ?on_progress:(progress_for progress ("explore/" ^ scenario_name))
-          ?faults ~bound sc ~seed ~runs ()
-      in
-      Printf.printf "explored %s: %d run(s), %d failing\n" result.Dst.Explore.scenario
-        result.Dst.Explore.runs
-        (List.length result.Dst.Explore.failures);
-      print_outcome_failures result;
-      match result.Dst.Explore.failures with
-      | [] -> 0
-      | first :: _ ->
-          let repro = Dst.Explore.to_repro result first in
-          let repro =
-            if no_shrink then repro
-            else
-              match Dst.Replay.shrink repro with
-              | Ok minimized ->
-                  Printf.printf "shrunk: %d -> %d fault(s), %d -> %d decision(s)\n"
-                    (List.length repro.Dst.Repro.plan)
-                    (List.length minimized.Dst.Repro.plan)
-                    (Array.length repro.Dst.Repro.decisions)
-                    (Array.length minimized.Dst.Repro.decisions);
-                  minimized
-              | Error m ->
-                  Printf.eprintf "shrink failed (%s); keeping the original repro\n" m;
-                  repro
-          in
-          (match repro_out with
-          | Some file ->
-              Dst.Repro.save repro file;
-              Printf.printf "repro written to %s\n" file
-          | None -> ());
-          1)
+  | Some sc ->
+      if guided then
+        run_explore_guided jobs progress sc ~seed ~runs faults bound repro_out no_shrink
+          corpus_dir batch
+      else run_explore_blind jobs progress sc ~seed ~runs faults bound repro_out no_shrink
 
 (* [resilix health SCENARIO]: one run of the scenario under the default
    tie-break policy, judged by the degradation contract.  Exit status
@@ -324,6 +371,34 @@ let repro_out_t =
 let no_shrink_t =
   Arg.(value & flag & info [ "no-shrink" ] ~doc:"Skip minimization of the finding.")
 
+let guided_t =
+  Arg.(
+    value
+    & flag
+    & info [ "guided" ]
+        ~doc:
+          "Coverage-guided exploration: alternate fresh sampling with mutations of a \
+           coverage corpus (new violated-invariant sets and recovery shapes).  Findings \
+           are deduplicated by coverage signature.  Output is deterministic for any \
+           $(b,--jobs).")
+
+let corpus_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "corpus" ] ~docv:"DIR"
+        ~doc:
+          "With --guided: load an existing corpus from $(docv) before exploring and save \
+           the grown corpus back after (one replayable JSONL repro file per coverage \
+           signature).")
+
+let batch_t =
+  Arg.(
+    value
+    & opt int Dst.Explore.default_batch
+    & info [ "batch" ] ~docv:"N"
+        ~doc:"With --guided: runs per fresh/mutation batch.")
+
 let repro_file_t =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"JSONL repro file.")
 
@@ -372,7 +447,7 @@ let explore_cmd =
   cmd "explore" "Seeded schedule/fault exploration of a scenario (DST)"
     Term.(
       const run_explore $ jobs_t $ progress_t $ scenario_t $ seed_t $ runs_t $ explore_faults_t
-      $ bound_t $ repro_out_t $ no_shrink_t)
+      $ bound_t $ repro_out_t $ no_shrink_t $ guided_t $ corpus_t $ batch_t)
 
 let replay_cmd =
   cmd "replay" "Re-execute a JSONL repro file and check it reproduces"

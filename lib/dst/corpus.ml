@@ -1,0 +1,77 @@
+module Fnv = Resilix_checksum.Fnv
+
+(* A coverage signature is the identity of a run for exploration
+   purposes: the set of invariants it violated (possibly empty) plus
+   the shape fingerprint of how it got there (Scenario.report.r_shape).
+   Two runs with the same signature taught us nothing new about each
+   other; a run with a fresh signature is kept as corpus material for
+   mutation. *)
+type signature = { s_invariants : string list; s_shape : int64 }
+
+let signature_of ~violations ~shape =
+  { s_invariants = Invariant.names violations; s_shape = shape }
+
+let fp h s = Fnv.update_string (Fnv.update_string h s) "\x1f"
+
+(* 16-hex-digit key: stable, filesystem-safe, and the corpus' dedup
+   and on-disk identity.  Hashing (invariants, shape) together keeps
+   one flat keyspace. *)
+let key s =
+  let h = List.fold_left fp Fnv.start s.s_invariants in
+  Fnv.to_hex (fp h (Printf.sprintf "%016Lx" s.s_shape))
+
+type entry = { c_key : string; c_repro : Repro.t }
+
+type t = { mutable entries : entry list (* newest first *); keys : (string, unit) Hashtbl.t }
+
+let create () = { entries = []; keys = Hashtbl.create 64 }
+
+let size t = List.length t.entries
+
+let mem t k = Hashtbl.mem t.keys k
+
+let add t ~key:k repro =
+  if Hashtbl.mem t.keys k then false
+  else begin
+    Hashtbl.add t.keys k ();
+    t.entries <- { c_key = k; c_repro = repro } :: t.entries;
+    true
+  end
+
+(* Sorted by key: the deterministic order every consumer (mutation
+   parent choice, save, signature listings) iterates in — pool or
+   insertion order never leaks into guided exploration output. *)
+let entries t = List.sort (fun a b -> String.compare a.c_key b.c_key) t.entries
+
+let keys t = List.sort String.compare (List.map (fun e -> e.c_key) t.entries)
+
+(* ------------------------------------------------------------------ *)
+(* Persistence: one Repro JSONL file per entry, named by its key       *)
+(* ------------------------------------------------------------------ *)
+
+let entry_file dir k = Filename.concat dir (k ^ ".jsonl")
+
+let save t ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter (fun e -> Repro.save e.c_repro (entry_file dir e.c_key)) (entries t)
+
+let load ~dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    Error (Printf.sprintf "corpus directory %s does not exist" dir)
+  else begin
+    let files = Array.to_list (Sys.readdir dir) in
+    let files =
+      List.sort String.compare (List.filter (fun f -> Filename.check_suffix f ".jsonl") files)
+    in
+    let t = create () in
+    let rec go = function
+      | [] -> Ok t
+      | f :: rest -> (
+          match Repro.load (Filename.concat dir f) with
+          | Error m -> Error (Printf.sprintf "%s: %s" f m)
+          | Ok repro ->
+              ignore (add t ~key:(Filename.chop_suffix f ".jsonl") repro);
+              go rest)
+    in
+    go files
+  end

@@ -1,0 +1,65 @@
+(** Coverage corpus for guided exploration.
+
+    Guided exploration needs two things a blind sweep does not: a
+    notion of {e coverage} ("did this run behave in a way we have not
+    seen?") and a store of interesting inputs to mutate.  This module
+    provides both.
+
+    A run's {b signature} is the pair (violated-invariant set, shape
+    fingerprint).  The invariant set is the failure identity already
+    used by shrinking ({!Invariant.names}); the shape fingerprint
+    ({!Scenario.report.r_shape}) captures {e how} the run unfolded —
+    recovery-span structure, recovery-event order, end-state degraded
+    and breaker sets — with no timestamps, so it is stable across
+    harmless timing jitter but distinguishes genuinely different
+    recovery interleavings.  Runs are deduplicated by signature: the
+    corpus keeps the first input reaching each signature, and findings
+    are reported once per signature rather than once per run.
+
+    Entries are stored as {!Repro} values — each corpus entry {e is} a
+    replayable repro — and persist as one JSONL file per entry named
+    [<key>.jsonl], so a saved corpus doubles as a directory of repro
+    files that [resilix replay] can consume directly.
+
+    Determinism: {!entries} and {!keys} return key-sorted lists, and
+    {!load} reads files in sorted name order, so corpus iteration
+    order never depends on insertion order, hashtable internals, or
+    the filesystem. *)
+
+type signature = {
+  s_invariants : string list;  (** sorted violated-invariant names *)
+  s_shape : int64;  (** {!Scenario.report.r_shape} *)
+}
+
+val signature_of : violations:Invariant.violation list -> shape:int64 -> signature
+
+val key : signature -> string
+(** 16-hex-digit FNV-1a key over the signature's fields (0x1f
+    separated) — the corpus' dedup identity and on-disk file stem. *)
+
+type entry = { c_key : string; c_repro : Repro.t }
+
+type t
+
+val create : unit -> t
+val size : t -> int
+val mem : t -> string -> bool
+
+val add : t -> key:string -> Repro.t -> bool
+(** [add t ~key repro] keeps [repro] if [key] is new; returns whether
+    it was new (the guided explorer's "made progress" predicate). *)
+
+val entries : t -> entry list
+(** All entries, sorted by key. *)
+
+val keys : t -> string list
+(** All keys, sorted. *)
+
+val save : t -> dir:string -> unit
+(** Write one [<key>.jsonl] repro file per entry, creating [dir] if
+    needed.  Existing files for the same keys are overwritten;
+    unrelated files are left alone. *)
+
+val load : dir:string -> (t, string) result
+(** Read every [*.jsonl] in [dir] (sorted name order), keyed by file
+    stem.  Fails with a message naming the first unparseable file. *)

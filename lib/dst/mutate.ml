@@ -1,0 +1,95 @@
+module Rng = Resilix_sim.Rng
+module Fault = Resilix_vm.Fault
+
+(* Every mutator draws only from the Rng.t it is handed, so a mutation
+   is a pure function of (rng state, input) — the guided explorer
+   derives that state from the master seed and the run index, never
+   from wall-clock or pool ordering. *)
+
+let default_start = 100_000
+let default_horizon = 2_000_000
+
+let sort_plan (p : Fault_plan.t) =
+  List.stable_sort (fun (a : Fault_plan.entry) b -> compare a.at b.at) p
+
+let fresh_entry rng ~targets : Fault_plan.entry =
+  {
+    Fault_plan.at = Rng.int_in rng ~min:default_start ~max:default_horizon;
+    target = Rng.pick rng targets;
+    action =
+      (if Rng.bool rng 0.3 then Fault_plan.Inject (Rng.int rng (Array.length Fault.all))
+       else Fault_plan.Kill);
+  }
+
+(* Jitter a time by up to ~20% of the default horizon, clamped to stay
+   non-negative. *)
+let jitter rng at =
+  let delta = Rng.int_in rng ~min:(-400_000) ~max:400_000 in
+  max 0 (at + delta)
+
+let mutate_entry rng ~targets (e : Fault_plan.entry) : Fault_plan.entry =
+  match Rng.int rng 3 with
+  | 0 -> { e with at = jitter rng e.at }
+  | 1 -> { e with target = Rng.pick rng targets }
+  | _ -> (
+      match e.action with
+      | Fault_plan.Kill ->
+          { e with action = Fault_plan.Inject (Rng.int rng (Array.length Fault.all)) }
+      | Fault_plan.Inject _ -> { e with action = Fault_plan.Kill })
+
+let plan rng ~targets (p : Fault_plan.t) : Fault_plan.t =
+  if Array.length targets = 0 then p
+  else if p = [] then [ fresh_entry rng ~targets ]
+  else
+    let arr = Array.of_list p in
+    let n = Array.length arr in
+    let out =
+      match Rng.int rng 4 with
+      | 0 when n > 1 ->
+          (* drop one entry *)
+          let victim = Rng.int rng n in
+          List.filteri (fun i _ -> i <> victim) p
+      | 1 ->
+          (* duplicate one entry at a jittered time *)
+          let src = arr.(Rng.int rng n) in
+          { src with at = jitter rng src.at } :: p
+      | 2 ->
+          (* point-mutate one entry *)
+          let victim = Rng.int rng n in
+          List.mapi (fun i e -> if i = victim then mutate_entry rng ~targets e else e) p
+      | _ ->
+          (* shift the whole plan in time *)
+          let delta = Rng.int_in rng ~min:(-300_000) ~max:300_000 in
+          List.map (fun (e : Fault_plan.entry) -> { e with at = max 0 (e.at + delta) }) p
+    in
+    sort_plan out
+
+let splice rng (a : Fault_plan.t) (b : Fault_plan.t) : Fault_plan.t =
+  match (a, b) with
+  | [], p | p, [] -> p
+  | _ ->
+      let take n l = List.filteri (fun i _ -> i < n) l in
+      let drop n l = List.filteri (fun i _ -> i >= n) l in
+      let cut_a = Rng.int rng (List.length a + 1) in
+      let cut_b = Rng.int rng (List.length b + 1) in
+      sort_plan (take cut_a a @ drop cut_b b)
+
+let decisions rng (d : int array) : int array =
+  if Array.length d = 0 then [| 1 + Rng.int rng 3 |]
+  else
+    match Rng.int rng 3 with
+    | 0 ->
+        (* flip one recorded tie-break *)
+        let out = Array.copy d in
+        out.(Rng.int rng (Array.length d)) <- Rng.int rng 4;
+        out
+    | 1 ->
+        (* insert a tie-break, shifting the suffix *)
+        let at = Rng.int rng (Array.length d + 1) in
+        let v = Rng.int rng 4 in
+        Array.init
+          (Array.length d + 1)
+          (fun i -> if i < at then d.(i) else if i = at then v else d.(i - 1))
+    | _ ->
+        (* truncate: the engine falls back to FIFO past the end *)
+        Array.sub d 0 (Rng.int rng (Array.length d))

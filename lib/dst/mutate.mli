@@ -1,0 +1,28 @@
+(** Seeded mutations over exploration inputs.
+
+    The guided explorer's mutation-batch runs re-execute a corpus
+    entry's machine seed with a {e perturbed} fault plan and decision
+    trace.  These operators supply the perturbations.  Each draws only
+    from the {!Resilix_sim.Rng.t} it is handed, so a mutant is a pure
+    function of (rng state, parent input) — the explorer derives that
+    state from the master seed and the run index, keeping guided
+    output independent of wall-clock time, [--jobs], and pool order.
+
+    Mutated plans are always re-sorted by time ({!Fault_plan.t}'s
+    invariant); mutated times are clamped non-negative. *)
+
+val plan :
+  Resilix_sim.Rng.t -> targets:string array -> Fault_plan.t -> Fault_plan.t
+(** One plan mutation: drop an entry, duplicate one at a jittered
+    time, point-mutate one (re-time / retarget / flip kill<->inject),
+    or time-shift the whole plan.  An empty plan grows one fresh
+    entry; empty [targets] returns the plan unchanged. *)
+
+val splice : Resilix_sim.Rng.t -> Fault_plan.t -> Fault_plan.t -> Fault_plan.t
+(** Crossover: a random prefix of the first plan joined to a random
+    suffix of the second, re-sorted.  If either is empty, the other. *)
+
+val decisions : Resilix_sim.Rng.t -> int array -> int array
+(** One decision-trace mutation: flip one recorded tie-break, insert
+    one, or truncate (the engine's [Scripted] policy falls back to
+    FIFO past the end).  An empty trace grows one nonzero entry. *)

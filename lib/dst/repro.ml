@@ -83,6 +83,32 @@ let parse_line line =
   let parse_string () =
     expect '"';
     let buf = Buffer.create 16 in
+    let hex4 () =
+      let hex = String.init 4 (fun _ -> next ()) in
+      match int_of_string_opt ("0x" ^ hex) with
+      | Some v -> v
+      | None -> bad "bad \\u escape \"\\u%s\"" hex
+    in
+    (* Decode one \uXXXX escape faithfully: code points are UTF-8
+       encoded into the buffer (the old [land 0xff] silently corrupted
+       anything above 0xFF), and surrogate pairs combine into their
+       supplementary code point.  [json_escape] itself only emits
+       \u00XX for control bytes, but repro files are hand-editable and
+       a parser that cannot reverse what standard JSON writers emit
+       would break the save -> load round trip. *)
+    let unicode_escape () =
+      let code = hex4 () in
+      if code >= 0xD800 && code <= 0xDBFF then begin
+        if next () <> '\\' || next () <> 'u' then
+          bad "high surrogate \\u%04x without a low surrogate" code;
+        let low = hex4 () in
+        if low < 0xDC00 || low > 0xDFFF then
+          bad "high surrogate \\u%04x followed by \\u%04x" code low;
+        0x10000 + (((code - 0xD800) lsl 10) lor (low - 0xDC00))
+      end
+      else if code >= 0xDC00 && code <= 0xDFFF then bad "lone low surrogate \\u%04x" code
+      else code
+    in
     let rec go () =
       match next () with
       | '"' -> Buffer.contents buf
@@ -90,12 +116,13 @@ let parse_line line =
           (match next () with
           | '"' -> Buffer.add_char buf '"'
           | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
           | 'n' -> Buffer.add_char buf '\n'
           | 't' -> Buffer.add_char buf '\t'
           | 'r' -> Buffer.add_char buf '\r'
-          | 'u' ->
-              let hex = String.init 4 (fun _ -> next ()) in
-              Buffer.add_char buf (Char.chr (int_of_string ("0x" ^ hex) land 0xff))
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'u' -> Buffer.add_utf_8_uchar buf (Uchar.of_int (unicode_escape ()))
           | c -> bad "bad escape '\\%c'" c);
           go ())
       | c ->

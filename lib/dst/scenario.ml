@@ -37,6 +37,7 @@ type report = {
   r_decisions : int array;
   r_degraded : string list;
   r_breakers : breaker_row list;
+  r_shape : int64;
 }
 
 type t = {
@@ -137,7 +138,25 @@ let breaker_rows t =
       })
     (Reincarnation.breaker_stats t.System.rs)
 
+(* The run's coverage-signature fingerprint: recovery-span shape, then
+   the trace's recovery-event order, then the end-state degraded set
+   and breaker states — all identity fields only, no timestamps (see
+   Span.shape_fingerprint / Event.shape_add).  Distinct failure shapes
+   get distinct fingerprints; re-timed copies of the same shape share
+   one. *)
+let shape_of t ~breakers =
+  let fp h s =
+    Resilix_checksum.Fnv.update_string (Resilix_checksum.Fnv.update_string h s) "\x1f"
+  in
+  let h = Span.shape_fingerprint t.System.spans in
+  let h =
+    List.fold_left Resilix_obs.Event.shape_add h (Resilix_sim.Trace.events t.System.trace)
+  in
+  let h = List.fold_left fp h (Data_store.degraded t.System.ds) in
+  List.fold_left (fun h b -> fp (fp h b.b_component) b.b_state) h breakers
+
 let report_of t ~completed ~checksum_ok ~applied ~expected_spans ~targets =
+  let breakers = breaker_rows t in
   {
     r_completed = completed;
     r_checksum_ok = checksum_ok;
@@ -150,7 +169,8 @@ let report_of t ~completed ~checksum_ok ~applied ~expected_spans ~targets =
     r_end_time = Engine.now t.System.engine;
     r_decisions = Engine.decisions t.System.engine;
     r_degraded = Data_store.degraded t.System.ds;
-    r_breakers = breaker_rows t;
+    r_breakers = breakers;
+    r_shape = shape_of t ~breakers;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -186,17 +206,20 @@ let wget_run ~size ~seed ~policy ~plan =
       && String.equal result.Wget.fnv (Filegen.fnv_digest ~seed:wget_file_seed ~size))
     ~applied:!applied ~expected_spans:!expected_spans ~targets:[ "eth.rtl8139" ]
 
-let wget_kills =
+let wget_sized ?name ~size () =
   let start = 100_000 and horizon = 450_000 in
+  let name = Option.value name ~default:(Printf.sprintf "wget-%dk" (size / 1024)) in
   {
-    name = "wget";
+    name;
     targets = [ "eth.rtl8139" ];
     default_faults = 3;
     plan =
       (fun ~seed ~faults ->
         Fault_plan.generate ~seed ~targets:[ "eth.rtl8139" ] ~n:faults ~start ~horizon ());
-    run = (fun ~seed ~policy ~plan -> wget_run ~size:(1024 * 1024) ~seed ~policy ~plan);
+    run = (fun ~seed ~policy ~plan -> wget_run ~size ~seed ~policy ~plan);
   }
+
+let wget_kills = wget_sized ~name:"wget" ~size:(1024 * 1024) ()
 
 (* ------------------------------------------------------------------ *)
 (* Built-in scenario: fault injection into the DP8390 driver           *)

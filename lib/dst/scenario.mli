@@ -41,6 +41,13 @@ type report = {
   r_degraded : string list;
       (** components published as degraded in DS at probe time *)
   r_breakers : breaker_row list;  (** per-breaker snapshots *)
+  r_shape : int64;
+      (** the run's coverage fingerprint: FNV-1a over the recovery-span
+          shape ({!Resilix_obs.Span.shape_fingerprint}), the trace's
+          recovery-event order ({!Resilix_obs.Event.shape_add}) and the
+          end-state degraded/breaker sets — identity fields only, no
+          timestamps.  Together with the violated-invariant set this is
+          the run's coverage {e signature} (see [Corpus]). *)
 }
 
 type t = {
@@ -81,6 +88,12 @@ val endpoints_consistent : Resilix_system.System.t -> string list -> bool
 val wget_kills : t
 (** ["wget"]: a 1 MB HTTP transfer over the RTL8139 while the plan
     SIGKILLs the driver (the paper's Sec. 7.1 workload, explorable). *)
+
+val wget_sized : ?name:string -> size:int -> unit -> t
+(** {!wget_kills} with a custom transfer size (and name, default
+    ["wget-<size>k"]) — smaller transfers make cheap per-run smoke
+    batches for guided exploration.  Not a builtin: replays of repro
+    files produced from it must pass the scenario explicitly. *)
 
 val dp_inject : t
 (** ["dp-inject"]: receive-side UDP traffic through the DP8390 while

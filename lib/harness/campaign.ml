@@ -31,9 +31,12 @@ let () =
    user callback never needs its own synchronization — and it writes
    to stderr (or a buffer), never stdout, keeping the table/JSONL
    byte-stream identical for every [jobs] value. *)
-let collect ?jobs ?on_progress trials =
+let collect ?jobs ?on_progress ?(progress_offset = 0) ?progress_total trials =
   let arr = Array.of_list trials in
   let n = Array.length arr in
+  let report_total =
+    max (n + progress_offset) (Option.value progress_total ~default:0)
+  in
   let jobs =
     match jobs with
     | Some j when j < 1 -> invalid_arg "Campaign.run: jobs must be >= 1"
@@ -60,12 +63,12 @@ let collect ?jobs ?on_progress trials =
       let done_ = 1 + Atomic.fetch_and_add completed 1 in
       emit
         {
-          p_index = i;
+          p_index = i + progress_offset;
           p_name = arr.(i).Trial.name;
           p_elapsed_s = Unix.gettimeofday () -. t0;
           p_failed = (match r with Error _ -> true | Ok _ -> false);
-          p_completed = done_;
-          p_total = n;
+          p_completed = done_ + progress_offset;
+          p_total = report_total;
         }
     in
     if jobs <= 1 then
@@ -96,9 +99,9 @@ let collect ?jobs ?on_progress trials =
 
 type 'a run_result = { outcomes : ('a, exn) result list; failures : failure list }
 
-let run ?jobs ?on_progress trials =
+let run ?jobs ?on_progress ?progress_offset ?progress_total trials =
   let names = Array.of_list (List.map (fun t -> t.Trial.name) trials) in
-  let outcomes = collect ?jobs ?on_progress trials in
+  let outcomes = collect ?jobs ?on_progress ?progress_offset ?progress_total trials in
   (* Every failed trial is reported, lowest index first — never just
      the first exception a worker happened to hit. *)
   let failures = ref [] in

@@ -64,13 +64,25 @@ type 'a run_result = {
 }
 
 val run :
-  ?jobs:int -> ?on_progress:(progress -> unit) -> 'a Trial.t list -> 'a run_result
+  ?jobs:int ->
+  ?on_progress:(progress -> unit) ->
+  ?progress_offset:int ->
+  ?progress_total:int ->
+  'a Trial.t list ->
+  'a run_result
 (** [run trials] executes every trial and reports every outcome.
     [jobs] caps the number of domains (clamped to [1 .. length
     trials]; [jobs:1] runs on the calling domain with no spawns at
     all; [jobs < 1] is [Invalid_argument]).  Trials are handed out
     dynamically (an atomic next-index counter), so long trials don't
-    serialize behind short ones. *)
+    serialize behind short ones.
+
+    Callers that split one logical campaign into several [run] calls
+    (e.g. the guided explorer's batches) keep a single coherent
+    progress stream with [progress_offset] (added to [p_index] and
+    [p_completed]) and [progress_total] (reported as [p_total] when it
+    exceeds [length trials + progress_offset]).  Both affect progress
+    events only, never outcomes. *)
 
 val values : 'a run_result -> 'a list
 (** The successful results, input order — or {!Partial} with the full

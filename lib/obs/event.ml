@@ -74,6 +74,30 @@ let message = function
       Printf.sprintf "%s missed %d heartbeats" component misses
   | Log { text } -> text
 
+(* DST coverage probe: fold one event's schedule-shape contribution
+   into an FNV-1a accumulator.  Only recovery-relevant payloads
+   contribute (defects, policy decisions/actions, breaker transitions,
+   restarts, heartbeat misses, DS publications) and only their stable
+   identity fields — component/key/state names — never timestamps,
+   endpoints, pids or counters, so the fingerprint captures the
+   *order and kind* of recovery events, not the speed of one
+   particular schedule.  Fields are 0x1f-separated against aliasing. *)
+let fp h s = Resilix_checksum.Fnv.update_string (Resilix_checksum.Fnv.update_string h s) "\x1f"
+
+let shape_add h e =
+  let tag kind = fp (fp h kind) e.subsystem in
+  match e.payload with
+  | Defect { component; defect; _ } -> fp (fp (tag "defect") component) (Status.defect_name defect)
+  | Policy_decision { component; policy; decision } ->
+      fp (fp (fp (tag "policy-decision") component) policy) decision
+  | Policy_action { component; action; _ } -> fp (fp (tag "policy-action") component) action
+  | Breaker { component; from_state; to_state } ->
+      fp (fp (fp (tag "breaker") component) from_state) to_state
+  | Restart { component; _ } -> fp (tag "restart") component
+  | Heartbeat_miss { component; _ } -> fp (tag "heartbeat-miss") component
+  | Ds_publish { key } -> fp (tag "ds-publish") key
+  | Ipc _ | Safecopy _ | Irq _ | Spawn _ | Exit _ | Retry _ | Log _ -> h
+
 let pp ppf e =
   let time_pp ppf t =
     if t >= 1_000_000 || t <= -1_000_000 then

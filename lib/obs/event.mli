@@ -72,6 +72,17 @@ val message : payload -> string
 val pp : Format.formatter -> t -> unit
 (** ["[TIME] LVL subsystem message"]. *)
 
+val shape_add : int64 -> t -> int64
+(** Fold one event's schedule-shape contribution into an FNV-1a
+    accumulator (see {!Resilix_checksum.Fnv}).  Only recovery-relevant
+    payloads contribute — defects, policy decisions/actions, breaker
+    transitions, restarts, heartbeat misses, DS publications — and
+    only their stable identity fields (component/key/state names),
+    never timestamps, endpoints, pids or counters.  Folding a run's
+    trace in order yields its event-order fingerprint, one half of
+    the DST coverage signature (the other is
+    {!Resilix_obs.Span.shape_fingerprint}). *)
+
 val to_json : t -> string
 (** One JSON object (single line) describing the event. *)
 

@@ -108,6 +108,29 @@ let concat ts =
   let next_id = List.fold_left (fun m s -> max m (s.id + 1)) 0 all in
   { next_id; all }
 
+(* DST coverage probe: an order-sensitive FNV-1a fingerprint of the
+   run's recovery-span *shape* — which components failed how, in what
+   order, through which phases — excluding every timestamp, so two
+   runs that recover the same way at different speeds share a shape
+   while a different failure order, defect kind, phase set or an
+   unclosed span produces a different one.  Fields are separated by a
+   0x1f byte so adjacent strings cannot alias. *)
+let fp h s = Resilix_checksum.Fnv.update_string (Resilix_checksum.Fnv.update_string h s) "\x1f"
+
+let shape_fingerprint t =
+  List.fold_left
+    (fun h s ->
+      let h = fp h "span" in
+      let h = fp h s.component in
+      let h = fp h (Status.defect_name s.defect) in
+      let h = fp h (string_of_int s.repetition) in
+      let marks =
+        List.sort (fun (a, _) (b, _) -> compare (phase_rank a) (phase_rank b)) s.marks
+      in
+      let h = List.fold_left (fun h (p, _) -> fp h (phase_name p)) h marks in
+      fp h (match s.closed_at with Some _ -> "closed" | None -> "open"))
+    Resilix_checksum.Fnv.start (spans t)
+
 let total_us s = Option.map (fun c -> c - s.opened_at) s.closed_at
 
 let phases s =

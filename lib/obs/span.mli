@@ -86,6 +86,15 @@ val concat : t list -> t
     report; ids keep their per-source values (they are only unique
     within a source). *)
 
+val shape_fingerprint : t -> int64
+(** Order-sensitive FNV-1a fingerprint of the run's recovery-span
+    {e shape}: for every span in order, its component, defect kind,
+    repetition, marked phases (in causal order) and open/closed state
+    — but no timestamps.  Two runs recovering the same way at
+    different speeds share a fingerprint; a different failure order,
+    defect, phase set or an unclosed span changes it.  The DST
+    coverage-signature probe. *)
+
 val total_us : span -> int option
 (** [closed_at - opened_at]; [None] while the span is open. *)
 

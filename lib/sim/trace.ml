@@ -79,11 +79,11 @@ let matches ~subsystem ~contains e =
   &&
   let msg = message e in
   let sub_len = String.length contains and msg_len = String.length msg in
-  let rec scan i =
-    if i + sub_len > msg_len then false
-    else if String.sub msg i sub_len = contains then true
-    else scan (i + 1)
-  in
+  (* Allocation-free substring scan: compare char by char instead of
+     carving a fresh [String.sub] per position, so [query]/[count]
+     over a large ring do no per-position allocation. *)
+  let rec same i j = j >= sub_len || (msg.[i + j] = contains.[j] && same i (j + 1)) in
+  let rec scan i = i + sub_len <= msg_len && (same i 0 || scan (i + 1)) in
   sub_len = 0 || scan 0
 
 let find t ~subsystem ~contains =
@@ -92,7 +92,18 @@ let find t ~subsystem ~contains =
 let count t ~subsystem ~contains =
   List.length (List.filter (matches ~subsystem ~contains) (events t))
 
+(* A throwaway event used to blank vacated slots, so cleared events
+   become collectable without giving up the ring's allocation. *)
+let blank : event =
+  { time = 0; level = Debug; subsystem = ""; payload = Event.Log { text = "" } }
+
+let allocated_slots t = Array.length t.buf
+
 let clear t =
-  t.buf <- [||];
+  (* Keep the array: re-paying geometric growth after every clear
+     would put allocation back on the hot path (same contract as
+     [Sim.Heap.clear]).  Blank the occupied slots so the cleared
+     events are not retained through the ring. *)
+  Array.fill t.buf 0 (Array.length t.buf) blank;
   t.head <- 0;
   t.len <- 0

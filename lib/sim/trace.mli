@@ -68,7 +68,15 @@ val count : t -> subsystem:string -> contains:string -> int
 (** Number of retained matching events. *)
 
 val clear : t -> unit
-(** Drop all retained events. *)
+(** Drop all retained events.  The ring keeps its allocation (like
+    [Sim.Heap.clear]) so a cleared trace records again without
+    re-paying geometric growth; the vacated slots are blanked, so
+    cleared events become collectable. *)
+
+val allocated_slots : t -> int
+(** The ring's currently allocated slot count (grows geometrically up
+    to [capacity], and is retained across {!clear}).  A test probe —
+    not part of the observable event history. *)
 
 val pp_event : Format.formatter -> event -> unit
 (** One-line rendering of an event. *)

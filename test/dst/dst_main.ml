@@ -13,6 +13,7 @@ module Replay = Resilix_dst.Replay
 module Repro = Resilix_dst.Repro
 module Scenario = Resilix_dst.Scenario
 module Invariant = Resilix_dst.Invariant
+module Corpus = Resilix_dst.Corpus
 
 let failures = ref 0
 
@@ -75,6 +76,53 @@ let () =
                   | Error m -> check ("replay runs: " ^ m) false
                   | Ok outcome ->
                       check "replay reproduces the violation" outcome.Replay.reproduced)))));
+
+  (* 4. Guided exploration on the real machine: a small transfer keeps
+     each run cheap.  The guided summary must be byte-identical across
+     job counts and repeat runs, and mutation must discover at least
+     as many coverage signatures as fresh sampling on the same run
+     budget. *)
+  let small = Scenario.wget_sized ~size:(64 * 1024) () in
+  let guided jobs = Explore.run_guided ~jobs ~batch:8 ~bound:1_000 small ~seed:42 ~runs:24 () in
+  let g1 = guided 1 in
+  let g2 = guided 2 in
+  check "guided summary is jobs-invariant"
+    (Explore.guided_summary g1 = Explore.guided_summary g2);
+  check "guided signature keys are jobs-invariant"
+    (g1.Explore.g_signatures = g2.Explore.g_signatures);
+  check "guided repeat run is byte-identical"
+    (Explore.guided_summary g1 = Explore.guided_summary (guided 1));
+  check "guided ran mutation batches" (g1.Explore.g_mutants > 0);
+  let blind =
+    Explore.run_guided ~jobs:2 ~batch:8 ~bound:1_000 ~fresh_only:true small ~seed:42 ~runs:24 ()
+  in
+  check "guided covers at least blind on the same budget"
+    (List.length g1.Explore.g_signatures >= List.length blind.Explore.g_signatures);
+
+  (* 5. The corpus round-trips through disk, and a reloaded corpus
+     seeds a follow-up exploration without re-reporting old
+     signatures. *)
+  let dir = Filename.temp_file "dst-corpus" "" in
+  Sys.remove dir;
+  Corpus.save g1.Explore.g_corpus ~dir;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      match Corpus.load ~dir with
+      | Error m -> check ("corpus loads: " ^ m) false
+      | Ok loaded ->
+          check "corpus round-trips through disk"
+            (Corpus.entries loaded = Corpus.entries g1.Explore.g_corpus);
+          let resumed =
+            Explore.run_guided ~jobs:2 ~batch:8 ~bound:1_000 ~corpus:loaded small ~seed:42
+              ~runs:24 ()
+          in
+          check "resumed exploration adds no duplicate corpus entries"
+            (resumed.Explore.g_new_entries
+            = Corpus.size resumed.Explore.g_corpus - Corpus.size g1.Explore.g_corpus));
+
   if !failures > 0 then begin
     Printf.printf "@dst batch: %d check(s) failed\n" !failures;
     exit 1

@@ -7,15 +7,19 @@
    exercised by the @dst batch (test/dst) and the CLI. *)
 
 module Engine = Resilix_sim.Engine
+module Rng = Resilix_sim.Rng
 module Span = Resilix_obs.Span
 module Status = Resilix_proto.Status
 module Fault = Resilix_vm.Fault
+module Fnv = Resilix_checksum.Fnv
 module Fault_plan = Resilix_dst.Fault_plan
 module Scenario = Resilix_dst.Scenario
 module Invariant = Resilix_dst.Invariant
 module Repro = Resilix_dst.Repro
 module Explore = Resilix_dst.Explore
 module Replay = Resilix_dst.Replay
+module Corpus = Resilix_dst.Corpus
+module Mutate = Resilix_dst.Mutate
 
 (* ------------------------------------------------------------------ *)
 (* Fault plans                                                         *)
@@ -115,6 +119,52 @@ let test_repro_rejects_garbage () =
          {|{"type":"fault","at":1,"target":"t","action":"frobnicate"}|};
        ])
 
+(* The parser must reverse anything a standard JSON writer emits:
+   code points above 0xFF decode to their UTF-8 bytes (a historical
+   bug truncated them with [land 0xff]) and surrogate pairs combine
+   into supplementary code points. *)
+let test_repro_unicode_escapes () =
+  let detail_of lines =
+    match Repro.of_lines lines with
+    | Ok { Repro.violations = [ v ]; _ } -> v.Invariant.v_detail
+    | Ok _ -> Alcotest.fail "expected exactly one violation"
+    | Error m -> Alcotest.fail m
+  in
+  let header = {|{"type":"dst-repro","version":1,"scenario":"x","seed":1,"bound":2}|} in
+  let with_detail d =
+    [ header; Printf.sprintf {|{"type":"violation","invariant":"i","detail":"%s"}|} d ]
+  in
+  Alcotest.(check string) "BMP code point decodes to UTF-8" "\xc5\x82"
+    (detail_of (with_detail {|\u0142|}));
+  Alcotest.(check string) "surrogate pair combines" "\xf0\x9f\x98\x80"
+    (detail_of (with_detail {|\ud83d\ude00|}));
+  Alcotest.(check string) "control escape stays one byte" "\x01"
+    (detail_of (with_detail {|\u0001|}));
+  let rejected d =
+    match Repro.of_lines (with_detail d) with Error _ -> true | Ok _ -> false
+  in
+  Alcotest.(check bool) "lone high surrogate rejected" true (rejected {|\ud83d|});
+  Alcotest.(check bool) "lone low surrogate rejected" true (rejected {|\ude00|});
+  Alcotest.(check bool) "high surrogate + non-low rejected" true (rejected {|\ud83dA|});
+  Alcotest.(check bool) "truncated hex rejected" true (rejected {|\u00|})
+
+(* Property: serialization round-trips for adversarial detail strings
+   — full byte range, embedded quotes, backslashes, newlines. *)
+let prop_repro_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"repro save -> load -> save round-trip"
+    QCheck.(pair small_string string)
+    (fun (target, detail) ->
+      let r =
+        {
+          sample_repro with
+          Repro.plan = [ { Fault_plan.at = 7; target; action = Fault_plan.Kill } ];
+          violations = [ { Invariant.v_invariant = "data-integrity"; v_detail = detail } ];
+        }
+      in
+      match Repro.of_lines (Repro.to_lines r) with
+      | Error _ -> false
+      | Ok r' -> r' = r && Repro.to_lines r' = Repro.to_lines r)
+
 (* ------------------------------------------------------------------ *)
 (* Invariants                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -134,6 +184,7 @@ let report ?(completed = true) ?(checksum = true) ?(endpoints = true) ?(applied 
     r_decisions = [||];
     r_degraded = degraded;
     r_breakers = breakers;
+    r_shape = 0L;
   }
 
 let names vs = Invariant.names vs
@@ -196,6 +247,16 @@ let toy =
       (fun e -> ignore (Engine.schedule_at engine ~at:e.Fault_plan.at (fun () -> ())))
       plan;
     Engine.run engine;
+    let decisions = Engine.decisions engine in
+    (* A toy shape: plan size + the first tie-break.  Deliberately
+       coarse — like the real scenarios' recovery shapes, many runs
+       collapse into one bucket, so fresh sampling saturates and only
+       mutation (changing the plan length) reaches new buckets. *)
+    let shape =
+      Fnv.update_string
+        (Fnv.update_string Fnv.start (string_of_int (List.length plan)))
+        (if Array.length decisions = 0 then "-" else string_of_int decisions.(0))
+    in
     {
       Scenario.r_completed = !first <> Some 2;
       r_checksum_ok = List.length plan < 3;
@@ -205,9 +266,10 @@ let toy =
       r_recoveries = 0;
       r_spans = Span.create ();
       r_end_time = Engine.now engine;
-      r_decisions = Engine.decisions engine;
+      r_decisions = decisions;
       r_degraded = [];
       r_breakers = [];
+      r_shape = shape;
     }
   in
   Scenario.make ~name:"toy" ~targets:[ "toy" ] ~default_faults:4
@@ -318,6 +380,187 @@ let test_shrink_preserves_divergent_decision () =
       Alcotest.(check (list int)) "only the divergent tie-break survives" [ 2 ]
         (Array.to_list min.Repro.decisions)
 
+(* ------------------------------------------------------------------ *)
+(* Coverage corpus                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let sig_a = { Corpus.s_invariants = [ "data-integrity" ]; s_shape = 17L }
+
+let test_corpus_keys () =
+  Alcotest.(check string) "key is a pure function" (Corpus.key sig_a) (Corpus.key sig_a);
+  Alcotest.(check int) "16 hex digits" 16 (String.length (Corpus.key sig_a));
+  Alcotest.(check bool) "shape distinguishes" true
+    (Corpus.key sig_a <> Corpus.key { sig_a with Corpus.s_shape = 18L });
+  Alcotest.(check bool) "invariant set distinguishes" true
+    (Corpus.key sig_a <> Corpus.key { sig_a with Corpus.s_invariants = [] });
+  (* The 0x1f field separator prevents concatenation aliasing. *)
+  Alcotest.(check bool) "no aliasing across field boundaries" true
+    (Corpus.key { sig_a with Corpus.s_invariants = [ "ab"; "c" ] }
+    <> Corpus.key { sig_a with Corpus.s_invariants = [ "a"; "bc" ] })
+
+let test_corpus_dedup_and_order () =
+  let c = Corpus.create () in
+  Alcotest.(check bool) "first add is new" true (Corpus.add c ~key:"bb" sample_repro);
+  Alcotest.(check bool) "second add is new" true (Corpus.add c ~key:"aa" sample_repro);
+  Alcotest.(check bool) "duplicate key rejected" false (Corpus.add c ~key:"bb" sample_repro);
+  Alcotest.(check int) "size counts unique keys" 2 (Corpus.size c);
+  Alcotest.(check bool) "mem" true (Corpus.mem c "aa" && not (Corpus.mem c "zz"));
+  Alcotest.(check (list string)) "entries sorted by key" [ "aa"; "bb" ]
+    (List.map (fun e -> e.Corpus.c_key) (Corpus.entries c));
+  Alcotest.(check (list string)) "keys sorted" [ "aa"; "bb" ] (Corpus.keys c)
+
+let test_corpus_save_load () =
+  let dir = Filename.temp_file "dst-corpus" "" in
+  Sys.remove dir;
+  let c = Corpus.create () in
+  ignore (Corpus.add c ~key:"0123456789abcdef" sample_repro);
+  ignore
+    (Corpus.add c ~key:"fedcba9876543210" { sample_repro with Repro.seed = 9; decisions = [||] });
+  Corpus.save c ~dir;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      match Corpus.load ~dir with
+      | Error m -> Alcotest.fail m
+      | Ok c' ->
+          Alcotest.(check int) "every entry came back" (Corpus.size c) (Corpus.size c');
+          Alcotest.(check bool) "keys and repros preserved" true
+            (Corpus.entries c = Corpus.entries c');
+          (* Each saved entry is itself a loadable repro file. *)
+          (match Repro.load (Filename.concat dir "0123456789abcdef.jsonl") with
+          | Ok r -> Alcotest.(check bool) "entry file is a plain repro" true (r = sample_repro)
+          | Error m -> Alcotest.fail m));
+  Alcotest.(check bool) "loading a missing dir fails" true
+    (match Corpus.load ~dir:"/nonexistent-dst-corpus" with Error _ -> true | Ok _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Mutations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_by_at p =
+  let rec go = function
+    | a :: (b :: _ as rest) -> a.Fault_plan.at <= b.Fault_plan.at && go rest
+    | [ _ ] | [] -> true
+  in
+  go p
+
+let test_mutate_plan () =
+  let targets = [| "a"; "b" |] in
+  let base = Fault_plan.generate ~seed:3 ~targets:[ "a" ] ~n:6 () in
+  for i = 0 to 49 do
+    let m = Mutate.plan (Rng.create ~seed:i) ~targets base in
+    Alcotest.(check bool) "mutant stays time-sorted" true (sorted_by_at m);
+    List.iter
+      (fun e ->
+        Alcotest.(check bool) "times stay non-negative" true (e.Fault_plan.at >= 0);
+        Alcotest.(check bool) "targets stay in the scenario" true
+          (Array.exists (( = ) e.Fault_plan.target) targets))
+      m
+  done;
+  let m1 = Mutate.plan (Rng.create ~seed:5) ~targets base in
+  let m2 = Mutate.plan (Rng.create ~seed:5) ~targets base in
+  Alcotest.(check bool) "same rng state, same mutant" true (m1 = m2);
+  Alcotest.(check int) "empty plan grows an entry" 1
+    (List.length (Mutate.plan (Rng.create ~seed:1) ~targets []));
+  Alcotest.(check bool) "no targets leaves the plan alone" true
+    (Mutate.plan (Rng.create ~seed:1) ~targets:[||] base = base)
+
+let test_mutate_splice () =
+  let a = Fault_plan.generate ~seed:1 ~targets:[ "a" ] ~n:4 () in
+  let b = Fault_plan.generate ~seed:2 ~targets:[ "b" ] ~n:4 () in
+  for i = 0 to 19 do
+    let s = Mutate.splice (Rng.create ~seed:i) a b in
+    Alcotest.(check bool) "splice stays sorted" true (sorted_by_at s);
+    List.iter
+      (fun e ->
+        Alcotest.(check bool) "every entry comes from a parent" true
+          (List.mem e a || List.mem e b))
+      s
+  done;
+  Alcotest.(check bool) "empty left returns right" true
+    (Mutate.splice (Rng.create ~seed:1) [] b = b);
+  Alcotest.(check bool) "empty right returns left" true
+    (Mutate.splice (Rng.create ~seed:1) a [] = a)
+
+let test_mutate_decisions () =
+  let base = [| 0; 1; 2; 0; 1 |] in
+  for i = 0 to 49 do
+    let m = Mutate.decisions (Rng.create ~seed:i) base in
+    (* Flip keeps the length, insert adds one, truncate only shortens. *)
+    Alcotest.(check bool) "length grows by at most one" true
+      (Array.length m <= Array.length base + 1);
+    Array.iter (fun d -> Alcotest.(check bool) "values stay small" true (d >= 0 && d < 4)) m
+  done;
+  let m1 = Mutate.decisions (Rng.create ~seed:9) base in
+  let m2 = Mutate.decisions (Rng.create ~seed:9) base in
+  Alcotest.(check bool) "same rng state, same mutant" true (m1 = m2);
+  Alcotest.(check int) "empty trace grows one tie-break" 1
+    (Array.length (Mutate.decisions (Rng.create ~seed:1) [||]))
+
+(* ------------------------------------------------------------------ *)
+(* Guided exploration (toy scenario)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_guided_deterministic_and_jobs_invariant () =
+  let explore jobs = Explore.run_guided ~jobs ~batch:6 toy ~seed:11 ~runs:24 () in
+  let g1 = explore 1 and g4 = explore 4 in
+  Alcotest.(check string) "summary byte-identical for jobs=1 and jobs=4"
+    (Explore.guided_summary g1) (Explore.guided_summary g4);
+  Alcotest.(check (list string)) "signature keys identical" g1.Explore.g_signatures
+    g4.Explore.g_signatures;
+  Alcotest.(check string) "repeat run is byte-identical"
+    (Explore.guided_summary g1)
+    (Explore.guided_summary (explore 1));
+  Alcotest.(check int) "every run is either fresh or a mutant" 24
+    (g1.Explore.g_fresh + g1.Explore.g_mutants);
+  Alcotest.(check bool) "mutation batches actually ran" true (g1.Explore.g_mutants > 0);
+  Alcotest.(check bool) "corpus kept one entry per signature" true
+    (Corpus.size g1.Explore.g_corpus >= List.length g1.Explore.g_signatures)
+
+let test_guided_covers_at_least_blind () =
+  let guided = Explore.run_guided ~jobs:1 ~batch:6 toy ~seed:11 ~runs:24 () in
+  let blind = Explore.run_guided ~jobs:1 ~batch:6 ~fresh_only:true toy ~seed:11 ~runs:24 () in
+  Alcotest.(check bool) "guided discovers at least as many signatures" true
+    (List.length guided.Explore.g_signatures >= List.length blind.Explore.g_signatures);
+  Alcotest.(check int) "fresh_only never mutates" 0 blind.Explore.g_mutants
+
+(* fresh_only guided runs execute exactly blind mode's specs, so each
+   deduplicated finding must be one of Explore.run's findings,
+   verbatim. *)
+let test_guided_fresh_only_matches_blind () =
+  let g = Explore.run_guided ~jobs:1 ~batch:6 ~fresh_only:true toy ~seed:11 ~runs:24 () in
+  let blind = Explore.run ~jobs:1 toy ~seed:11 ~runs:24 () in
+  Alcotest.(check bool) "both modes found failures" true
+    (g.Explore.g_failing <> [] && blind.Explore.failures <> []);
+  List.iter
+    (fun (_, (o : Explore.outcome)) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "finding at run %d matches blind exploration" o.Explore.o_index)
+        true
+        (List.exists
+           (fun (b : Explore.outcome) ->
+             b.Explore.o_index = o.Explore.o_index
+             && b.Explore.o_seed = o.Explore.o_seed
+             && b.Explore.o_plan = o.Explore.o_plan
+             && b.Explore.o_decisions = o.Explore.o_decisions
+             && b.Explore.o_violations = o.Explore.o_violations)
+           blind.Explore.failures))
+    g.Explore.g_failing
+
+let test_guided_findings_replay () =
+  let g = Explore.run_guided ~jobs:1 ~batch:6 toy ~seed:11 ~runs:24 () in
+  List.iter
+    (fun (_, (o : Explore.outcome)) ->
+      match Replay.run ~scenario:toy (Explore.guided_to_repro g o) with
+      | Error m -> Alcotest.fail m
+      | Ok outcome ->
+          Alcotest.(check bool)
+            (Printf.sprintf "guided finding at run %d replays" o.Explore.o_index)
+            true outcome.Replay.reproduced)
+    g.Explore.g_failing
+
 let test_trim_trailing_zeros () =
   Alcotest.(check (list int)) "trims" [ 1; 0; 2 ]
     (Array.to_list (Replay.trim_trailing_zeros [| 1; 0; 2; 0; 0 |]));
@@ -333,6 +576,8 @@ let tests =
     Alcotest.test_case "repro line round-trip" `Quick test_repro_roundtrip;
     Alcotest.test_case "repro file round-trip" `Quick test_repro_file_roundtrip;
     Alcotest.test_case "repro rejects garbage" `Quick test_repro_rejects_garbage;
+    Alcotest.test_case "repro unicode escapes" `Quick test_repro_unicode_escapes;
+    QCheck_alcotest.to_alcotest prop_repro_roundtrip;
     Alcotest.test_case "invariants: clean report" `Quick test_invariant_clean;
     Alcotest.test_case "invariants: each violation" `Quick test_invariant_each;
     Alcotest.test_case "invariants: span bound" `Quick test_invariant_span_bound;
@@ -346,4 +591,16 @@ let tests =
     Alcotest.test_case "shrink preserves divergent decisions" `Quick
       test_shrink_preserves_divergent_decision;
     Alcotest.test_case "trim trailing zeros" `Quick test_trim_trailing_zeros;
+    Alcotest.test_case "corpus signature keys" `Quick test_corpus_keys;
+    Alcotest.test_case "corpus dedups and sorts" `Quick test_corpus_dedup_and_order;
+    Alcotest.test_case "corpus save/load round-trip" `Quick test_corpus_save_load;
+    Alcotest.test_case "mutate: fault plans" `Quick test_mutate_plan;
+    Alcotest.test_case "mutate: splice" `Quick test_mutate_splice;
+    Alcotest.test_case "mutate: decision traces" `Quick test_mutate_decisions;
+    Alcotest.test_case "guided: deterministic, jobs-invariant" `Quick
+      test_guided_deterministic_and_jobs_invariant;
+    Alcotest.test_case "guided: covers at least blind" `Quick test_guided_covers_at_least_blind;
+    Alcotest.test_case "guided: fresh-only matches blind" `Quick
+      test_guided_fresh_only_matches_blind;
+    Alcotest.test_case "guided: findings replay" `Quick test_guided_findings_replay;
   ]

@@ -351,6 +351,83 @@ let test_trace_capacity () =
   Alcotest.(check int) "bounded retention" 3 (List.length evs);
   Alcotest.(check string) "oldest dropped" "event 3" (Trace.message (List.hd evs))
 
+(* Every read path must agree on "the newest [capacity] events, oldest
+   first" after the ring wraps — not just [events]. *)
+let test_trace_wraparound_reads () =
+  let trace = Trace.create ~capacity:3 () in
+  for i = 1 to 8 do
+    Trace.emit trace ~now:(Time.usec i) Trace.Debug "x" "event %d" i
+  done;
+  Alcotest.(check (list string)) "events: newest capacity, in order"
+    [ "event 6"; "event 7"; "event 8" ]
+    (List.map Trace.message (Trace.events trace));
+  Alcotest.(check (list string)) "query sees the same window"
+    [ "event 6"; "event 7"; "event 8" ]
+    (List.map Trace.message (Trace.query trace ~pred:(fun _ -> true)));
+  Alcotest.(check int) "count scans the whole window" 3
+    (Trace.count trace ~subsystem:"x" ~contains:"event");
+  Alcotest.(check bool) "find misses overwritten events" true
+    (Trace.find trace ~subsystem:"x" ~contains:"event 5" = None);
+  (match Trace.find trace ~subsystem:"x" ~contains:"event 6" with
+  | Some e -> Alcotest.(check int) "find sees the oldest retained event" 6 e.Trace.time
+  | None -> Alcotest.fail "expected to find event 6")
+
+(* The growth-then-wrap boundary: the buffer doubles while filling,
+   then wraps only once the configured capacity is reached. *)
+let test_trace_growth_then_wrap () =
+  let trace = Trace.create ~capacity:100 () in
+  for i = 1 to 250 do
+    Trace.emit trace ~now:(Time.usec i) Trace.Debug "x" "event %d" i
+  done;
+  let evs = Trace.events trace in
+  Alcotest.(check int) "capacity events retained" 100 (List.length evs);
+  Alcotest.(check string) "window starts at 151" "event 151" (Trace.message (List.hd evs));
+  Alcotest.(check string) "window ends at 250"
+    "event 250"
+    (Trace.message (List.nth evs 99));
+  Alcotest.(check int) "slots never exceed capacity" 100 (Trace.allocated_slots trace)
+
+let test_trace_capacity_one () =
+  let trace = Trace.create ~capacity:1 () in
+  for i = 1 to 4 do
+    Trace.emit trace ~now:(Time.usec i) Trace.Debug "x" "event %d" i
+  done;
+  Alcotest.(check (list string)) "only the newest survives" [ "event 4" ]
+    (List.map Trace.message (Trace.events trace))
+
+(* [clear] must reset contents without dropping the ring's allocation
+   (mirrors [Heap.clear]): a trace cleared every simulated boot would
+   otherwise re-grow its buffer from scratch each time. *)
+let test_trace_clear_keeps_allocation () =
+  let trace = Trace.create ~capacity:8 () in
+  for i = 1 to 8 do
+    Trace.emit trace ~now:(Time.usec i) Trace.Debug "x" "event %d" i
+  done;
+  let slots = Trace.allocated_slots trace in
+  Trace.clear trace;
+  Alcotest.(check (list string)) "cleared trace is empty" []
+    (List.map Trace.message (Trace.events trace));
+  Alcotest.(check int) "allocation retained across clear" slots (Trace.allocated_slots trace);
+  Trace.emit trace ~now:(Time.usec 99) Trace.Debug "x" "after clear";
+  Alcotest.(check (list string)) "trace usable after clear" [ "after clear" ]
+    (List.map Trace.message (Trace.events trace))
+
+(* Space-leak regression for [clear], like the Heap one: a cleared
+   event's payload must be collectable even while the trace (and its
+   retained buffer) stays alive — clear must blank the slots, not just
+   reset the cursors. *)
+let test_trace_clear_releases_payloads () =
+  let trace = Trace.create ~capacity:4 () in
+  let live = Weak.create 1 in
+  let payload = String.init 64 (fun i -> Char.chr (65 + (i mod 26))) in
+  Weak.set live 0 (Some payload);
+  (* emit_event stores the payload record itself (emit would format a
+     copy), so the slot really does reference this string. *)
+  Trace.emit_event trace ~now:(Time.usec 1) "x" (Resilix_obs.Event.Log { text = payload });
+  Trace.clear trace;
+  Gc.full_major ();
+  Alcotest.(check bool) "cleared payload is collectable" true (Weak.get live 0 = None)
+
 (* Property: popping the heap yields keys in nondecreasing order, with
    FIFO sequence order inside equal keys. *)
 let prop_heap_sorted =
@@ -502,6 +579,11 @@ let tests =
     Alcotest.test_case "heap: pop releases values" `Quick test_heap_pop_releases_values;
     Alcotest.test_case "trace query" `Quick test_trace_query;
     Alcotest.test_case "trace capacity bound" `Quick test_trace_capacity;
+    Alcotest.test_case "trace wraparound reads" `Quick test_trace_wraparound_reads;
+    Alcotest.test_case "trace growth then wrap" `Quick test_trace_growth_then_wrap;
+    Alcotest.test_case "trace capacity one" `Quick test_trace_capacity_one;
+    Alcotest.test_case "trace clear keeps allocation" `Quick test_trace_clear_keeps_allocation;
+    Alcotest.test_case "trace clear releases payloads" `Quick test_trace_clear_releases_payloads;
     QCheck_alcotest.to_alcotest prop_heap_sorted;
     QCheck_alcotest.to_alcotest prop_heap_model;
     QCheck_alcotest.to_alcotest prop_engine_no_time_travel;
