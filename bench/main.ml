@@ -362,6 +362,100 @@ let measure_coverage ~smoke file =
   guided_ge_blind
 
 (* ------------------------------------------------------------------ *)
+(* C10K storm benchmark (BENCH_PR10.json)                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The storm scenario at benchmark scale: 500 concurrent connections
+   against the httpd worker pool with a mid-storm Ethernet-driver
+   kill.  Run twice with the same seed; the rendered report must be
+   byte-identical (the storm is virtual-time-only), every request must
+   resolve, and no response may be corrupted.  Smoke shrinks to the
+   64-request builtin. *)
+let measure_storm ~smoke file =
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let requests, concurrency, workers, backlog =
+    if smoke then (64, 32, 8, 16) else (500, 500, 32, 128)
+  in
+  let sc =
+    if smoke then Dst.Scenario.storm
+    else Dst.Scenario.storm_sized ~requests ~concurrency ~workers ~backlog ()
+  in
+  let seed = 42 in
+  let plan = sc.Dst.Scenario.plan ~seed ~faults:sc.Dst.Scenario.default_faults in
+  let once () = sc.Dst.Scenario.run ~seed ~policy:Engine.Fifo ~plan in
+  let run1_s, r1 = time once in
+  let run2_s, r2 = time once in
+  let deterministic =
+    Dst.Scenario.storm_lines r1 = Dst.Scenario.storm_lines r2
+    && r1.Dst.Scenario.r_decisions = r2.Dst.Scenario.r_decisions
+  in
+  let s =
+    match r1.Dst.Scenario.r_storm with
+    | Some s -> s
+    | None -> failwith "storm scenario produced no storm stats"
+  in
+  let resolved =
+    s.Dst.Scenario.s_completed + s.Dst.Scenario.s_mismatches + s.Dst.Scenario.s_timeouts
+    + s.Dst.Scenario.s_failed
+  in
+  let all_resolved = resolved = s.Dst.Scenario.s_requests in
+  let ok = deterministic && all_resolved && s.Dst.Scenario.s_mismatches = 0 in
+  let oc = open_out file in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"C10K storm: concurrent HTTP-ish load + mid-storm driver kill, \
+     tail latency and determinism\",\n\
+    \  \"scenario\": \"%s\",\n\
+    \  \"cores\": %d,\n\
+    \  \"smoke\": %b,\n\
+    \  \"seed\": %d,\n\
+    \  \"requests\": %d,\n\
+    \  \"concurrency\": %d,\n\
+    \  \"workers\": %d,\n\
+    \  \"backlog\": %d,\n\
+    \  \"completed\": %d,\n\
+    \  \"timeouts\": %d,\n\
+    \  \"failed\": %d,\n\
+    \  \"mismatches\": %d,\n\
+    \  \"refused\": %d,\n\
+    \  \"retries\": %d,\n\
+    \  \"served\": %d,\n\
+    \  \"bytes_in\": %d,\n\
+    \  \"p50_us\": %d,\n\
+    \  \"p95_us\": %d,\n\
+    \  \"p99_us\": %d,\n\
+    \  \"outage_at_us\": %d,\n\
+    \  \"recovered_by_us\": %d,\n\
+    \  \"run1_s\": %.3f,\n\
+    \  \"run2_s\": %.3f,\n\
+    \  \"all_resolved\": %b,\n\
+    \  \"deterministic\": %b\n\
+     }\n"
+    sc.Dst.Scenario.name
+    (Campaign.default_jobs ())
+    smoke seed requests concurrency workers backlog s.Dst.Scenario.s_completed
+    s.Dst.Scenario.s_timeouts s.Dst.Scenario.s_failed s.Dst.Scenario.s_mismatches
+    s.Dst.Scenario.s_refused s.Dst.Scenario.s_retries s.Dst.Scenario.s_served
+    s.Dst.Scenario.s_bytes_in s.Dst.Scenario.s_p50 s.Dst.Scenario.s_p95 s.Dst.Scenario.s_p99
+    s.Dst.Scenario.s_outage_at s.Dst.Scenario.s_recovered_by run1_s run2_s all_resolved
+    deterministic;
+  close_out oc;
+  Printf.printf
+    "\nstorm (%s, %d requests @ %d concurrent): %d completed, %d timeout(s), %d failed, \
+     p50=%dus p95=%dus p99=%dus in %.2fs/%.2fs -> %s (%s) -> %s\n"
+    sc.Dst.Scenario.name requests concurrency s.Dst.Scenario.s_completed
+    s.Dst.Scenario.s_timeouts s.Dst.Scenario.s_failed s.Dst.Scenario.s_p50 s.Dst.Scenario.s_p95
+    s.Dst.Scenario.s_p99 run1_s run2_s
+    (if deterministic then "deterministic" else "DIVERGED")
+    (if all_resolved then "all resolved" else "REQUESTS LOST")
+    file;
+  ok
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel benchmarks                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -475,13 +569,15 @@ let parse_args () =
   let engine_only = ref false in
   let coverage_out = ref None in
   let coverage_only = ref false in
+  let storm_out = ref None in
+  let storm_only = ref false in
   let jobs = ref None in
   let progress = ref `Auto in
   let usage arg =
     Printf.eprintf
       "usage: %s [--smoke] [--jobs N] [--progress] [--no-progress] [--metrics-out FILE] \
        [--speedup-out FILE] [--engine-out FILE] [--engine-only] [--coverage-out FILE] \
-       [--coverage-only]\n\
+       [--coverage-only] [--storm-out FILE] [--storm-only]\n\
        (unknown argument %S)\n"
       Sys.executable_name arg;
     exit 2
@@ -497,6 +593,8 @@ let parse_args () =
     | "--engine-only" :: rest -> engine_only := true; go rest
     | "--coverage-out" :: file :: rest -> coverage_out := Some file; go rest
     | "--coverage-only" :: rest -> coverage_only := true; go rest
+    | "--storm-out" :: file :: rest -> storm_out := Some file; go rest
+    | "--storm-only" :: rest -> storm_only := true; go rest
     | "--jobs" :: n :: rest -> (
         match int_of_string_opt n with
         | Some j when j >= 1 -> jobs := Some j; go rest
@@ -512,7 +610,9 @@ let parse_args () =
     !engine_out,
     !engine_only,
     !coverage_out,
-    !coverage_only )
+    !coverage_only,
+    !storm_out,
+    !storm_only )
 
 let () =
   let ( smoke,
@@ -523,7 +623,9 @@ let () =
         engine_out,
         engine_only,
         coverage_out,
-        coverage_only ) =
+        coverage_only,
+        storm_out,
+        storm_only ) =
     parse_args ()
   in
   try
@@ -533,6 +635,8 @@ let () =
       match coverage_out with None -> true | Some file -> measure_coverage ~smoke file
     in
     if coverage_only then exit (if coverage_ok then 0 else 1);
+    let storm_ok = match storm_out with None -> true | Some file -> measure_storm ~smoke file in
+    if storm_only then exit (if storm_ok then 0 else 1);
     let failed =
       match metrics_out with
       | None -> regenerate_tables ~smoke ~jobs ~progress ~obs:None ()
@@ -548,7 +652,7 @@ let () =
     in
     if not smoke then run_bechamel ();
     match failed with
-    | [] -> if not (speedup_ok && coverage_ok) then exit 1
+    | [] -> if not (speedup_ok && coverage_ok && storm_ok) then exit 1
     | names ->
         List.iter (Printf.eprintf "INTEGRITY FAILURE: %s\n") names;
         exit 1

@@ -248,6 +248,30 @@ let run_health scenario_name seed faults =
         0
       end
 
+(* The C10K storm: many concurrent HTTP-ish connections against the
+   httpd worker pool while the plan SIGKILLs the Ethernet driver
+   mid-storm.  The report (tail latencies, error counts, goodput
+   timeline) is virtual-time only: byte-identical for any repeat of
+   the same seed.  Exit 1 when a DST invariant is violated. *)
+let run_storm requests concurrency workers backlog seed faults bound =
+  let sc =
+    if requests = 64 && concurrency = 32 && workers = 8 && backlog = 16 then Dst.Scenario.storm
+    else Dst.Scenario.storm_sized ~requests ~concurrency ~workers ~backlog ()
+  in
+  let faults = Option.value faults ~default:sc.Dst.Scenario.default_faults in
+  let plan = sc.Dst.Scenario.plan ~seed ~faults in
+  let report = sc.Dst.Scenario.run ~seed ~policy:Resilix_sim.Engine.Fifo ~plan in
+  Printf.printf "storm %s: %d connection(s), %d worker(s), backlog %d, seed %d\n"
+    sc.Dst.Scenario.name concurrency workers backlog seed;
+  List.iter print_endline (Dst.Scenario.storm_lines report);
+  match Dst.Invariant.check ~bound report with
+  | [] ->
+      Printf.printf "invariants: OK\n";
+      0
+  | vs ->
+      List.iter (fun v -> Printf.printf "VIOLATION %s\n" (Dst.Invariant.pp_violation v)) vs;
+      1
+
 let run_replay file do_shrink out =
   match Dst.Repro.load file with
   | Error m ->
@@ -399,6 +423,31 @@ let batch_t =
     & info [ "batch" ] ~docv:"N"
         ~doc:"With --guided: runs per fresh/mutation batch.")
 
+let storm_requests_t =
+  Arg.(
+    value
+    & opt int 500
+    & info [ "requests" ] ~docv:"N" ~doc:"Requests the load generator issues.")
+
+let storm_concurrency_t =
+  Arg.(
+    value
+    & opt int 500
+    & info [ "concurrency" ] ~docv:"N" ~doc:"Maximum simultaneous client connections.")
+
+let storm_workers_t =
+  Arg.(
+    value
+    & opt int 32
+    & info [ "workers" ] ~docv:"N" ~doc:"httpd worker processes accepting on the shared socket.")
+
+let storm_backlog_t =
+  Arg.(
+    value
+    & opt int 128
+    & info [ "backlog" ] ~docv:"N"
+        ~doc:"Listener accept backlog; overflowing SYNs are refused with RST.")
+
 let repro_file_t =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"JSONL repro file.")
 
@@ -448,6 +497,14 @@ let explore_cmd =
     Term.(
       const run_explore $ jobs_t $ progress_t $ scenario_t $ seed_t $ runs_t $ explore_faults_t
       $ bound_t $ repro_out_t $ no_shrink_t $ guided_t $ corpus_t $ batch_t)
+
+let storm_cmd =
+  cmd "storm"
+    "C10K storm: concurrent HTTP-ish load vs a mid-storm Ethernet-driver kill, with tail-latency \
+     and goodput report (exit 1 on invariant violation)"
+    Term.(
+      const run_storm $ storm_requests_t $ storm_concurrency_t $ storm_workers_t
+      $ storm_backlog_t $ seed_t $ explore_faults_t $ bound_t)
 
 let replay_cmd =
   cmd "replay" "Re-execute a JSONL repro file and check it reproduces"
@@ -500,6 +557,7 @@ let () =
             fig9_cmd;
             ablations_cmd;
             health_cmd;
+            storm_cmd;
             explore_cmd;
             replay_cmd;
             all_cmd;

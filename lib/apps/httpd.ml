@@ -1,0 +1,148 @@
+module Api = Resilix_kernel.Sysif.Api
+module Message = Resilix_proto.Message
+module Filegen = Resilix_net.Filegen
+
+type stats = {
+  mutable lsock : int;
+  mutable listening : bool;
+  mutable workers : int;
+  mutable requests : int;
+  mutable bad_requests : int;
+  mutable io_errors : int;
+  mutable bytes_out : int;
+}
+
+let fresh_stats () =
+  {
+    lsock = -1;
+    listening = false;
+    workers = 0;
+    requests = 0;
+    bad_requests = 0;
+    io_errors = 0;
+    bytes_out = 0;
+  }
+
+let chunk = 32768
+
+let listener ?(backlog = 64) ~port stats () =
+  match Sockets.socket Message.Tcp with
+  | Error _ -> ()
+  | Ok sock -> (
+      match Sockets.listen ~backlog sock ~port with
+      | Error _ -> ()
+      | Ok () ->
+          stats.lsock <- sock;
+          stats.listening <- true)
+
+(* Accumulate received bytes until the newline terminating the request
+   line.  None on connection error, premature close, or an oversized
+   line (a misbehaving client). *)
+let read_request sock =
+  let buf = Buffer.create 64 in
+  let rec go () =
+    if Buffer.length buf > 512 then None
+    else begin
+      match Sockets.recv sock ~len:256 with
+      | Error _ -> None
+      | Ok data when Bytes.length data = 0 -> None
+      | Ok data -> (
+          Buffer.add_bytes buf data;
+          let s = Buffer.contents buf in
+          match String.index_opt s '\n' with
+          | Some i -> Some (String.sub s 0 i)
+          | None -> go ())
+    end
+  in
+  go ()
+
+type target = T_gen of int * int | T_fs of string
+
+let parse_request line =
+  let pfx = "GET " in
+  let plen = String.length pfx in
+  if String.length line <= plen || not (String.equal (String.sub line 0 plen) pfx) then None
+  else begin
+    let target = String.sub line plen (String.length line - plen) in
+    match String.split_on_char ':' target with
+    | [ "gen"; seed; size ] -> (
+        match (int_of_string_opt seed, int_of_string_opt size) with
+        | Some seed, Some size when size >= 0 -> Some (T_gen (seed, size))
+        | _ -> None)
+    | "fs" :: rest when rest <> [] -> Some (T_fs (String.concat ":" rest))
+    | _ -> None
+  end
+
+(* Stream [push] until done; count one request served or one I/O
+   error.  The response is the raw bytes followed by close — the
+   client knows what it asked for and validates the digest itself. *)
+let finish_stream stats = function
+  | Ok sent ->
+      stats.requests <- stats.requests + 1;
+      stats.bytes_out <- stats.bytes_out + sent;
+      Api.metric_incr "httpd.requests";
+      Api.metric_add "httpd.bytes_out" sent
+  | Error sent ->
+      stats.io_errors <- stats.io_errors + 1;
+      stats.bytes_out <- stats.bytes_out + sent;
+      Api.metric_incr "httpd.io_errors"
+
+let serve_gen stats sock ~seed ~size =
+  let rec push off =
+    if off >= size then Ok off
+    else begin
+      let len = min chunk (size - off) in
+      match Sockets.send_all sock (Filegen.read ~seed ~off ~len) with
+      | Ok () -> push (off + len)
+      | Error _ -> Error off
+    end
+  in
+  finish_stream stats (push 0)
+
+let serve_fs stats sock path =
+  match Fslib.open_file path with
+  | Error _ ->
+      stats.bad_requests <- stats.bad_requests + 1;
+      Api.metric_incr "httpd.bad_requests";
+      ignore (Sockets.send_all sock (Bytes.of_string "ERR not-found\n"))
+  | Ok fd ->
+      let rec push sent =
+        match Fslib.read fd ~len:chunk with
+        | Error _ -> Error sent
+        | Ok data when Bytes.length data = 0 -> Ok sent
+        | Ok data -> (
+            match Sockets.send_all sock data with
+            | Ok () -> push (sent + Bytes.length data)
+            | Error _ -> Error sent)
+      in
+      let r = push 0 in
+      ignore (Fslib.close fd);
+      finish_stream stats r
+
+let serve_conn stats sock =
+  (match read_request sock with
+  | None ->
+      stats.bad_requests <- stats.bad_requests + 1;
+      Api.metric_incr "httpd.bad_requests"
+  | Some line -> (
+      match parse_request line with
+      | None ->
+          stats.bad_requests <- stats.bad_requests + 1;
+          Api.metric_incr "httpd.bad_requests";
+          ignore (Sockets.send_all sock (Bytes.of_string "ERR bad-request\n"))
+      | Some (T_gen (seed, size)) -> serve_gen stats sock ~seed ~size
+      | Some (T_fs path) -> serve_fs stats sock path));
+  ignore (Sockets.close sock)
+
+let worker stats () =
+  stats.workers <- stats.workers + 1;
+  let rec loop () =
+    match Sockets.accept stats.lsock with
+    | Error _ ->
+        (* Listener closed (or never existed): the worker retires. *)
+        stats.workers <- stats.workers - 1
+    | Ok conn ->
+        serve_conn stats conn;
+        loop ()
+  in
+  loop ()

@@ -1,0 +1,40 @@
+(** An HTTP-ish static file server: the machine-under-test side of the
+    C10K storm workload.
+
+    The protocol is a single request line, [GET <target>\n], answered
+    with the raw file bytes followed by close (no headers — the client
+    knows what it asked for and validates the content digest itself).
+    Two target forms are served:
+
+    - [gen:<seed>:<size>] — deterministic {!Resilix_net.Filegen}
+      content, no disk I/O (the storm workload, so the bottleneck
+      under study stays the network path);
+    - [fs:<path>] — a file read through VFS/MFS ({!Fslib}), exercising
+      the full file-system path.
+
+    The server is a pool of worker processes sharing one listening
+    socket: a {!listener} app binds the port, then any number of
+    {!worker} apps block in accept on it — INET queues the blocked
+    accepts and hands out connections FIFO, so slow clients stall one
+    worker, not the pool. *)
+
+type stats = {
+  mutable lsock : int;  (** the shared listening socket (once listening) *)
+  mutable listening : bool;
+  mutable workers : int;  (** workers currently in their accept loop *)
+  mutable requests : int;  (** responses streamed to completion *)
+  mutable bad_requests : int;  (** unparsable / unknown-target requests *)
+  mutable io_errors : int;  (** responses cut short by a socket error *)
+  mutable bytes_out : int;  (** response bytes accepted into TCP *)
+}
+
+val fresh_stats : unit -> stats
+
+val listener : ?backlog:int -> port:int -> stats -> unit -> unit
+(** App body: bind and listen on [port] (backlog default 64), record
+    the socket in [stats], exit.  Run it to completion (wait for
+    [stats.listening]) before spawning workers. *)
+
+val worker : stats -> unit -> unit
+(** App body: serve connections accepted from [stats.lsock] until the
+    listener closes.  Spawn as many as the desired pool size. *)

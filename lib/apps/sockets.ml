@@ -27,8 +27,8 @@ let connect sock ~addr ~port =
   | Ok _ -> Error Errno.E_io
   | Error e -> Error e
 
-let listen sock ~port =
-  match rpc (Message.In_listen { sock; port }) with
+let listen ?(backlog = 16) sock ~port =
+  match rpc (Message.In_listen { sock; port; backlog }) with
   | Ok (Message.In_reply { result }) -> result
   | Ok _ -> Error Errno.E_io
   | Error e -> Error e

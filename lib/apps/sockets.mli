@@ -8,8 +8,12 @@ val socket : Resilix_proto.Message.sock_proto -> (int, Errno.t) result
 val connect : int -> addr:int -> port:int -> (unit, Errno.t) result
 (** Actively open a TCP connection (blocks until established). *)
 
-val listen : int -> port:int -> (unit, Errno.t) result
-(** Bind (UDP) or bind + listen (TCP). *)
+val listen : ?backlog:int -> int -> port:int -> (unit, Errno.t) result
+(** Bind (UDP) or bind + listen (TCP).  [backlog] (default 16, TCP
+    only) bounds the number of un-accepted connections the listener
+    will hold — handshaking and established alike; once full, further
+    SYNs are refused with RST so storms fail fast instead of queueing
+    without bound. *)
 
 val accept : int -> (int, Errno.t) result
 (** Block until an inbound connection is established; returns its

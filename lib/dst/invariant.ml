@@ -28,6 +28,57 @@ let check ~bound (r : Scenario.report) =
   if not r.Scenario.r_completed then
     add "no-deadlock"
       (Printf.sprintf "workload made no progress by t=%dus" r.Scenario.r_end_time);
+  (match r.Scenario.r_storm with
+  | None -> ()
+  | Some s ->
+      (* Every issued request must resolve — completed, mismatched,
+         timed out, or failed after retries.  A request that simply
+         vanishes is a lost-reply bug in the accept/serve path. *)
+      let resolved =
+        s.Scenario.s_completed + s.Scenario.s_mismatches + s.Scenario.s_timeouts
+        + s.Scenario.s_failed
+      in
+      if resolved <> s.Scenario.s_requests then
+        add "storm-accounting"
+          (Printf.sprintf
+             "%d request(s) issued but only %d resolved (%d ok, %d mismatch, %d timeout, %d failed)"
+             s.Scenario.s_requests resolved s.Scenario.s_completed s.Scenario.s_mismatches
+             s.Scenario.s_timeouts s.Scenario.s_failed);
+      (* Goodput may dip to zero while the driver is down, but it must
+         resume within the recovery bound (plus client retry-backoff
+         slack) of the kill.  Quiet stretches elsewhere in the timeline
+         are sparse laggards (slow clients dribbling bytes), not
+         flatlines — only the gap anchored at the outage is judged. *)
+      if s.Scenario.s_outage_at > 0 then begin
+        let bins = s.Scenario.s_goodput in
+        let ob = s.Scenario.s_outage_at / s.Scenario.s_bin_us in
+        let resume = ref None in
+        for j = Array.length bins - 1 downto ob + 1 do
+          if bins.(j) > 0 then resume := Some j
+        done;
+        let allowed = bound + 2_000_000 in
+        match !resume with
+        | Some j ->
+            let gap_us = (j * s.Scenario.s_bin_us) - s.Scenario.s_outage_at in
+            if gap_us > allowed then
+              add "goodput-flatline"
+                (Printf.sprintf
+                   "goodput flat for %dus after the kill at t=%dus (allowed %dus: recovery \
+                    bound %dus + retry slack)"
+                   gap_us s.Scenario.s_outage_at allowed bound)
+        | None ->
+            (* No bytes ever landed after the kill: fine when the storm
+               had already drained, a flatline when work remained. *)
+            if
+              s.Scenario.s_completed < s.Scenario.s_requests
+              && r.Scenario.r_end_time - s.Scenario.s_outage_at > allowed
+            then
+              add "goodput-flatline"
+                (Printf.sprintf
+                   "no goodput after the kill at t=%dus with %d request(s) unserved"
+                   s.Scenario.s_outage_at
+                   (s.Scenario.s_requests - s.Scenario.s_completed))
+      end);
   List.iter
     (fun (b : Scenario.breaker_row) ->
       (* Each closed episode allows at most [threshold] failures before

@@ -10,6 +10,9 @@ module Data_store = Resilix_datastore.Data_store
 module Wget = Resilix_apps.Wget
 module Sockets = Resilix_apps.Sockets
 module Fslib = Resilix_apps.Fslib
+module Httpd = Resilix_apps.Httpd
+module Loadgen = Resilix_load.Loadgen
+module Metrics = Resilix_obs.Metrics
 module Filegen = Resilix_net.Filegen
 module Reincarnation = Resilix_core.Reincarnation
 module Spec = Resilix_proto.Spec
@@ -25,6 +28,28 @@ type breaker_row = {
   b_overdue : bool;
 }
 
+type storm_stats = {
+  s_requests : int;
+  s_completed : int;
+  s_refused : int;
+  s_resets : int;
+  s_timeouts : int;
+  s_mismatches : int;
+  s_failed : int;
+  s_retries : int;
+  s_degraded_rejects : int;
+  s_accept_refused : int;
+  s_served : int;
+  s_bytes_in : int;
+  s_p50 : int;
+  s_p95 : int;
+  s_p99 : int;
+  s_goodput : int array;
+  s_bin_us : int;
+  s_outage_at : int;
+  s_recovered_by : int;
+}
+
 type report = {
   r_completed : bool;
   r_checksum_ok : bool;
@@ -38,6 +63,7 @@ type report = {
   r_degraded : string list;
   r_breakers : breaker_row list;
   r_shape : int64;
+  r_storm : storm_stats option;
 }
 
 type t = {
@@ -155,7 +181,7 @@ let shape_of t ~breakers =
   let h = List.fold_left fp h (Data_store.degraded t.System.ds) in
   List.fold_left (fun h b -> fp (fp h b.b_component) b.b_state) h breakers
 
-let report_of t ~completed ~checksum_ok ~applied ~expected_spans ~targets =
+let report_of ?storm t ~completed ~checksum_ok ~applied ~expected_spans ~targets =
   let breakers = breaker_rows t in
   {
     r_completed = completed;
@@ -171,6 +197,7 @@ let report_of t ~completed ~checksum_ok ~applied ~expected_spans ~targets =
     r_degraded = Data_store.degraded t.System.ds;
     r_breakers = breakers;
     r_shape = shape_of t ~breakers;
+    r_storm = storm;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -357,6 +384,129 @@ let flaky =
     ~run:(fun ~seed ~policy ~plan -> flaky_run ~seed ~policy ~plan)
     ()
 
-let builtins = [ wget_kills; dp_inject; flaky ]
+(* ------------------------------------------------------------------ *)
+(* Built-in scenario: C10K storm — HTTP-ish load vs driver kills       *)
+(* ------------------------------------------------------------------ *)
+
+let metric_of snap name = Metrics.counter_value snap name
+
+let storm_run ~requests ~concurrency ~workers ~backlog ~seed ~policy ~plan =
+  let opts = { System.default_opts with System.seed; engine_policy = policy; disk_mb = 8 } in
+  let t = System.boot ~opts () in
+  System.start_services t [ System.spec_rtl8139 ~policy:"direct" () ];
+  (* The server: one listener app binds port 80, then a pool of
+     workers blocks in accept on the shared socket. *)
+  let hstats = Httpd.fresh_stats () in
+  ignore
+    (System.spawn_app t ~name:"httpd-listener" (Httpd.listener ~backlog ~port:80 hstats));
+  ignore (System.run_until t ~timeout:5_000_000 (fun () -> hstats.Httpd.listening));
+  for i = 1 to workers do
+    ignore (System.spawn_app t ~name:(Printf.sprintf "httpd-w%d" i) (Httpd.worker hstats))
+  done;
+  (* The storm: the load generator lives on the RTL-side peer and
+     opens flows into the machine through the guarded driver. *)
+  let config = { Loadgen.default_config with Loadgen.requests; concurrency } in
+  let lg =
+    Loadgen.create ~engine:t.System.engine ~seed ~peer:t.System.rtl_peer
+      ~metrics:t.System.metrics ~config ~dst_ip:Hwmap.local_ip ~dst_mac:Hwmap.rtl8139_mac ()
+  in
+  Loadgen.start lg;
+  let applied, expected_spans = apply_plan t plan in
+  let finished = System.run_until t ~timeout:240_000_000 (fun () -> Loadgen.finished lg) in
+  System.run t ~until:(Engine.now t.System.engine + 1_500_000);
+  let ls = Loadgen.stats lg in
+  let snap = Metrics.snapshot t.System.metrics in
+  let q p =
+    match List.assoc_opt "load.latency_us" snap.Metrics.histograms with
+    | Some h -> Metrics.quantile h p
+    | None -> 0
+  in
+  let outage_at =
+    List.fold_left
+      (fun acc (e : Fault_plan.entry) ->
+        match e.action with
+        | Fault_plan.Kill -> if acc = 0 then e.at else min acc e.at
+        | Fault_plan.Inject _ -> acc)
+      0 plan
+  in
+  let recovered_by =
+    List.fold_left
+      (fun acc (s : Span.span) ->
+        match s.Span.closed_at with Some c -> max acc c | None -> acc)
+      0
+      (Span.spans t.System.spans)
+  in
+  let storm =
+    {
+      s_requests = requests;
+      s_completed = ls.Loadgen.completed;
+      s_refused = ls.Loadgen.refused;
+      s_resets = ls.Loadgen.resets;
+      s_timeouts = ls.Loadgen.timeouts;
+      s_mismatches = ls.Loadgen.digest_mismatches;
+      s_failed = ls.Loadgen.failed;
+      s_retries = ls.Loadgen.attempts - ls.Loadgen.issued;
+      s_degraded_rejects = metric_of snap "inet.degraded_rejects";
+      s_accept_refused = metric_of snap "inet.accept_refused";
+      s_served = hstats.Httpd.requests;
+      s_bytes_in = ls.Loadgen.bytes_in;
+      s_p50 = q 0.50;
+      s_p95 = q 0.95;
+      s_p99 = q 0.99;
+      s_goodput = Loadgen.goodput_bins lg;
+      s_bin_us = Loadgen.bin_us lg;
+      s_outage_at = outage_at;
+      s_recovered_by = recovered_by;
+    }
+  in
+  report_of ~storm t ~completed:finished
+    ~checksum_ok:(ls.Loadgen.digest_mismatches = 0)
+    ~applied:!applied ~expected_spans:!expected_spans ~targets:[ "eth.rtl8139" ]
+
+let storm_sized ?name ~requests ~concurrency ~workers ~backlog () =
+  (* Kills land mid-storm: inside the arrival span, past the warmup. *)
+  let span = requests * Loadgen.default_config.Loadgen.arrival_interval in
+  let start = 150_000 + (span / 4) and horizon = 150_000 + (3 * span / 4) in
+  let name = Option.value name ~default:(Printf.sprintf "storm-%d" requests) in
+  {
+    name;
+    targets = [ "eth.rtl8139" ];
+    default_faults = 1;
+    plan =
+      (fun ~seed ~faults ->
+        Fault_plan.generate ~seed ~targets:[ "eth.rtl8139" ] ~n:faults ~start ~horizon ());
+    run =
+      (fun ~seed ~policy ~plan ->
+        storm_run ~requests ~concurrency ~workers ~backlog ~seed ~policy ~plan);
+  }
+
+let storm = storm_sized ~name:"storm" ~requests:64 ~concurrency:32 ~workers:8 ~backlog:16 ()
+
+(* Virtual-time-only rendering: byte-identical for any host, any
+   --jobs, any repeat of the same seed. *)
+let storm_lines (r : report) =
+  match r.r_storm with
+  | None -> []
+  | Some s ->
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf "goodput bytes/bin:";
+      Array.iter (fun b -> Buffer.add_string buf (Printf.sprintf " %d" b)) s.s_goodput;
+      [
+        Printf.sprintf "requests %d: %d completed, %d failed, %d timed out, %d mismatched"
+          s.s_requests s.s_completed s.s_failed s.s_timeouts s.s_mismatches;
+        Printf.sprintf
+          "attempts: %d retries, %d refused (SYN/backlog), %d resets, %d degraded-rejects, %d accept-refused"
+          s.s_retries s.s_refused s.s_resets s.s_degraded_rejects s.s_accept_refused;
+        Printf.sprintf "served: %d responses, %d bytes received and verified" s.s_served
+          s.s_bytes_in;
+        Printf.sprintf "latency: p50=%dus p95=%dus p99=%dus" s.s_p50 s.s_p95 s.s_p99;
+        Printf.sprintf "outage: first kill at t=%dus, last recovery closed at t=%dus"
+          s.s_outage_at s.s_recovered_by;
+        Printf.sprintf "goodput timeline (%dus bins): %d bins" s.s_bin_us
+          (Array.length s.s_goodput);
+        Buffer.contents buf;
+      ]
+
+let builtins = [ wget_kills; dp_inject; flaky; storm ]
 
 let find name = List.find_opt (fun s -> s.name = name) builtins

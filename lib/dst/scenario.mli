@@ -24,6 +24,31 @@ type breaker_row = {
 (** One circuit breaker's end-of-run snapshot, judged by the
     [breaker-bound] and [degraded-probe] invariants. *)
 
+type storm_stats = {
+  s_requests : int;  (** requests the load generator was asked to issue *)
+  s_completed : int;  (** responses received whole, digest verified *)
+  s_refused : int;  (** connection attempts RST before established (backlog overflow / degraded) *)
+  s_resets : int;  (** connections reset after established *)
+  s_timeouts : int;  (** requests aborted at the client deadline *)
+  s_mismatches : int;  (** responses with wrong bytes (must be 0) *)
+  s_failed : int;  (** requests that exhausted their retry budget *)
+  s_retries : int;  (** re-connect attempts beyond the first per request *)
+  s_degraded_rejects : int;  (** INET fast-fail rejections while the driver was parked *)
+  s_accept_refused : int;  (** SYNs refused because the listener backlog was full *)
+  s_served : int;  (** responses the httpd workers streamed to completion *)
+  s_bytes_in : int;  (** response bytes the clients received *)
+  s_p50 : int;  (** request-latency quantiles, us (issue to verified) *)
+  s_p95 : int;
+  s_p99 : int;
+  s_goodput : int array;  (** client bytes received per [s_bin_us] bin of virtual time *)
+  s_bin_us : int;
+  s_outage_at : int;  (** virtual time of the first planned kill (0 = none) *)
+  s_recovered_by : int;  (** close time of the last recovery span (0 = none) *)
+}
+(** End-of-run summary of a storm workload, judged by the
+    [storm-accounting] and [goodput-flatline] invariants and rendered
+    by [resilix storm]. *)
+
 type report = {
   r_completed : bool;  (** the workload made progress / finished *)
   r_checksum_ok : bool;  (** transferred data matched its digest *)
@@ -48,6 +73,7 @@ type report = {
           end-state degraded/breaker sets — identity fields only, no
           timestamps.  Together with the violated-invariant set this is
           the run's coverage {e signature} (see [Corpus]). *)
+  r_storm : storm_stats option;  (** present only for storm scenarios *)
 }
 
 type t = {
@@ -106,6 +132,25 @@ val flaky : t
     breaker, [`Degraded], published in ["degraded.*"]) and the
     application must keep receiving prompt, clean errors — never a
     hang, never unbounded restart churn. *)
+
+val storm : t
+(** ["storm"]: the C10K workload at exploration scale — 64 requests at
+    concurrency 32 against an 8-worker {!Resilix_apps.Httpd} pool
+    (listener backlog 16) while the plan SIGKILLs the RTL8139
+    mid-storm.  The report carries {!storm_stats}; the small scale
+    keeps per-run cost low enough for [resilix explore] to fuzz. *)
+
+val storm_sized :
+  ?name:string -> requests:int -> concurrency:int -> workers:int -> backlog:int -> unit -> t
+(** {!storm} at a chosen scale (name default ["storm-<requests>"]) —
+    the CLI runs 500-request storms through this.  Not a builtin:
+    replays of repro files produced from it must pass the scenario
+    explicitly. *)
+
+val storm_lines : report -> string list
+(** Human-readable storm summary (latency quantiles, error counts,
+    goodput timeline).  Virtual-time only: byte-identical across
+    hosts, [--jobs] values and repeats. *)
 
 val builtins : t list
 

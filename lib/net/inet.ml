@@ -22,6 +22,11 @@ type conn = {
   remote_ip : int;
   remote_port : int;
   local_port : int;
+  mutable accepted : bool;
+      (* the application owns the descriptor: active opens from birth,
+         passive opens once delivered by accept *)
+  mutable app_closed : bool; (* the application has called close *)
+  mutable reaped : bool; (* demux/timer state already torn down *)
   mutable pending_connect : Endpoint.t option;
   mutable pending_recv : blocked_io option;
   mutable pending_send : blocked_io option;
@@ -29,8 +34,10 @@ type conn = {
 
 type listener = {
   l_port : int;
+  l_max : int; (* backlog bound: un-accepted conns beyond this are refused *)
   mutable backlog : int list; (* sock ids of established, unaccepted conns *)
-  mutable pending_accept : Endpoint.t option;
+  mutable l_queued : int; (* un-accepted conns, handshaking included *)
+  pending_accepts : Endpoint.t Queue.t; (* blocked accept callers (worker pool) *)
 }
 
 type udp_sock = {
@@ -61,7 +68,11 @@ type driver = {
 (* Counter handles resolved once at [body] startup so per-event bumps
    skip the by-name registry lookup (the kernel does the same for its
    own counters). *)
-type ctrs = { c_degraded_rejects : Metrics.counter; c_tx_postponed : Metrics.counter }
+type ctrs = {
+  c_degraded_rejects : Metrics.counter;
+  c_tx_postponed : Metrics.counter;
+  c_accept_refused : Metrics.counter;
+}
 
 type t = {
   local_ip : int;
@@ -69,6 +80,7 @@ type t = {
   driver_key : string;
   mutable ctrs : ctrs option;
   mutable socks : sock array;
+  mutable free_socks : int list; (* free slot ids; O(1) alloc at C10K scale *)
   conns : (int * int * int, conn) Hashtbl.t; (* remote ip, remote port, local port *)
   listeners : (int, listener) Hashtbl.t; (* local port -> listener *)
   udp_ports : (int, udp_sock) Hashtbl.t;
@@ -88,6 +100,8 @@ let create ~local_ip ~gateway_mac ~driver_key ?spans () =
     driver_key;
     ctrs = None;
     socks = Array.make 64 S_free;
+    (* slot 0 stays unused so 0 is never a valid descriptor *)
+    free_socks = List.init 63 (fun i -> i + 1);
     conns = Hashtbl.create 32;
     listeners = Hashtbl.create 8;
     udp_ports = Hashtbl.create 8;
@@ -248,6 +262,67 @@ let continue_recv t conn =
         reply io.app (Message.In_io_reply { result = Ok 0 })
       end
 
+let sock_of t id = if id >= 0 && id < Array.length t.socks then t.socks.(id) else S_free
+
+let alloc_sock t =
+  match t.free_socks with
+  | id :: rest ->
+      t.free_socks <- rest;
+      Some id
+  | [] ->
+      let n = Array.length t.socks in
+      let bigger = Array.make (2 * n) S_free in
+      Array.blit t.socks 0 bigger 0 n;
+      t.socks <- bigger;
+      t.free_socks <- List.init (n - 1) (fun i -> n + 1 + i);
+      Some n
+
+let free_sock t id =
+  t.socks.(id) <- S_free;
+  t.free_socks <- id :: t.free_socks
+
+(* Tear down a connection's demux/timer state once TCP is finished
+   (reset, aborted, or closed both ways).  The socket slot itself is
+   reclaimed only when no application can still reach it: immediately
+   for never-accepted passive connections (which also leave the
+   listener's backlog accounting), otherwise once the owner has called
+   close. *)
+let reap_conn t conn =
+  if not conn.reaped then begin
+    conn.reaped <- true;
+    Timerset.cancel t.timers ~key:conn.sock_id;
+    let key = (conn.remote_ip, conn.remote_port, conn.local_port) in
+    (match Hashtbl.find_opt t.conns key with
+    | Some c when c == conn -> Hashtbl.remove t.conns key
+    | Some _ | None -> ());
+    if not conn.accepted then begin
+      (match Hashtbl.find_opt t.listeners conn.local_port with
+      | Some l ->
+          l.backlog <- List.filter (fun id -> id <> conn.sock_id) l.backlog;
+          l.l_queued <- l.l_queued - 1
+      | None -> ());
+      free_sock t conn.sock_id
+    end
+    else if conn.app_closed then free_sock t conn.sock_id
+  end
+
+(* Hand backlogged connections to blocked accept callers, FIFO both
+   ways — with several worker apps parked in accept this is the
+   shared-listener fan-out. *)
+let rec deliver_accepts t l =
+  if not (Queue.is_empty l.pending_accepts) then begin
+    match l.backlog with
+    | [] -> ()
+    | next :: rest ->
+        l.backlog <- rest;
+        l.l_queued <- l.l_queued - 1;
+        (match sock_of t next with
+        | S_tcp_conn c -> c.accepted <- true
+        | _ -> ());
+        reply (Queue.pop l.pending_accepts) (Message.In_accept_reply { result = Ok next });
+        deliver_accepts t l
+  end
+
 let conn_callbacks t sock_id =
   (* The conn record is installed in the socket table before any event
      can fire, so lookups by sock_id are safe. *)
@@ -279,21 +354,14 @@ let conn_callbacks t sock_id =
                     reply app (Message.In_reply { result = Ok () })
                 | None -> ());
                 (* Passive connections ride the listener backlog. *)
-                match Hashtbl.find_opt t.listeners c.local_port with
-                | Some l when c.pending_connect = None && c.remote_port <> 0 ->
-                    if not (List.mem c.sock_id l.backlog) then begin
-                      l.backlog <- l.backlog @ [ c.sock_id ];
-                      match l.pending_accept with
-                      | Some app -> (
-                          l.pending_accept <- None;
-                          match l.backlog with
-                          | next :: rest ->
-                              l.backlog <- rest;
-                              reply app (Message.In_accept_reply { result = Ok next })
-                          | [] -> ())
-                      | None -> ()
-                    end
-                | Some _ | None -> ()
+                if not c.accepted then
+                  match Hashtbl.find_opt t.listeners c.local_port with
+                  | Some l ->
+                      if not (List.mem c.sock_id l.backlog) then begin
+                        l.backlog <- l.backlog @ [ c.sock_id ];
+                        deliver_accepts t l
+                      end
+                  | None -> ()
               end
             | Tcp.Ev_rx_ready | Tcp.Ev_peer_closed -> continue_recv t c
             | Tcp.Ev_tx_space -> continue_send t c
@@ -308,27 +376,21 @@ let conn_callbacks t sock_id =
                     c.pending_recv <- None;
                     reply io.app (Message.In_io_reply { result = Error Errno.E_conn_reset })
                 | None -> ());
-                match c.pending_send with
+                (match c.pending_send with
                 | Some io ->
                     c.pending_send <- None;
                     reply io.app (Message.In_io_reply { result = Error Errno.E_conn_reset })
-                | None -> ()
+                | None -> ());
+                reap_conn t c
               end
             | Tcp.Ev_closed ->
                 Timerset.cancel t.timers ~key:sock_id;
-                continue_recv t c))
+                continue_recv t c;
+                (* Gracefully closed but never-accepted connections stay
+                   in the backlog: accept still delivers them so the
+                   application can drain buffered data and see EOF. *)
+                if c.accepted && c.app_closed then reap_conn t c))
   }
-
-let alloc_sock t =
-  let n = Array.length t.socks in
-  let rec scan i = if i >= n then None else if t.socks.(i) = S_free then Some i else scan (i + 1) in
-  match scan 1 with
-  | Some i -> Some i
-  | None ->
-      let bigger = Array.make (2 * n) S_free in
-      Array.blit t.socks 0 bigger 0 n;
-      t.socks <- bigger;
-      Some n
 
 let make_conn t ~sock_id ~remote_ip ~remote_port ~local_port ~active =
   let cfg =
@@ -347,6 +409,11 @@ let make_conn t ~sock_id ~remote_ip ~remote_port ~local_port ~active =
       remote_ip;
       remote_port;
       local_port;
+      (* active opens are application-owned from birth; passive opens
+         become owned when accept delivers them *)
+      accepted = active;
+      app_closed = false;
+      reaped = false;
       pending_connect = None;
       pending_recv = None;
       pending_send = None;
@@ -368,15 +435,42 @@ let handle_packet t (frame : Wire.frame) =
         match Hashtbl.find_opt t.conns key with
         | Some conn -> Tcp.handle_segment conn.tcp ~now:(Api.now ()) seg
         | None ->
-            if seg.Wire.syn && Hashtbl.mem t.listeners seg.Wire.dst_port then begin
-              match alloc_sock t with
+            if seg.Wire.syn then begin
+              match Hashtbl.find_opt t.listeners seg.Wire.dst_port with
               | None -> ()
-              | Some sock_id ->
-                  let conn =
-                    make_conn t ~sock_id ~remote_ip:frame.Wire.packet.src_ip
-                      ~remote_port:seg.Wire.src_port ~local_port:seg.Wire.dst_port ~active:false
-                  in
-                  Tcp.handle_segment conn.tcp ~now:(Api.now ()) seg
+              | Some l when l.l_queued >= l.l_max ->
+                  (* Backlog full: refuse the SYN outright so the
+                     client fails fast instead of parking in a queue
+                     the server will never drain at storm rates. *)
+                  (match t.ctrs with
+                  | Some c -> Metrics.incr c.c_accept_refused
+                  | None -> Api.metric_incr "inet.accept_refused");
+                  emit_packet t ~dst_ip:frame.Wire.packet.src_ip
+                    (Wire.Tcp
+                       {
+                         Wire.src_port = seg.Wire.dst_port;
+                         dst_port = seg.Wire.src_port;
+                         seq = 0;
+                         ack_no = (seg.Wire.seq + 1) land 0xFFFF_FFFF;
+                         syn = false;
+                         ack = true;
+                         fin = false;
+                         rst = true;
+                         window = 0;
+                         payload = Bytes.empty;
+                       })
+              | Some l -> begin
+                  match alloc_sock t with
+                  | None -> ()
+                  | Some sock_id ->
+                      l.l_queued <- l.l_queued + 1;
+                      let conn =
+                        make_conn t ~sock_id ~remote_ip:frame.Wire.packet.src_ip
+                          ~remote_port:seg.Wire.src_port ~local_port:seg.Wire.dst_port
+                          ~active:false
+                      in
+                      Tcp.handle_segment conn.tcp ~now:(Api.now ()) seg
+                end
             end
       end
     | Wire.Udp dgram -> begin
@@ -493,8 +587,6 @@ let handle_task_reply t ~src (flags : Message.dl_flags) read_len =
 (* Socket requests                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let sock_of t id = if id >= 0 && id < Array.length t.socks then t.socks.(id) else S_free
-
 let handle_request t ~src body =
   match body with
   | Message.In_socket { proto } -> begin
@@ -520,10 +612,18 @@ let handle_request t ~src body =
           conn.pending_connect <- Some src
       | _ -> reply src (Message.In_reply { result = Error Errno.E_bad_fd })
     end
-  | Message.In_listen { sock; port } -> begin
+  | Message.In_listen { sock; port; backlog } -> begin
       match sock_of t sock with
       | S_tcp_fresh ->
-          let l = { l_port = port; backlog = []; pending_accept = None } in
+          let l =
+            {
+              l_port = port;
+              l_max = max 1 backlog;
+              backlog = [];
+              l_queued = 0;
+              pending_accepts = Queue.create ();
+            }
+          in
           t.socks.(sock) <- S_tcp_listen l;
           Hashtbl.replace t.listeners port l;
           reply src (Message.In_reply { result = Ok () })
@@ -539,8 +639,12 @@ let handle_request t ~src body =
           match l.backlog with
           | next :: rest ->
               l.backlog <- rest;
+              l.l_queued <- l.l_queued - 1;
+              (match sock_of t next with
+              | S_tcp_conn c -> c.accepted <- true
+              | _ -> ());
               reply src (Message.In_accept_reply { result = Ok next })
-          | [] -> l.pending_accept <- Some src
+          | [] -> Queue.push src l.pending_accepts
         end
       | _ -> reply src (Message.In_accept_reply { result = Error Errno.E_bad_fd })
     end
@@ -596,19 +700,27 @@ let handle_request t ~src body =
   | Message.In_close { sock } -> begin
       (match sock_of t sock with
       | S_tcp_conn conn ->
+          conn.app_closed <- true;
           Tcp.close conn.tcp ~now:(Api.now ());
-          (* The slot is reclaimed once the connection terminates; for
-             simplicity reclaim now and let TCP finish in background. *)
-          ()
+          (* If TCP is already finished (reset, or close completed
+             synchronously) the slot can be reclaimed now; otherwise
+             Ev_closed reaps it when the FIN handshake completes. *)
+          if Tcp.is_closed conn.tcp then
+            if conn.reaped then free_sock t conn.sock_id else reap_conn t conn
       | S_tcp_listen l -> begin
           Hashtbl.remove t.listeners l.l_port;
-          t.socks.(sock) <- S_free
+          (* Parked accept callers can never be served now. *)
+          Queue.iter
+            (fun app -> reply app (Message.In_accept_reply { result = Error Errno.E_again }))
+            l.pending_accepts;
+          Queue.clear l.pending_accepts;
+          free_sock t sock
         end
       | S_udp u -> begin
           Hashtbl.remove t.udp_ports u.u_port;
-          t.socks.(sock) <- S_free
+          free_sock t sock
         end
-      | S_tcp_fresh -> t.socks.(sock) <- S_free
+      | S_tcp_fresh -> free_sock t sock
       | S_free -> ());
       reply src (Message.In_reply { result = Ok () })
     end
@@ -652,6 +764,7 @@ let body t () =
       {
         c_degraded_rejects = Api.metric_counter "inet.degraded_rejects";
         c_tx_postponed = Api.metric_counter "inet.tx.postponed";
+        c_accept_refused = Api.metric_counter "inet.accept_refused";
       };
   (* Subscribe to Ethernet driver updates (Sec. 5.3: "the network
      server subscribes ... by registering the expression 'eth.*'"). *)

@@ -2,15 +2,23 @@ module Engine = Resilix_sim.Engine
 module Link = Resilix_hw.Link
 module Rng = Resilix_sim.Rng
 
+(* Server-side connection state (the wget/storm file server). *)
 type pconn = {
   key : int * int * int; (* remote ip, remote port, local port *)
   remote_ip : int;
   remote_mac : int;
   tcp : Tcp.t;
-  mutable timer : Engine.handle option;
+  tkey : int; (* timer key in the shared timer set *)
   request : Buffer.t;
   mutable serving : (int * int * int) option; (* seed, size, sent *)
   mutable done_serving : bool;
+}
+
+type flow = {
+  fl_key : int * int * int;
+  fl_local_port : int;
+  fl_tkey : int;
+  mutable fl_tcp : Tcp.t option; (* None only during construction *)
 }
 
 type t = {
@@ -21,7 +29,18 @@ type t = {
   ip : int;
   mac : int;
   files : (string, int * int) Hashtbl.t;
-  conns : (int * int * int, pconn) Hashtbl.t;
+  conns : (int * int * int, Tcp.t) Hashtbl.t; (* segment demux *)
+  (* One engine event serves every connection's retransmission timer:
+     per-connection timers live in a shared Timerset (heap, lazy
+     deletion) keyed by a per-peer counter, exactly like INET's single
+     kernel alarm — at C10K one pending engine event instead of one
+     per connection. *)
+  timers : Timerset.t;
+  timer_conns : (int, Tcp.t) Hashtbl.t; (* timer key -> connection *)
+  mutable next_tkey : int;
+  mutable alarm : Engine.handle option;
+  mutable alarm_deadline : int;
+  mutable next_client_port : int;
   mutable served : int;
   mutable accepted : int;
   mutable udp_seq : int;
@@ -43,6 +62,55 @@ let emit_frame t ~dst_mac ~dst_ip body =
     { Wire.dst_mac; src_mac = t.mac; packet = { Wire.src_ip = t.ip; dst_ip; body } }
   in
   Link.send t.link t.side (Wire.encode frame)
+
+(* ------------------------------------------------------------------ *)
+(* Shared timer plumbing                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec rearm t =
+  match Timerset.next_deadline t.timers with
+  | None -> ()
+  | Some deadline ->
+      let stale = match t.alarm with None -> true | Some _ -> deadline < t.alarm_deadline in
+      if stale then begin
+        (match t.alarm with Some h -> Engine.cancel h | None -> ());
+        t.alarm_deadline <- deadline;
+        t.alarm <-
+          Some
+            (Engine.schedule_at t.engine ~at:(max deadline (Engine.now t.engine)) (fun () ->
+                 t.alarm <- None;
+                 fire t))
+      end
+
+and fire t =
+  let now = Engine.now t.engine in
+  let due = Timerset.take_due t.timers ~now in
+  List.iter
+    (fun tkey ->
+      match Hashtbl.find_opt t.timer_conns tkey with
+      | Some tcp -> Tcp.handle_timer tcp ~now
+      | None -> ())
+    due;
+  rearm t
+
+let alloc_tkey t =
+  let k = t.next_tkey in
+  t.next_tkey <- t.next_tkey + 1;
+  k
+
+let set_conn_timer t ~tkey delay =
+  (match delay with
+  | Some d -> Timerset.set t.timers ~key:tkey ~deadline:(Engine.now t.engine + d)
+  | None -> Timerset.cancel t.timers ~key:tkey);
+  rearm t
+
+let drop_timer t ~tkey =
+  Timerset.cancel t.timers ~key:tkey;
+  Hashtbl.remove t.timer_conns tkey
+
+(* ------------------------------------------------------------------ *)
+(* The file server (port 80)                                           *)
+(* ------------------------------------------------------------------ *)
 
 (* Push file bytes into the connection as send-buffer space allows. *)
 let rec pump_file t conn =
@@ -83,6 +151,7 @@ let handle_request t conn =
       | _ -> Tcp.close conn.tcp ~now:(Engine.now t.engine))
 
 let make_conn t ~key ~remote_ip ~remote_port ~remote_mac =
+  let tkey = alloc_tkey t in
   let rec conn =
     lazy
       (let cb =
@@ -91,20 +160,7 @@ let make_conn t ~key ~remote_ip ~remote_port ~remote_mac =
              (fun seg ->
                let c = Lazy.force conn in
                emit_frame t ~dst_mac:c.remote_mac ~dst_ip:c.remote_ip (Wire.Tcp seg));
-           set_timer =
-             (fun delay ->
-               let c = Lazy.force conn in
-               (match c.timer with Some h -> Engine.cancel h | None -> ());
-               c.timer <- None;
-               match delay with
-               | Some d ->
-                   c.timer <-
-                     Some
-                       (Engine.schedule t.engine ~after:d (fun () ->
-                            let c = Lazy.force conn in
-                            c.timer <- None;
-                            Tcp.handle_timer c.tcp ~now:(Engine.now t.engine)))
-               | None -> ());
+           set_timer = (fun delay -> set_conn_timer t ~tkey delay);
            notify =
              (fun ev ->
                let c = Lazy.force conn in
@@ -118,7 +174,7 @@ let make_conn t ~key ~remote_ip ~remote_port ~remote_mac =
                | Tcp.Ev_peer_closed ->
                    if c.serving = None then Tcp.close c.tcp ~now:(Engine.now t.engine)
                | Tcp.Ev_reset | Tcp.Ev_closed ->
-                   (match c.timer with Some h -> Engine.cancel h | None -> ());
+                   drop_timer t ~tkey:c.tkey;
                    Hashtbl.remove t.conns c.key)
          }
        in
@@ -129,14 +185,15 @@ let make_conn t ~key ~remote_ip ~remote_port ~remote_mac =
          remote_ip;
          remote_mac;
          tcp = Tcp.create_passive cfg ~now:(Engine.now t.engine) cb;
-         timer = None;
+         tkey;
          request = Buffer.create 64;
          serving = None;
          done_serving = false;
        })
   in
   let c = Lazy.force conn in
-  Hashtbl.replace t.conns key c;
+  Hashtbl.replace t.conns key c.tcp;
+  Hashtbl.replace t.timer_conns tkey c.tcp;
   t.accepted <- t.accepted + 1;
   c
 
@@ -149,7 +206,7 @@ let on_frame t raw =
         | Wire.Tcp seg -> begin
             let key = (frame.Wire.packet.src_ip, seg.Wire.src_port, seg.Wire.dst_port) in
             match Hashtbl.find_opt t.conns key with
-            | Some conn -> Tcp.handle_segment conn.tcp ~now:(Engine.now t.engine) seg
+            | Some tcp -> Tcp.handle_segment tcp ~now:(Engine.now t.engine) seg
             | None ->
                 if seg.Wire.syn && seg.Wire.dst_port = 80 then begin
                   let conn =
@@ -197,7 +254,13 @@ let create ~engine ~rng ~link ~side ~ip ~mac ?(files = []) () =
       ip;
       mac;
       files = Hashtbl.create 8;
-      conns = Hashtbl.create 8;
+      conns = Hashtbl.create 64;
+      timers = Timerset.create ();
+      timer_conns = Hashtbl.create 64;
+      next_tkey = 0;
+      alarm = None;
+      alarm_deadline = 0;
+      next_client_port = 50_000;
       served = 0;
       accepted = 0;
       udp_seq = 0;
@@ -207,6 +270,71 @@ let create ~engine ~rng ~link ~side ~ip ~mac ?(files = []) () =
   Link.attach link side (on_frame t);
   t
 
+(* ------------------------------------------------------------------ *)
+(* Outbound client flows                                               *)
+(* ------------------------------------------------------------------ *)
+
+let flow_tcp f =
+  match f.fl_tcp with Some tcp -> tcp | None -> invalid_arg "Peer.flow_tcp: under construction"
+
+let flow_local_port f = f.fl_local_port
+
+let open_flow t ~dst_ip ~dst_mac ~dst_port ?local_port ?(rx_window = 65536) ?(tx_buffer = 16384)
+    ~notify () =
+  let local_port =
+    match local_port with
+    | Some p -> p
+    | None ->
+        (* Sequential ephemeral ports: collision-free for any number of
+           concurrent flows (the old random pick had birthday
+           collisions by a few hundred). *)
+        let p = t.next_client_port in
+        t.next_client_port <- (if p >= 65_000 then 50_000 else p + 1);
+        p
+  in
+  let key = (dst_ip, dst_port, local_port) in
+  let tkey = alloc_tkey t in
+  let flow = { fl_key = key; fl_local_port = local_port; fl_tkey = tkey; fl_tcp = None } in
+  let cb =
+    {
+      Tcp.emit = (fun seg -> emit_frame t ~dst_mac ~dst_ip (Wire.Tcp seg));
+      set_timer = (fun delay -> set_conn_timer t ~tkey delay);
+      notify =
+        (fun ev ->
+          (match ev with
+          | Tcp.Ev_reset | Tcp.Ev_closed ->
+              drop_timer t ~tkey;
+              Hashtbl.remove t.conns key
+          | _ -> ());
+          notify flow ev);
+    }
+  in
+  let cfg =
+    {
+      (Tcp.default_config ~local_port ~remote_port:dst_port ~isn:(Rng.int t.rng 0x3FFFFFFF)) with
+      Tcp.rx_window;
+      tx_buffer;
+    }
+  in
+  let tcp = Tcp.create_active cfg ~now:(Engine.now t.engine) cb in
+  flow.fl_tcp <- Some tcp;
+  (* The SYN may be answered only after several RTOs; register for
+     demux and timers even if the handshake retransmits. *)
+  Hashtbl.replace t.conns key tcp;
+  Hashtbl.replace t.timer_conns tkey tcp;
+  flow
+
+let flow_close t f =
+  match f.fl_tcp with Some tcp -> Tcp.close tcp ~now:(Engine.now t.engine) | None -> ()
+
+let flow_abort t f =
+  match f.fl_tcp with
+  | Some tcp ->
+      Tcp.abort tcp;
+      drop_timer t ~tkey:f.fl_tkey;
+      Hashtbl.remove t.conns f.fl_key
+  | None -> ()
+
 type client_result = {
   mutable connected : bool;
   mutable response : string;
@@ -214,68 +342,25 @@ type client_result = {
 }
 
 (* An outbound TCP connection from the peer into the machine under
-   test: used to exercise the network server's passive-open path.
-   Built with refs rather than a lazy knot because the active open
-   emits its SYN during construction. *)
+   test: used to exercise the network server's passive-open path. *)
 let start_tcp_client t ~dst_ip ~dst_mac ~dst_port ~payload =
   let result = { connected = false; response = ""; closed = false } in
-  let local_port = 50_000 + Rng.int t.rng 10_000 in
-  let key = (dst_ip, dst_port, local_port) in
-  let tcp_ref = ref None in
-  let timer = ref None in
-  let cb =
-    {
-      Tcp.emit = (fun seg -> emit_frame t ~dst_mac ~dst_ip (Wire.Tcp seg));
-      set_timer =
-        (fun delay ->
-          (match !timer with Some h -> Engine.cancel h | None -> ());
-          timer := None;
-          match delay with
-          | Some d ->
-              timer :=
-                Some
-                  (Engine.schedule t.engine ~after:d (fun () ->
-                       timer := None;
-                       match !tcp_ref with
-                       | Some tcp -> Tcp.handle_timer tcp ~now:(Engine.now t.engine)
-                       | None -> ()))
-          | None -> ());
-      notify =
-        (fun ev ->
-          match (!tcp_ref, ev) with
-          | Some tcp, Tcp.Ev_established ->
-              result.connected <- true;
-              ignore
-                (Tcp.send tcp ~now:(Engine.now t.engine) (Bytes.of_string payload) ~off:0
-                   ~len:(String.length payload))
-          | Some tcp, Tcp.Ev_rx_ready ->
-              let data = Tcp.recv tcp ~max:65536 in
-              result.response <- result.response ^ Bytes.to_string data
-          | Some tcp, Tcp.Ev_peer_closed -> Tcp.close tcp ~now:(Engine.now t.engine)
-          | _, (Tcp.Ev_reset | Tcp.Ev_closed) ->
-              result.closed <- true;
-              (match !timer with Some h -> Engine.cancel h | None -> ());
-              timer := None;
-              Hashtbl.remove t.conns key
-          | _ -> ())
-    }
-  in
-  let cfg =
-    Tcp.default_config ~local_port ~remote_port:dst_port ~isn:(Rng.int t.rng 0x3FFFFFFF)
-  in
-  let tcp = Tcp.create_active cfg ~now:(Engine.now t.engine) cb in
-  tcp_ref := Some tcp;
-  Hashtbl.replace t.conns key
-    {
-      key;
-      remote_ip = dst_ip;
-      remote_mac = dst_mac;
-      tcp;
-      timer = None;
-      request = Buffer.create 16;
-      serving = None;
-      done_serving = false;
-    };
+  ignore
+    (open_flow t ~dst_ip ~dst_mac ~dst_port
+       ~notify:(fun flow ev ->
+         match ev with
+         | Tcp.Ev_established ->
+             result.connected <- true;
+             ignore
+               (Tcp.send (flow_tcp flow) ~now:(Engine.now t.engine) (Bytes.of_string payload)
+                  ~off:0 ~len:(String.length payload))
+         | Tcp.Ev_rx_ready ->
+             let data = Tcp.recv (flow_tcp flow) ~max:65536 in
+             result.response <- result.response ^ Bytes.to_string data
+         | Tcp.Ev_peer_closed -> Tcp.close (flow_tcp flow) ~now:(Engine.now t.engine)
+         | Tcp.Ev_reset | Tcp.Ev_closed -> result.closed <- true
+         | Tcp.Ev_tx_space -> ())
+       ());
   result
 
 let start_udp_stream t ~dst_ip ~dst_mac ~dst_port ~src_port ~payload_len ~interval =

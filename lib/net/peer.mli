@@ -40,6 +40,49 @@ val bytes_served : t -> int
 val connections : t -> int
 (** TCP connections accepted so far. *)
 
+(** {1 Client flows}
+
+    Outbound TCP connections from the peer into the machine under
+    test.  Every flow shares the peer's single engine timer through a
+    heap-backed {!Timerset} (one pending engine event for any number
+    of connections) and its ephemeral ports are allocated
+    sequentially, so thousands of concurrent flows stay deterministic
+    and collision-free — the substrate the load generator
+    ({!Resilix_load.Loadgen}) drives. *)
+
+type flow
+(** One outbound connection, demuxed and timer-served by the peer. *)
+
+val open_flow :
+  t ->
+  dst_ip:int ->
+  dst_mac:int ->
+  dst_port:int ->
+  ?local_port:int ->
+  ?rx_window:int ->
+  ?tx_buffer:int ->
+  notify:(flow -> Tcp.event -> unit) ->
+  unit ->
+  flow
+(** Actively open a connection (the SYN is emitted immediately).
+    [notify] receives every TCP event; drive the stream with
+    {!flow_tcp} + [Tcp.send]/[Tcp.recv].  Buffers default to a 64 KB
+    receive window and a 16 KB send buffer — small enough that
+    thousands of flows are cheap (the server side, not the client,
+    needs deep buffers). *)
+
+val flow_tcp : flow -> Tcp.t
+(** The flow's TCP engine. *)
+
+val flow_local_port : flow -> int
+(** The ephemeral port the flow opened from. *)
+
+val flow_close : t -> flow -> unit
+(** Graceful close (FIN once the send buffer drains). *)
+
+val flow_abort : t -> flow -> unit
+(** Drop the flow immediately, emitting RST. *)
+
 type client_result = {
   mutable connected : bool;
   mutable response : string;  (** everything the server sent back *)

@@ -379,12 +379,23 @@ let deliver_in_order t =
     | Some data ->
         Hashtbl.remove t.ooo t.rcv_nxt;
         Buffer.add_bytes t.rx_buf data;
-        t.rcv_nxt <- t.rcv_nxt + Bytes.length data;
-        (match t.peer_fin_offset with
-        | Some f when t.rcv_nxt = f -> t.rcv_nxt <- t.rcv_nxt + 1
-        | Some _ | None -> ())
+        t.rcv_nxt <- t.rcv_nxt + Bytes.length data
     | None -> progressing := false
   done
+
+(* Consume the peer's FIN when it is next in sequence.  The single
+   place [rcv_nxt] crosses the FIN offset: reassembly must never
+   advance past it silently, or [Ev_peer_closed] is lost and the
+   application waits on a stream that already ended. *)
+let consume_fin t =
+  match t.peer_fin_offset with
+  | Some f when t.rcv_nxt = f ->
+      t.rcv_nxt <- t.rcv_nxt + 1;
+      if not t.peer_fin_delivered then begin
+        t.peer_fin_delivered <- true;
+        t.cb.notify Ev_peer_closed
+      end
+  | Some _ | None -> ()
 
 let process_payload t ~seg_offset payload =
   let len = Bytes.length payload in
@@ -460,8 +471,15 @@ let handle_segment t ~now (seg : Wire.tcp_segment) =
             t.cb.notify Ev_established;
             (* Fall through to normal processing of any payload. *)
             let seg_offset = unwrap ~near:t.rcv_nxt (mask32 (seg.Wire.seq - t.peer_isn)) in
+            (* FIN bookkeeping, as in [Established]: the first segment
+               after the handshake may already carry the peer's FIN. *)
+            if seg.Wire.fin then begin
+              let fin_off = seg_offset + Bytes.length seg.Wire.payload in
+              if t.peer_fin_offset = None then t.peer_fin_offset <- Some fin_off
+            end;
             process_payload t ~seg_offset seg.Wire.payload;
-            if Bytes.length seg.Wire.payload > 0 then emit_ack t;
+            consume_fin t;
+            if Bytes.length seg.Wire.payload > 0 || seg.Wire.fin then emit_ack t;
             pump t ~now
           end
         end
@@ -483,15 +501,7 @@ let handle_segment t ~now (seg : Wire.tcp_segment) =
           end;
           let had_payload = Bytes.length seg.Wire.payload > 0 in
           process_payload t ~seg_offset seg.Wire.payload;
-          (* Consume the FIN when it is next in sequence. *)
-          (match t.peer_fin_offset with
-          | Some f when t.rcv_nxt = f ->
-              t.rcv_nxt <- t.rcv_nxt + 1;
-              if not t.peer_fin_delivered then begin
-                t.peer_fin_delivered <- true;
-                t.cb.notify Ev_peer_closed
-              end
-          | Some _ | None -> ());
+          consume_fin t;
           if had_payload || seg.Wire.fin then emit_ack t;
           (* Connection teardown: both FINs acknowledged. *)
           if t.fin_acked && peer_closed t then begin

@@ -1,8 +1,17 @@
 (** Multiplexes many logical timers onto one deadline source.
 
-    The network server owns a single kernel alarm; each TCP connection
-    needs its own retransmission timer.  This keeps the earliest
-    deadline per integer key. *)
+    The network server owns a single kernel alarm and the remote peer
+    owns a single engine event; each TCP connection needs its own
+    retransmission timer.  This keeps the earliest deadline per
+    integer key.
+
+    Scales to C10K: a binary min-heap with lazy deletion, so [set],
+    [cancel] and each expiry are O(log n) amortized — re-arming a
+    timer leaves the stale heap entry behind and invalidates it with a
+    per-key generation, which {!next_deadline}/{!take_due} skip as
+    they surface.  (The previous implementation folded over a hash
+    table on every query: O(n) per TCP action, quadratic across a
+    connection storm.) *)
 
 type t
 (** A timer set. *)
@@ -20,4 +29,8 @@ val next_deadline : t -> int option
 (** Earliest armed deadline. *)
 
 val take_due : t -> now:int -> int list
-(** Remove and return every key whose deadline has passed. *)
+(** Remove and return every key whose deadline has passed, in
+    ascending key order (deterministic for reproducibility). *)
+
+val armed : t -> int
+(** Number of currently armed timers. *)

@@ -253,6 +253,35 @@ let merge_all snaps = List.fold_left merge empty snaps
 
 let counter_value snap name = Option.value (List.assoc_opt name snap.counters) ~default:0
 
+(* Quantile estimation from the log-2 buckets.  The rank-r sample
+   (1-based, r = ceil(q * count)) lives in the first bucket whose
+   cumulative count reaches r; within the bucket we interpolate
+   linearly over its value span, clamped to the histogram's observed
+   extremes so single-valued tails come out exact. *)
+let quantile (h : hist_snapshot) q =
+  if h.count = 0 then 0
+  else if q <= 0. then h.min_v
+  else if q >= 1. then h.max_v
+  else begin
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int h.count))) in
+    let rec locate cum = function
+      | [] -> h.max_v (* unreachable: bucket counts sum to h.count *)
+      | (i, n) :: rest ->
+          if cum + n >= rank then begin
+            let lo = max (if i = 0 then min 0 h.min_v else bucket_upper (i - 1) + 1) h.min_v in
+            let hi = min (bucket_upper i) h.max_v in
+            if hi <= lo then lo
+            else begin
+              (* Position of the rank within this bucket, in (0, 1]. *)
+              let frac = float_of_int (rank - cum) /. float_of_int n in
+              lo + int_of_float (frac *. float_of_int (hi - lo))
+            end
+          end
+          else locate (cum + n) rest
+    in
+    locate 0 h.buckets
+  end
+
 let pp ppf snap =
   Format.fprintf ppf "@[<v>metrics at t=%dus" snap.taken_at;
   List.iter (fun (name, v) -> Format.fprintf ppf "@,  %-40s %d" name v) snap.counters;

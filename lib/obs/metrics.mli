@@ -131,5 +131,20 @@ val bucket_upper : int -> int
 (** Inclusive upper bound of a bucket: [bucket_upper 0 = 0],
     [bucket_upper i = 2^i - 1] (saturating at [max_int]). *)
 
+val quantile : hist_snapshot -> float -> int
+(** [quantile h q] estimates the [q]-quantile (0 <= q <= 1) of the
+    samples recorded in [h] from its log-2 buckets: the bucket
+    holding the rank-[ceil q*count] sample is located by cumulative
+    count, then the value is linearly interpolated across the
+    bucket's span (clamped to the histogram's observed [min_v] and
+    [max_v], which tightens the first and last buckets to exact
+    values when all their mass sits at the extremes).  The estimate
+    is exact for single-bucket distributions and otherwise within the
+    bucket's width (a factor of 2).  [q <= 0] returns [min_v],
+    [q >= 1] returns [max_v], and an empty histogram returns 0.
+
+    This is the storm report's p50/p95/p99 path — use it instead of
+    ad-hoc bucket math. *)
+
 val pp : Format.formatter -> snapshot -> unit
 (** Multi-line human-readable rendering. *)

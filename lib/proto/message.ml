@@ -78,7 +78,7 @@ type t =
   | In_socket of { proto : sock_proto }
   | In_socket_reply of { result : (int, Errno.t) result }
   | In_connect of { sock : int; addr : int; port : int }
-  | In_listen of { sock : int; port : int }
+  | In_listen of { sock : int; port : int; backlog : int }
   | In_accept of { sock : int }
   | In_accept_reply of { result : (int, Errno.t) result }
   | In_send of { sock : int; grant : int; len : int }

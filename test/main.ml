@@ -20,4 +20,5 @@ let () =
       ("faultinj", Test_faultinj.tests);
       ("sclc", Test_sclc.tests);
       ("dst", Test_dst.tests);
+      ("storm", Test_storm.tests);
     ]

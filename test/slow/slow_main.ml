@@ -106,7 +106,39 @@ let () =
             (r1.Explore.failures = []);
           Printf.printf "slow: dst %s done in %.1fs host wall clock\n%!" name
             (Unix.gettimeofday () -. t0))
-    [ ("wget", 200, Explore.default_bound); ("dp-inject", 100, Explore.default_bound) ];
+    [
+      ("wget", 200, Explore.default_bound);
+      ("dp-inject", 100, Explore.default_bound);
+      ("storm", 50, Explore.default_bound);
+    ];
+  (* The C10K storm at full scale: 1000 concurrent connections against
+     a 64-worker httpd pool with a mid-storm driver kill.  The rendered
+     report must be byte-identical across repeats, every request must
+     resolve, and the DST invariants must hold. *)
+  (let module Engine = Resilix_sim.Engine in
+   let module Invariant = Resilix_dst.Invariant in
+   let requests = 1000 in
+   let sc =
+     Scenario.storm_sized ~requests ~concurrency:1000 ~workers:64 ~backlog:256 ()
+   in
+   let plan = sc.Scenario.plan ~seed:42 ~faults:sc.Scenario.default_faults in
+   let t0 = Unix.gettimeofday () in
+   let run () = sc.Scenario.run ~seed:42 ~policy:Engine.Fifo ~plan in
+   let r1 = run () and r2 = run () in
+   check "storm 1000: byte-identical report across repeats"
+     (Scenario.storm_lines r1 = Scenario.storm_lines r2);
+   check "storm 1000: invariants clean"
+     (Invariant.check ~bound:Explore.default_bound r1 = []);
+   (match r1.Scenario.r_storm with
+   | Some s ->
+       check "storm 1000: every request resolved"
+         (s.Scenario.s_completed + s.Scenario.s_mismatches + s.Scenario.s_timeouts
+          + s.Scenario.s_failed
+         = requests);
+       check "storm 1000: no corrupted responses" (s.Scenario.s_mismatches = 0)
+   | None -> check "storm 1000: stats present" false);
+   Printf.printf "slow: storm 1000 done in %.1fs host wall clock\n%!"
+     (Unix.gettimeofday () -. t0));
   if !failures > 0 then begin
     Printf.eprintf "slow: %d check(s) failed\n%!" !failures;
     exit 1

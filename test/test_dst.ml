@@ -171,7 +171,7 @@ let prop_repro_roundtrip =
 
 let report ?(completed = true) ?(checksum = true) ?(endpoints = true) ?(applied = 0)
     ?(expected_spans = 0) ?(recoveries = 0) ?(spans = Span.create ()) ?(degraded = [])
-    ?(breakers = []) () =
+    ?(breakers = []) ?storm () =
   {
     Scenario.r_completed = completed;
     r_checksum_ok = checksum;
@@ -185,6 +185,7 @@ let report ?(completed = true) ?(checksum = true) ?(endpoints = true) ?(applied 
     r_degraded = degraded;
     r_breakers = breakers;
     r_shape = 0L;
+    r_storm = storm;
   }
 
 let names vs = Invariant.names vs
@@ -270,6 +271,7 @@ let toy =
       r_degraded = [];
       r_breakers = [];
       r_shape = shape;
+      r_storm = None;
     }
   in
   Scenario.make ~name:"toy" ~targets:[ "toy" ] ~default_faults:4

@@ -376,6 +376,79 @@ let test_export_jsonl () =
         (String.length l > 1 && l.[0] = '{' && l.[String.length l - 1] = '}'))
     lines
 
+(* ------------------------------------------------------------------ *)
+(* Quantile estimation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let hist_of samples =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "h" in
+  List.iter (Metrics.observe h) samples;
+  match (Metrics.snapshot m).Metrics.histograms with
+  | [ (_, hs) ] -> hs
+  | _ -> Alcotest.fail "expected one histogram"
+
+let test_quantile_edges () =
+  Alcotest.(check int) "empty histogram" 0 (Metrics.quantile (hist_of []) 0.5);
+  let one = hist_of [ 37 ] in
+  Alcotest.(check int) "single sample p50" 37 (Metrics.quantile one 0.5);
+  Alcotest.(check int) "single sample p99" 37 (Metrics.quantile one 0.99);
+  Alcotest.(check int) "q<=0 is min" 37 (Metrics.quantile one 0.);
+  Alcotest.(check int) "q>=1 is max" 37 (Metrics.quantile one 1.)
+
+let test_quantile_two_point () =
+  (* Two well-separated spikes: every quantile must land on (or very
+     near) one of them — min/max clamping makes the extreme buckets
+     exact. *)
+  let h = hist_of (List.init 90 (fun _ -> 100) @ List.init 10 (fun _ -> 10_000)) in
+  let in_bucket name v = Alcotest.(check bool) name true (v >= 100 && v <= 127) in
+  (* the low spike's bucket is [64,127], clamped below by min_v=100 *)
+  in_bucket "p50 within the low spike's bucket" (Metrics.quantile h 0.5);
+  in_bucket "p90 within the low spike's bucket" (Metrics.quantile h 0.9);
+  (* the high spike's bucket, clamped above by max_v *)
+  let p99 = Metrics.quantile h 0.99 in
+  Alcotest.(check bool)
+    (Printf.sprintf "p99 within the high spike's bucket (got %d)" p99)
+    true
+    (p99 > 5_000 && p99 <= 10_000);
+  Alcotest.(check int) "p100 exactly the max" 10_000 (Metrics.quantile h 1.0)
+
+let test_quantile_uniform () =
+  (* Uniform over [1, 4096]: the log-bucket estimate must stay within
+     one bucket width (a factor of 2) of the true quantile. *)
+  let h = hist_of (List.init 4096 (fun i -> i + 1)) in
+  List.iter
+    (fun q ->
+      let truth = int_of_float (q *. 4096.) in
+      let est = Metrics.quantile h q in
+      let ok = est >= truth / 2 && est <= truth * 2 in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%.0f within a bucket width (est %d, true %d)" (q *. 100.) est truth)
+        true ok)
+    [ 0.5; 0.9; 0.95; 0.99 ];
+  (* and it must be monotone in q *)
+  let est = List.map (Metrics.quantile h) [ 0.1; 0.5; 0.9; 0.99 ] in
+  Alcotest.(check bool) "monotone" true (List.sort compare est = est)
+
+let test_quantile_merge_consistent () =
+  (* Quantiles of a merged snapshot = quantiles of the union of the
+     samples (buckets add exactly). *)
+  let m1 = Metrics.create () and m2 = Metrics.create () in
+  let h1 = Metrics.histogram m1 "lat" and h2 = Metrics.histogram m2 "lat" in
+  List.iter (Metrics.observe h1) (List.init 50 (fun i -> 10 + i));
+  List.iter (Metrics.observe h2) (List.init 50 (fun i -> 5_000 + i));
+  let merged = Metrics.merge (Metrics.snapshot m1) (Metrics.snapshot ~shard:1 m2) in
+  match merged.Metrics.histograms with
+  | [ (_, hs) ] ->
+      let union = hist_of (List.init 50 (fun i -> 10 + i) @ List.init 50 (fun i -> 5_000 + i)) in
+      List.iter
+        (fun q ->
+          Alcotest.(check int)
+            (Printf.sprintf "q=%.2f agrees" q)
+            (Metrics.quantile union q) (Metrics.quantile hs q))
+        [ 0.25; 0.5; 0.75; 0.95 ]
+  | _ -> Alcotest.fail "expected one merged histogram"
+
 let test_json_escape () =
   Alcotest.(check string) "quotes and backslashes" {|a\"b\\c|} (Event.json_escape {|a"b\c|});
   Alcotest.(check string) "control chars" {|x\ny|} (Event.json_escape "x\ny")
@@ -402,6 +475,10 @@ let tests =
     Alcotest.test_case "span lifecycle and phases" `Quick test_span_lifecycle;
     Alcotest.test_case "reopen allowed once after close" `Quick test_span_reopen_after_close;
     Alcotest.test_case "MTTR report" `Quick test_mttr_report;
+    Alcotest.test_case "quantile edges" `Quick test_quantile_edges;
+    Alcotest.test_case "quantile two-point distribution" `Quick test_quantile_two_point;
+    Alcotest.test_case "quantile uniform within bucket width" `Quick test_quantile_uniform;
+    Alcotest.test_case "quantile merge consistency" `Quick test_quantile_merge_consistent;
     Alcotest.test_case "JSONL export" `Quick test_export_jsonl;
     Alcotest.test_case "json escaping" `Quick test_json_escape;
   ]
